@@ -1,0 +1,102 @@
+//! A chained hash multimap from `i64` join keys to row ids, used by the
+//! query-at-a-time engines' hash joins.
+
+/// Multimap from key to `u32` row ids with chained buckets.
+#[derive(Debug)]
+pub struct JoinHashTable {
+    keys: Vec<i64>,
+    vids: Vec<u32>,
+    buckets: Vec<u32>,
+    next: Vec<u32>,
+    mask: usize,
+}
+
+#[inline]
+fn hash_key(key: i64) -> u64 {
+    let mut z = key as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl JoinHashTable {
+    /// Builds the table from parallel key/row-id slices.
+    pub fn build(keys: &[i64], vids: &[u32]) -> Self {
+        debug_assert_eq!(keys.len(), vids.len());
+        let n_buckets = (keys.len() * 2).next_power_of_two().max(16);
+        let mut t = JoinHashTable {
+            keys: keys.to_vec(),
+            vids: vids.to_vec(),
+            buckets: vec![0; n_buckets],
+            next: vec![0; keys.len()],
+            mask: n_buckets - 1,
+        };
+        for (i, &key) in keys.iter().enumerate() {
+            let b = (hash_key(key) as usize) & t.mask;
+            t.next[i] = t.buckets[b];
+            t.buckets[b] = i as u32 + 1;
+        }
+        t
+    }
+
+    /// Calls `f(row_id)` for every entry matching `key`.
+    #[inline]
+    pub fn probe(&self, key: i64, mut f: impl FnMut(u32)) {
+        let mut cur = self.buckets[(hash_key(key) as usize) & self.mask];
+        while cur != 0 {
+            let e = (cur - 1) as usize;
+            if self.keys[e] == key {
+                f(self.vids[e]);
+            }
+            cur = self.next[e];
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe() {
+        let t = JoinHashTable::build(&[5, 7, 5, 9], &[0, 1, 2, 3]);
+        let mut hits = Vec::new();
+        t.probe(5, |v| hits.push(v));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+        let mut none = 0;
+        t.probe(8, |_| none += 1);
+        assert_eq!(none, 0);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = JoinHashTable::build(&[], &[]);
+        assert!(t.is_empty());
+        let mut n = 0;
+        t.probe(1, |_| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn negative_and_extreme_keys() {
+        let t = JoinHashTable::build(&[i64::MIN, -1, i64::MAX], &[0, 1, 2]);
+        let mut hits = Vec::new();
+        t.probe(i64::MIN, |v| hits.push(v));
+        assert_eq!(hits, vec![0]);
+        hits.clear();
+        t.probe(i64::MAX, |v| hits.push(v));
+        assert_eq!(hits, vec![2]);
+    }
+}

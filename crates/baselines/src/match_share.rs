@@ -1,0 +1,200 @@
+//! Match&Share (DataPath [2] style incremental global planning).
+//!
+//! Queries are admitted one at a time; each is grafted onto the existing
+//! global plan with minimum *additional* cost: planning starts from the
+//! largest already-materialized sub-expression usable by the query, and
+//! each extension step prefers (i) reusing an existing sub-expression and
+//! otherwise (ii) the cheapest new join under the sampled statistics.
+//! Being admission-order-sensitive and estimate-driven (uniformity
+//! assumptions — the paper notes its optimizer "supports only uniform
+//! data"), it shares less than sharing-aware optimization would.
+
+use crate::optimizer::base_cardinality;
+use crate::shared::{GlobalPlan, GlobalPlanBuilder, SubExpr};
+use roulette_core::RelSet;
+use roulette_query::{JoinGraph, SpjQuery};
+use roulette_storage::{Catalog, Stats};
+
+/// Builds the Match&Share global plan by admitting `queries` in order.
+pub fn match_share_plan(catalog: &Catalog, stats: &Stats, queries: &[SpjQuery]) -> GlobalPlan {
+    let mut builder = GlobalPlanBuilder::new();
+    for q in queries {
+        admit(&mut builder, catalog, stats, q);
+    }
+    builder.build()
+}
+
+fn admit(builder: &mut GlobalPlanBuilder, catalog: &Catalog, stats: &Stats, q: &SpjQuery) {
+    let graph = JoinGraph::of(q);
+
+    // Seed: the largest existing sub-expression embeddable in q (its
+    // relations ⊆ q's, every edge one of q's joins). Ties break toward
+    // more relations, then fewer estimated rows via relation count.
+    let mut seed: Option<SubExpr> = None;
+    for (key, _) in builder.known() {
+        if !key.rels.is_subset_of(q.relations) {
+            continue;
+        }
+        if !key.edges.iter().all(|e| q.joins.contains(e)) {
+            continue;
+        }
+        let better = match &seed {
+            None => true,
+            Some(s) => key.rels.len() > s.rels.len(),
+        };
+        if better {
+            seed = Some(key.clone());
+        }
+    }
+    let mut key = match seed {
+        Some(s) => s,
+        None => {
+            // No reusable state: start from the cheapest filtered scan.
+            let root = q
+                .relations
+                .iter()
+                .min_by(|&a, &b| {
+                    base_cardinality(q, catalog, stats, a)
+                        .total_cmp(&base_cardinality(q, catalog, stats, b))
+                })
+                .expect("query has relations");
+            builder.scan(root);
+            SubExpr::scan(root)
+        }
+    };
+
+    // Greedy extension: reuse if possible, otherwise cheapest estimate.
+    let mut card = est_card(catalog, stats, q, &key);
+    while key.rels != q.relations {
+        let expansions = graph.expansions(key.rels);
+        debug_assert!(!expansions.is_empty(), "tree query always extensible");
+        let mut best: Option<(usize, RelSet, f64, bool)> = None;
+        for (edge_idx, target) in expansions {
+            let next = key.extend(q.joins[edge_idx], target);
+            let exists = builder.node_of(&next).is_some();
+            let sel = stats.join_selectivity(catalog, q.joins[edge_idx].left, q.joins[edge_idx].right);
+            let next_card = card * base_cardinality(q, catalog, stats, target) * sel;
+            // Reuse beats everything; then cheaper estimates win.
+            let better = match &best {
+                None => true,
+                Some((_, _, best_card, best_exists)) => {
+                    (exists && !best_exists) || (exists == *best_exists && next_card < *best_card)
+                }
+            };
+            if better {
+                best = Some((edge_idx, RelSet::singleton(target), next_card, exists));
+            }
+        }
+        let (edge_idx, target, next_card, _) = best.expect("candidate exists");
+        let target = target.first().unwrap();
+        let (next_key, _) = builder.join(&key, q.joins[edge_idx], target);
+        key = next_key;
+        card = next_card;
+    }
+    builder.finalize_query(&key);
+}
+
+fn est_card(catalog: &Catalog, stats: &Stats, q: &SpjQuery, key: &SubExpr) -> f64 {
+    let mut card: f64 = key
+        .rels
+        .iter()
+        .map(|r| base_cardinality(q, catalog, stats, r))
+        .product();
+    for e in &key.edges {
+        card *= stats.join_selectivity(catalog, e.left, e.right);
+    }
+    card.max(0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::execute_global;
+    use roulette_query::QueryBatch;
+    use roulette_storage::RelationBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut f = RelationBuilder::new("fact");
+        f.int64("fk1", (0..400).map(|i| i % 40).collect());
+        f.int64("fk2", (0..400).map(|i| i % 8).collect());
+        c.add(f.build()).unwrap();
+        for (name, rows) in [("d1", 40i64), ("d2", 8)] {
+            let mut d = RelationBuilder::new(name);
+            d.int64("pk", (0..rows).collect());
+            d.int64("w", (0..rows).collect());
+            c.add(d.build()).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn reuses_existing_subexpressions() {
+        let c = catalog();
+        let q_rs = SpjQuery::builder(&c)
+            .relation("fact").relation("d1")
+            .join(("fact", "fk1"), ("d1", "pk"))
+            .build()
+            .unwrap();
+        let q_rst = SpjQuery::builder(&c)
+            .relation("fact").relation("d1").relation("d2")
+            .join(("fact", "fk1"), ("d1", "pk"))
+            .join(("fact", "fk2"), ("d2", "pk"))
+            .build()
+            .unwrap();
+        let stats = Stats::sample(&c, 256, 1);
+        let plan = match_share_plan(&c, &stats, &[q_rs.clone(), q_rst.clone()]);
+        // The second query starts from the materialized fact⋈d1 → only one
+        // extra join node.
+        assert_eq!(plan.join_nodes(), 2);
+
+        let batch = QueryBatch::from_queries(c.len(), &[q_rs, q_rst]).unwrap();
+        let run = execute_global(&c, &batch, &plan);
+        assert_eq!(run.per_query[0].rows, 400);
+        assert_eq!(run.per_query[1].rows, 400);
+    }
+
+    #[test]
+    fn admission_order_changes_the_plan() {
+        // d2 is much more selective than d1 in q_big, so planned alone it
+        // joins d2 first; after q_rs materializes fact⋈d1, reuse flips the
+        // order — admission order sensitivity.
+        let c = catalog();
+        let q_rs = SpjQuery::builder(&c)
+            .relation("fact").relation("d1")
+            .join(("fact", "fk1"), ("d1", "pk"))
+            .build()
+            .unwrap();
+        let q_big = SpjQuery::builder(&c)
+            .relation("fact").relation("d1").relation("d2")
+            .join(("fact", "fk1"), ("d1", "pk"))
+            .join(("fact", "fk2"), ("d2", "pk"))
+            .range("d2", "w", 0, 0)
+            .build()
+            .unwrap();
+        let stats = Stats::sample(&c, 256, 1);
+        let with_reuse = match_share_plan(&c, &stats, &[q_rs.clone(), q_big.clone()]);
+        let alone = match_share_plan(&c, &stats, std::slice::from_ref(&q_big));
+        // Alone, q_big needs 2 joins; with q_rs first, total is 3 nodes but
+        // q_big only adds 1 (reuse), versus 2+2=4 without sharing.
+        assert_eq!(alone.join_nodes(), 2);
+        assert_eq!(with_reuse.join_nodes(), 2);
+        // Results stay correct either way.
+        let batch = QueryBatch::from_queries(c.len(), std::slice::from_ref(&q_big)).unwrap();
+        let run = execute_global(&c, &batch, &alone);
+        // d2.w == 0 → fk2 % 8 == 0 → 50 rows.
+        assert_eq!(run.per_query[0].rows, 50);
+    }
+
+    #[test]
+    fn single_relation_query_is_a_scan() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c).relation("d1").range("d1", "w", 0, 9).build().unwrap();
+        let stats = Stats::sample(&c, 64, 1);
+        let plan = match_share_plan(&c, &stats, std::slice::from_ref(&q));
+        assert_eq!(plan.join_nodes(), 0);
+        let batch = QueryBatch::from_queries(c.len(), &[q]).unwrap();
+        let run = execute_global(&c, &batch, &plan);
+        assert_eq!(run.per_query[0].rows, 10);
+    }
+}

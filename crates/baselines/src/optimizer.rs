@@ -1,0 +1,209 @@
+//! Per-query cost-based join-order optimizer (the optimize-then-execute
+//! side of the comparison).
+//!
+//! The query-at-a-time engines and the online-sharing plan builders all
+//! plan with this optimizer: a dynamic program over connected relation
+//! subsets (queries are join trees, so every connected subset has a unique
+//! joining edge set) minimizing the classic Σ-of-intermediate-cardinalities
+//! cost under sampled statistics — uniformity and independence assumptions
+//! included, which is exactly where correlated data (JOB) hurts it.
+
+use roulette_core::{RelId, RelSet};
+use roulette_query::{JoinGraph, SpjQuery};
+use roulette_storage::{Catalog, Stats};
+use std::collections::HashMap;
+
+/// One step of a left-deep plan: probe `target` through `edge_idx`
+/// (an index into the query's `joins`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinStep {
+    /// Index into `query.joins`.
+    pub edge_idx: usize,
+    /// The relation joined in by this step.
+    pub target: RelId,
+}
+
+/// A left-deep plan: scan `root`, then apply `steps` in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Driving relation.
+    pub root: RelId,
+    /// Probe steps in execution order.
+    pub steps: Vec<JoinStep>,
+    /// Estimated Σ of intermediate cardinalities.
+    pub est_cost: f64,
+}
+
+/// Estimated post-selection cardinality of one relation.
+pub fn base_cardinality(q: &SpjQuery, catalog: &Catalog, stats: &Stats, rel: RelId) -> f64 {
+    let mut card = stats.rows(rel) as f64;
+    for p in q.predicates_on(rel) {
+        card *= stats.range_selectivity(catalog, rel, p.col, p.lo, p.hi);
+    }
+    card.max(0.01)
+}
+
+/// Plans `q` with a DP over connected subsets.
+pub fn optimize(q: &SpjQuery, catalog: &Catalog, stats: &Stats) -> QueryPlan {
+    let graph = JoinGraph::of(q);
+    let rels: Vec<RelId> = q.relations.iter().collect();
+    if rels.len() == 1 {
+        return QueryPlan { root: rels[0], steps: Vec::new(), est_cost: 0.0 };
+    }
+
+    #[derive(Clone)]
+    struct State {
+        cost: f64,
+        card: f64,
+        parent: RelSet,
+        step: Option<JoinStep>,
+    }
+
+    let mut table: HashMap<RelSet, State> = HashMap::new();
+    for &r in &rels {
+        let card = base_cardinality(q, catalog, stats, r);
+        table.insert(
+            RelSet::singleton(r),
+            State { cost: 0.0, card, parent: RelSet::EMPTY, step: None },
+        );
+    }
+
+    // Expand subsets in increasing size; tree queries make every connected
+    // subset reachable through single-relation extensions.
+    for size in 1..rels.len() {
+        let frontier: Vec<(RelSet, f64, f64)> = table
+            .iter()
+            .filter(|(s, _)| s.len() == size)
+            .map(|(s, st)| (*s, st.cost, st.card))
+            .collect();
+        for (set, cost, card) in frontier {
+            for (edge_idx, target) in graph.expansions(set) {
+                let e = &q.joins[edge_idx];
+                let sel = stats.join_selectivity(catalog, e.left, e.right);
+                let t_card = base_cardinality(q, catalog, stats, target);
+                let new_card = (card * t_card * sel).max(0.01);
+                let new_cost = cost + new_card;
+                let new_set = set.with(target);
+                let better = table
+                    .get(&new_set)
+                    .is_none_or(|existing| new_cost < existing.cost);
+                if better {
+                    table.insert(
+                        new_set,
+                        State {
+                            cost: new_cost,
+                            card: new_card,
+                            parent: set,
+                            step: Some(JoinStep { edge_idx, target }),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Backtrack from the full set.
+    let full = q.relations;
+    let mut steps = Vec::with_capacity(rels.len() - 1);
+    let mut cur = full;
+    let est_cost = table[&full].cost;
+    while table[&cur].step.is_some() {
+        let st = &table[&cur];
+        steps.push(st.step.unwrap());
+        cur = st.parent;
+    }
+    steps.reverse();
+    let root = cur.first().expect("non-empty root");
+    QueryPlan { root, steps, est_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_query::SpjQuery;
+    use roulette_storage::RelationBuilder;
+
+    /// fact(100k-ish) ⋈ big_dim(1000) ⋈ small_dim(10): the small dimension
+    /// should be joined first.
+    fn star() -> (Catalog, SpjQuery) {
+        let mut c = Catalog::new();
+        let mut f = RelationBuilder::new("fact");
+        f.int64("big_fk", (0..20_000).map(|i| i % 1000).collect());
+        f.int64("small_fk", (0..20_000).map(|i| i % 10).collect());
+        c.add(f.build()).unwrap();
+        let mut b = RelationBuilder::new("big_dim");
+        b.int64("pk", (0..1000).collect());
+        b.int64("v", (0..1000).collect());
+        c.add(b.build()).unwrap();
+        let mut s = RelationBuilder::new("small_dim");
+        s.int64("pk", (0..10).collect());
+        s.int64("v", (0..10).collect());
+        c.add(s.build()).unwrap();
+        let q = SpjQuery::builder(&c)
+            .relation("fact").relation("big_dim").relation("small_dim")
+            .join(("fact", "big_fk"), ("big_dim", "pk"))
+            .join(("fact", "small_fk"), ("small_dim", "pk"))
+            .range("small_dim", "v", 0, 0) // 10% of small_dim
+            .build()
+            .unwrap();
+        (c, q)
+    }
+
+    #[test]
+    fn selective_dimension_joins_first() {
+        let (c, q) = star();
+        let stats = Stats::sample(&c, 2000, 1);
+        let plan = optimize(&q, &c, &stats);
+        assert_eq!(plan.steps.len(), 2);
+        // The filtered small dimension must participate in the first join
+        // (as root or first target) — it shrinks the intermediate most.
+        let small = c.relation_id("small_dim").unwrap();
+        assert!(
+            plan.root == small || plan.steps[0].target == small,
+            "small_dim not joined first: root {:?}, steps {:?}",
+            plan.root,
+            plan.steps
+        );
+        // big_dim last: joining it earlier would cost an extra wide
+        // intermediate.
+        assert_eq!(plan.steps[1].target, c.relation_id("big_dim").unwrap());
+        assert!(plan.est_cost > 0.0);
+    }
+
+    #[test]
+    fn single_relation_plan_is_trivial() {
+        let mut c = Catalog::new();
+        let mut r = RelationBuilder::new("r");
+        r.int64("x", vec![1, 2, 3]);
+        c.add(r.build()).unwrap();
+        let q = SpjQuery::builder(&c).relation("r").build().unwrap();
+        let stats = Stats::sample(&c, 16, 1);
+        let plan = optimize(&q, &c, &stats);
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.est_cost, 0.0);
+    }
+
+    #[test]
+    fn steps_respect_connectivity() {
+        let (c, q) = star();
+        let stats = Stats::sample(&c, 500, 3);
+        let plan = optimize(&q, &c, &stats);
+        let mut joined = RelSet::singleton(plan.root);
+        for step in &plan.steps {
+            let e = &q.joins[step.edge_idx];
+            let (a, b) = e.rels();
+            assert!(joined.contains(a) != joined.contains(b), "cross product step");
+            joined = joined.with(step.target);
+        }
+        assert_eq!(joined, q.relations);
+    }
+
+    #[test]
+    fn base_cardinality_applies_predicates() {
+        let (c, q) = star();
+        let stats = Stats::sample(&c, 2000, 1);
+        let small = c.relation_id("small_dim").unwrap();
+        let card = base_cardinality(&q, &c, &stats, small);
+        assert!(card < 5.0, "filtered cardinality {card}");
+    }
+}

@@ -1,0 +1,10 @@
+//! `cargo bench` entry point that regenerates every table/figure of the
+//! paper's evaluation at the harness scale (see `ROULETTE_SCALE`).
+
+fn main() {
+    // Respect `cargo bench -- --help`-style flags minimally: run
+    // everything; criterion-style filtering is not needed here.
+    let scale = roulette_bench::Scale::from_env();
+    println!("RouLette figure reproduction (scale {:.2}, seed {})", scale.factor, scale.seed);
+    roulette_bench::run_all(scale);
+}

@@ -1,0 +1,4 @@
+//! Standalone figure target; see the crate docs for scaling knobs.
+fn main() {
+    roulette_bench::fig16::fig16(roulette_bench::Scale::from_env());
+}

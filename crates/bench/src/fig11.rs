@@ -1,0 +1,135 @@
+//! Figure 11 — the sensitivity analysis: throughput (queries/second) of
+//! all five systems under varying (a) batch size, (b) query selectivity,
+//! (c) joins per query, and (d) schema type. Defaults are the paper's
+//! (10% selectivity, 4 joins, store snowflake, 512-query batches), scaled
+//! down by the harness scale.
+
+use crate::harness::{fmt_qps, print_table, qps, Scale};
+use crate::systems::{verify, Bench, System};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roulette_core::EngineConfig;
+use roulette_query::generator::{sample_batch, tpcds_pool, SchemaMode, SensitivityParams};
+use roulette_query::SpjQuery;
+use roulette_storage::datagen::tpcds::{self, TpcdsDataset};
+
+fn dataset(scale: Scale) -> TpcdsDataset {
+    tpcds::generate(scale.sf(0.4), scale.seed)
+}
+
+fn batch(ds: &TpcdsDataset, params: SensitivityParams, n: usize, seed: u64) -> Vec<SpjQuery> {
+    let pool = tpcds_pool(ds, params, n * 2, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
+    sample_batch(&pool, n, &mut rng)
+}
+
+/// One throughput row across all systems for a given workload.
+fn throughput_row(bench: &Bench<'_>, queries: &[SpjQuery], label: String) -> Vec<String> {
+    let mut row = vec![label];
+    let reference = bench.run(System::DbmsV, queries);
+    for sys in System::ALL {
+        let elapsed = if sys == System::DbmsV {
+            reference.elapsed
+        } else {
+            let out = bench.run(sys, queries);
+            verify(&out, &reference, sys.label());
+            out.elapsed
+        };
+        row.push(fmt_qps(qps(queries.len(), elapsed)));
+    }
+    row
+}
+
+fn header() -> Vec<&'static str> {
+    let mut h = vec!["param"];
+    h.extend(System::ALL.iter().map(|s| s.label()));
+    h
+}
+
+/// Fig. 11a: varying concurrency (batch size).
+pub fn fig11a(scale: Scale) {
+    let ds = dataset(scale);
+    let bench = Bench::new(&ds.catalog, EngineConfig::default());
+    let max = scale.n(256);
+    let mut sizes = vec![1usize];
+    while *sizes.last().unwrap() < max {
+        let next = sizes.last().unwrap() * 4;
+        sizes.push(next.min(max));
+    }
+    let rows: Vec<Vec<String>> = sizes
+        .iter()
+        .map(|&n| {
+            let queries = batch(&ds, SensitivityParams::default(), n, scale.seed + n as u64);
+            throughput_row(&bench, &queries, n.to_string())
+        })
+        .collect();
+    print_table(
+        "Fig 11a: throughput (q/s) vs number of queries in batch",
+        &header(),
+        &rows,
+    );
+}
+
+/// Fig. 11b: varying query selectivity.
+pub fn fig11b(scale: Scale) {
+    let ds = dataset(scale);
+    let bench = Bench::new(&ds.catalog, EngineConfig::default());
+    let n = scale.n(96);
+    let rows: Vec<Vec<String>> = [0.0001f64, 0.001, 0.01, 0.1, 1.0]
+        .iter()
+        .map(|&sel| {
+            let params = SensitivityParams { selectivity: sel, ..Default::default() };
+            let queries = batch(&ds, params, n, scale.seed ^ (sel.to_bits()));
+            throughput_row(&bench, &queries, format!("{}%", sel * 100.0))
+        })
+        .collect();
+    print_table(
+        &format!("Fig 11b: throughput (q/s) vs query selectivity ({n}-query batches)"),
+        &header(),
+        &rows,
+    );
+}
+
+/// Fig. 11c: varying joins per query (store-direct pool so 6-join batches
+/// are homogeneous, as in the paper).
+pub fn fig11c(scale: Scale) {
+    let ds = dataset(scale);
+    let bench = Bench::new(&ds.catalog, EngineConfig::default());
+    let n = scale.n(96);
+    let rows: Vec<Vec<String>> = (1..=6usize)
+        .map(|joins| {
+            let params = SensitivityParams {
+                n_joins: joins,
+                schema: SchemaMode::StoreDirect,
+                ..Default::default()
+            };
+            let queries = batch(&ds, params, n, scale.seed + joins as u64 * 101);
+            throughput_row(&bench, &queries, joins.to_string())
+        })
+        .collect();
+    print_table(
+        &format!("Fig 11c: throughput (q/s) vs joins per query ({n}-query batches)"),
+        &header(),
+        &rows,
+    );
+}
+
+/// Fig. 11d: varying schema type.
+pub fn fig11d(scale: Scale) {
+    let ds = dataset(scale);
+    let bench = Bench::new(&ds.catalog, EngineConfig::default());
+    let n = scale.n(96);
+    let rows: Vec<Vec<String>> = SchemaMode::FIG11D
+        .iter()
+        .map(|&mode| {
+            let params = SensitivityParams { schema: mode, ..Default::default() };
+            let queries = batch(&ds, params, n, scale.seed ^ (mode.label().len() as u64));
+            throughput_row(&bench, &queries, mode.label().to_string())
+        })
+        .collect();
+    print_table(
+        &format!("Fig 11d: throughput (q/s) vs schema type ({n}-query batches)"),
+        &header(),
+        &rows,
+    );
+}

@@ -1,0 +1,227 @@
+//! Figures 12–14 — JOB throughput, planning quality, and dynamic sharing.
+
+use crate::harness::{fmt_qps, print_table, qps, Scale};
+use crate::systems::{verify, Bench, System};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roulette_baselines::{execute_global, stitch_plan_with_orders};
+use roulette_core::{CostModel, EngineConfig, QuerySet, RelId, RelSet};
+use roulette_exec::{JoinSpace, RouletteEngine};
+use roulette_policy::{GreedyPolicy, QLearningPolicy, Scope};
+use roulette_query::generator::{job_pool, sample_batch};
+use roulette_query::{JoinPred, QueryBatch, SpjQuery};
+use roulette_storage::datagen::imdb::{self, ImdbDataset};
+
+fn dataset(scale: Scale) -> ImdbDataset {
+    imdb::generate(scale.sf(0.25), scale.seed)
+}
+
+/// Fig. 12: throughput on JOB-style batches (correlated data, many joins).
+pub fn fig12(scale: Scale) {
+    let ds = dataset(scale);
+    let bench = Bench::new(&ds.catalog, EngineConfig::default());
+    let pool = job_pool(&ds, scale.n(96), scale.seed);
+    let n = scale.n(24);
+    let systems = [System::Roulette, System::StitchShare, System::DbmsV, System::Monet];
+    let mut header = vec!["batch"];
+    header.extend(systems.iter().map(|s| s.label()));
+    let mut rows = Vec::new();
+    for b in 0..3 {
+        let mut rng = StdRng::seed_from_u64(scale.seed + b);
+        let queries = sample_batch(&pool, n, &mut rng);
+        let reference = bench.run(System::DbmsV, &queries);
+        let mut row = vec![format!("{}", b + 1)];
+        for sys in systems {
+            let out = bench.run(sys, &queries);
+            if sys != System::DbmsV {
+                verify(&out, &reference, sys.label());
+            }
+            row.push(fmt_qps(qps(queries.len(), out.elapsed)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!("Fig 12: throughput (q/s) on {n}-query JOB batches"),
+        &header,
+        &rows,
+    );
+}
+
+/// Decodes the learned policy's left-deep plan for a single query: runs it
+/// solo through RouLette, then greedily walks the Q-table (§6.2's
+/// Stitch&Share–Sim per-query planning). Returns the order plus the solo
+/// run's intermediate join tuples (the RouLette-QaaT data point).
+fn learned_order(
+    catalog: &roulette_storage::Catalog,
+    config: &EngineConfig,
+    q: &SpjQuery,
+) -> ((RelId, Vec<(JoinPred, RelId)>), u64) {
+    let engine = RouletteEngine::new(catalog, config.clone());
+    let mut session = engine
+        .session_with_policy(1, Box::new(QLearningPolicy::new(CostModel::default(), config)));
+    session.admit(q.clone()).expect("admit");
+    session.run();
+    let solo_tuples = session.stats().join_tuples;
+
+    let batch = session.batch();
+    let space = JoinSpace::new(batch);
+    let qset = QuerySet::full(1);
+    let order = session.with_policy(|policy| {
+        // Root: the relation whose plan the policy values best.
+        let mut best_root = q.relations.first().unwrap();
+        let mut best_est = f64::NEG_INFINITY;
+        for rel in q.relations.iter() {
+            let est = policy.estimate(Scope::JOIN, RelSet::singleton(rel).0, &qset, &space);
+            if est > best_est {
+                best_est = est;
+                best_root = rel;
+            }
+        }
+        let mut lineage = RelSet::singleton(best_root);
+        let mut steps: Vec<(JoinPred, RelId)> = Vec::new();
+        let mut candidates = Vec::new();
+        loop {
+            batch.join_candidates(lineage, &qset, &mut candidates);
+            if candidates.is_empty() {
+                break;
+            }
+            let op = policy.choose(Scope::JOIN, lineage.0, &qset, &candidates, &space);
+            let edge = *batch.edge(op);
+            let (a, b) = edge.rels();
+            let target = if lineage.contains(a) { b } else { a };
+            steps.push((edge, target));
+            lineage = lineage.with(target);
+        }
+        (best_root, steps)
+    });
+    (order, solo_tuples)
+}
+
+/// Fig. 13: intermediate join tuples of the four policy configurations
+/// across batch sizes (RouLette's learned global policy, the greedy
+/// selectivity policy, per-query learned plans stitched, and RouLette
+/// query-at-a-time).
+pub fn fig13(scale: Scale) {
+    // A smaller dataset than Fig. 12's: this figure's metric is the
+    // *relative* intermediate-tuple count of the policies, and greedy's
+    // worst orders are orders of magnitude more expensive — small data
+    // keeps them runnable.
+    let ds = imdb::generate(scale.sf(0.12), scale.seed);
+    let pool = job_pool(&ds, scale.n(64), scale.seed);
+    // Small vectors give the policy enough episodes to learn within one
+    // batch (the paper's SF10 runs see thousands of episodes; this
+    // dataset would otherwise finish in a handful).
+    let config = EngineConfig::default().with_vector_size(64);
+    let engine = RouletteEngine::new(&ds.catalog, config.clone());
+
+    let mut rows = Vec::new();
+    let sizes = [1usize, 2, 4, 8, 16];
+    let mut id = 0;
+    for &n in &sizes {
+        for b in 0..2 {
+            id += 1;
+            let mut rng = StdRng::seed_from_u64(scale.seed * 7 + n as u64 * 13 + b);
+            let queries = sample_batch(&pool, scale.n(n), &mut rng);
+
+            let roulette = engine.execute_batch(&queries).expect("batch");
+            // The paper's baseline (CACQ/CJOIN) uses lottery scheduling;
+            // the deterministic argmin variant is reported as well because
+            // it is a *stronger* greedy than the published systems.
+            let lottery = engine
+                .execute_batch_with_policy(&queries, Box::new(GreedyPolicy::lottery(3)))
+                .expect("batch");
+            let argmin = engine
+                .execute_batch_with_policy(&queries, Box::new(GreedyPolicy::with_defaults(3)))
+                .expect("batch");
+            assert_eq!(roulette.per_query, lottery.per_query);
+            assert_eq!(roulette.per_query, argmin.per_query);
+
+            // Per-query learned plans → stitched global plan; the solo runs
+            // double as the RouLette-QaaT series.
+            let mut orders = Vec::with_capacity(queries.len());
+            let mut qaat_tuples = 0u64;
+            for q in &queries {
+                let (order, solo) = learned_order(&ds.catalog, &config, q);
+                orders.push(order);
+                qaat_tuples += solo;
+            }
+            let stitched = stitch_plan_with_orders(&queries, &orders);
+            let qb = QueryBatch::from_queries(ds.catalog.len(), &queries).expect("batch");
+            let sim = execute_global(&ds.catalog, &qb, &stitched);
+            assert_eq!(sim.per_query, roulette.per_query);
+
+            rows.push(vec![
+                id.to_string(),
+                queries.len().to_string(),
+                roulette.stats.join_tuples.to_string(),
+                lottery.stats.join_tuples.to_string(),
+                argmin.stats.join_tuples.to_string(),
+                sim.join_tuples.to_string(),
+                qaat_tuples.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 13: intermediate join tuples per policy (JOB batches)",
+        &[
+            "batch",
+            "size",
+            "RouLette",
+            "Greedy (CACQ)",
+            "Greedy-argmin",
+            "Stitch&Share-Sim",
+            "RouLette-QaaT",
+        ],
+        &rows,
+    );
+}
+
+/// Fig. 14: join tuples vs admission input overlap, for admission batch
+/// sizes 1/2/4 (repeated instances of one JOB query).
+pub fn fig14(scale: Scale) {
+    let ds = dataset(scale);
+    // A mid-size query (the paper uses JOB 17a, ~6 joins).
+    let template = job_pool(&ds, 64, scale.seed)
+        .into_iter()
+        .find(|q| (5..=7).contains(&q.n_joins()))
+        .expect("mid-size query exists");
+    let total_instances = 8usize;
+    let config = EngineConfig::default();
+
+    let mut rows = Vec::new();
+    for overlap in [0u32, 20, 40, 60, 80, 100] {
+        let mut row = vec![format!("{overlap}%")];
+        for admission_batch in [1usize, 2, 4] {
+            let engine = RouletteEngine::new(&ds.catalog, config.clone());
+            let mut session = engine.session(total_instances);
+            let mut admitted = 0usize;
+            while admitted < total_instances {
+                let mut last = None;
+                for _ in 0..admission_batch.min(total_instances - admitted) {
+                    last = Some(session.admit(template.clone()).expect("admit"));
+                    admitted += 1;
+                }
+                if admitted < total_instances {
+                    let last = last.unwrap();
+                    let threshold = 1.0 - overlap as f64 / 100.0;
+                    while session.progress(last) < threshold - 1e-9 {
+                        if !session.step() {
+                            break;
+                        }
+                    }
+                }
+            }
+            session.run();
+            let stats = session.stats();
+            row.push(stats.join_tuples.to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        &format!(
+            "Fig 14: join tuples vs admission input overlap ({total_instances} instances)"
+        ),
+        &["overlap", "RouLette-1", "RouLette-2", "RouLette-4"],
+        &rows,
+    );
+}

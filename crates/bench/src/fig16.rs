@@ -1,0 +1,96 @@
+//! Figure 16 — learning-rate study on the chains schema: convergence of
+//! measured vs estimated episode cost across the episode sequence for
+//! workloads of varying breadth (chains = candidates per step) and depth
+//! (relations = join size), plus the learned-vs-greedy tuple ratio
+//! (Fig. 16i).
+
+use crate::harness::{print_table, Scale};
+use roulette_core::{CostModel, EngineConfig};
+use roulette_exec::RouletteEngine;
+use roulette_policy::{GreedyPolicy, QLearningPolicy};
+use roulette_query::generator::chains_queries;
+use roulette_storage::datagen::chains::{self, ChainsParams};
+
+/// The paper's eight (C, R) workload combinations.
+pub const COMBOS: [(usize, usize); 8] =
+    [(4, 9), (4, 17), (4, 33), (8, 9), (8, 17), (8, 33), (16, 17), (16, 33)];
+
+/// Fig. 16a–h: measured vs estimated cost at the start, middle, and end of
+/// the episode sequence, and Fig. 16i: learned / greedy join-tuple ratio.
+pub fn fig16(scale: Scale) {
+    let mut rows = Vec::new();
+    for (c, r) in COMBOS {
+        let params = ChainsParams {
+            chains: c,
+            relations: r,
+            domain: scale.n(1200),
+            hub_rows: scale.n(6000),
+        };
+        let ds = chains::generate(params, scale.seed);
+        let queries = chains_queries(&ds, scale.n(48), scale.seed * 3 + 1);
+        // Small vectors → many episodes: convergence needs thousands of
+        // policy updates (the paper's Fig. 16 x-axis reaches 30k episodes).
+        // Pruning is off so rank-gating doesn't reorder scans: episode
+        // composition stays stationary and the cost series is comparable
+        // across the sequence.
+        let mut config = EngineConfig::default().with_vector_size(64);
+        config.pruning = false;
+        let engine = RouletteEngine::new(&ds.catalog, config.clone());
+
+        // Learned run with tracing.
+        let mut session = engine.session_with_policy(
+            queries.len(),
+            Box::new(QLearningPolicy::new(CostModel::default(), &config)),
+        );
+        session.enable_trace();
+        for q in &queries {
+            session.admit(q.clone()).unwrap();
+        }
+        session.run();
+        let learned_tuples = session.stats().join_tuples;
+        let out = session.finish();
+
+        let window = (out.trace.len() / 3).max(1);
+        let avg = |slice: &[roulette_exec::TraceEntry]| {
+            let m: f64 = slice.iter().map(|t| t.measured).sum::<f64>()
+                / slice.len().max(1) as f64;
+            let e: f64 = slice.iter().map(|t| t.estimated).sum::<f64>()
+                / slice.len().max(1) as f64;
+            (m, e)
+        };
+        let (m0, e0) = avg(&out.trace[..window.min(out.trace.len())]);
+        let mid = out.trace.len() / 2;
+        let (m1, e1) = avg(&out.trace[mid.saturating_sub(window / 2)
+            ..(mid + window / 2).min(out.trace.len()).max(mid)]);
+        let (m2, e2) = avg(&out.trace[out.trace.len().saturating_sub(window)..]);
+
+        // Greedy comparison (Fig. 16i).
+        let greedy = engine
+            .execute_batch_with_policy(&queries, Box::new(GreedyPolicy::lottery(5)))
+            .unwrap();
+        let ratio = learned_tuples as f64 / greedy.stats.join_tuples.max(1) as f64;
+
+        rows.push(vec![
+            params.label(),
+            out.trace.len().to_string(),
+            format!("{m0:.0}/{e0:.0}"),
+            format!("{m1:.0}/{e1:.0}"),
+            format!("{m2:.0}/{e2:.0}"),
+            format!("{:.2}", if e2 > 0.0 { m2 / e2 } else { f64::NAN }),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    print_table(
+        "Fig 16: episode cost convergence (measured/estimated) and learned-vs-greedy ratio",
+        &[
+            "workload",
+            "episodes",
+            "early m/e",
+            "mid m/e",
+            "late m/e",
+            "late ratio",
+            "RouLette/Greedy (16i)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,118 @@
+//! Figures 17–18 — the §5 optimization ablations with the execution-time
+//! breakdown (Filter / Build / Probe / Route).
+
+use crate::harness::{print_table, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roulette_core::EngineConfig;
+use roulette_exec::{EngineStats, RouletteEngine};
+use roulette_query::generator::{job_pool, sample_batch, tpcds_pool, SensitivityParams};
+use roulette_query::SpjQuery;
+use roulette_storage::datagen::{imdb, tpcds};
+use roulette_storage::Catalog;
+use std::time::Duration;
+
+fn run(catalog: &Catalog, queries: &[SpjQuery], config: EngineConfig) -> (Duration, EngineStats) {
+    let engine = RouletteEngine::new(catalog, config);
+    let (elapsed, out) =
+        crate::harness::time(|| engine.execute_batch(queries).expect("batch"));
+    (elapsed, out.stats)
+}
+
+fn breakdown_row(label: &str, elapsed: Duration, stats: &EngineStats) -> Vec<String> {
+    let total = (stats.filter_ns + stats.build_ns + stats.probe_ns + stats.route_ns).max(1);
+    let pct = |v: u64| format!("{:.0}%", v as f64 * 100.0 / total as f64);
+    vec![
+        label.to_string(),
+        format!("{:.3}", elapsed.as_secs_f64()),
+        pct(stats.filter_ns),
+        pct(stats.build_ns),
+        pct(stats.probe_ns),
+        pct(stats.route_ns),
+        stats.inserted_tuples.to_string(),
+        stats.join_tuples.to_string(),
+    ]
+}
+
+const HEADER: [&str; 8] =
+    ["config", "time (s)", "Filter", "Build", "Probe", "Route", "inserted", "join tuples"];
+
+/// Fig. 17: JOB batch ablation — symmetric join pruning (and adaptive
+/// projections) applied incrementally over the plain configuration, plus
+/// the final time breakdown. Pruning dominates for JOB (§6.3).
+pub fn fig17(scale: Scale) {
+    let ds = imdb::generate(scale.sf(0.25), scale.seed);
+    let pool = job_pool(&ds, scale.n(64), scale.seed);
+    let mut rng = StdRng::seed_from_u64(scale.seed + 17);
+    let queries = sample_batch(&pool, scale.n(24), &mut rng);
+
+    // Grouped filters and the locality router stay on throughout — this
+    // ablation isolates the adaptive-processing optimizations (§5.2).
+    let plain = EngineConfig {
+        pruning: false,
+        adaptive_projections: false,
+        ..EngineConfig::default()
+    };
+    let mut with_proj = plain.clone();
+    with_proj.adaptive_projections = true;
+    let mut with_pruning = with_proj.clone();
+    with_pruning.pruning = true;
+
+    let rows = vec![
+        {
+            let (t, s) = run(&ds.catalog, &queries, plain);
+            breakdown_row("Plain", t, &s)
+        },
+        {
+            let (t, s) = run(&ds.catalog, &queries, with_proj);
+            breakdown_row("+AdaptiveProj", t, &s)
+        },
+        {
+            let (t, s) = run(&ds.catalog, &queries, with_pruning);
+            breakdown_row("+Pruning", t, &s)
+        },
+    ];
+    print_table(
+        &format!("Fig 17: JOB batch ablation ({} queries)", queries.len()),
+        &HEADER,
+        &rows,
+    );
+}
+
+/// Fig. 18: large synthetic batch ablation — locality-conscious output
+/// routing and grouped filters applied incrementally. Query-set-heavy
+/// batches make the router and filter algorithms dominant (§6.3).
+pub fn fig18(scale: Scale) {
+    let ds = tpcds::generate(scale.sf(0.4), scale.seed);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), scale.n(512), scale.seed + 18);
+
+    let plain = EngineConfig {
+        grouped_filters: false,
+        locality_router: false,
+        ..EngineConfig::default()
+    };
+    let mut with_router = plain.clone();
+    with_router.locality_router = true;
+    let mut with_filter = with_router.clone();
+    with_filter.grouped_filters = true;
+
+    let rows = vec![
+        {
+            let (t, s) = run(&ds.catalog, &queries, plain);
+            breakdown_row("Plain", t, &s)
+        },
+        {
+            let (t, s) = run(&ds.catalog, &queries, with_router);
+            breakdown_row("+OutputRouting", t, &s)
+        },
+        {
+            let (t, s) = run(&ds.catalog, &queries, with_filter);
+            breakdown_row("+GroupedFilter", t, &s)
+        },
+    ];
+    print_table(
+        &format!("Fig 18: large-batch ablation ({} queries)", queries.len()),
+        &HEADER,
+        &rows,
+    );
+}

@@ -1,0 +1,95 @@
+//! Shared benchmark plumbing: environment-driven scaling and paper-style
+//! table printing.
+//!
+//! Every figure target runs at a laptop-friendly default size; set
+//! `ROULETTE_SCALE` (e.g. `ROULETTE_SCALE=4`) to scale batch sizes and
+//! dataset sizes toward the paper's configuration, and `ROULETTE_SEED` to
+//! vary the workload sample.
+
+use std::time::{Duration, Instant};
+
+/// Global benchmark scale, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Multiplier for batch sizes and dataset scale factors.
+    pub factor: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Reads `ROULETTE_SCALE` (default 1.0) and `ROULETTE_SEED`
+    /// (default 42).
+    pub fn from_env() -> Self {
+        let factor = std::env::var("ROULETTE_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        let seed = std::env::var("ROULETTE_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        Scale { factor, seed }
+    }
+
+    /// Scales an integer quantity (≥1).
+    pub fn n(&self, base: usize) -> usize {
+        ((base as f64) * self.factor).round().max(1.0) as usize
+    }
+
+    /// Scales a dataset scale factor.
+    pub fn sf(&self, base: f64) -> f64 {
+        base * self.factor
+    }
+}
+
+/// Times one closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let t0 = Instant::now();
+    let out = f();
+    (t0.elapsed(), out)
+}
+
+/// Queries / second for `n` queries finished in `d`.
+pub fn qps(n: usize, d: Duration) -> f64 {
+    n as f64 / d.as_secs_f64().max(1e-9)
+}
+
+/// Prints a fixed-width table with a title line (the bench output format
+/// recorded in EXPERIMENTS.md).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a throughput cell.
+pub fn fmt_qps(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a ratio/speedup cell.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}

@@ -1,0 +1,45 @@
+//! # roulette-bench
+//!
+//! The figure-reproduction harness: one function (and one binary) per
+//! table/figure of the paper's evaluation (§6), plus Criterion
+//! micro-benchmarks for the shared operators. Run everything via
+//! `cargo bench -p roulette-bench`, or individual figures via
+//! `cargo run --release -p roulette-bench --bin fig11a` etc. Scale with
+//! `ROULETTE_SCALE`.
+
+#![warn(missing_docs)]
+
+pub mod fig11;
+pub mod fig12_14;
+pub mod fig16;
+pub mod fig17_18;
+pub mod fig19_20;
+pub mod harness;
+pub mod misc;
+pub mod systems;
+
+pub use harness::Scale;
+
+/// Runs every figure target in order (the `figures` bench entry point).
+pub fn run_all(scale: Scale) {
+    misc::calibrate_cost_model(scale);
+    fig11::fig11a(scale);
+    fig11::fig11b(scale);
+    fig11::fig11c(scale);
+    fig11::fig11d(scale);
+    fig12_14::fig12(scale);
+    misc::swo_anecdote(scale);
+    fig12_14::fig13(scale);
+    fig12_14::fig14(scale);
+    fig16::fig16(scale);
+    fig17_18::fig17(scale);
+    fig17_18::fig18(scale);
+    fig19_20::fig19(scale);
+    fig19_20::fig20(scale);
+}
+
+/// Extension studies beyond the paper's figures (run by the `figures`
+/// bench after the reproduction targets): the workload-aware batching
+/// ablation lives in its own binary (`batching_ablation`), as does the
+/// policy crossover study (`policy_crossover`).
+pub const EXTENSION_BINS: [&str; 2] = ["batching_ablation", "policy_crossover"];

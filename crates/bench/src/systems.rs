@@ -1,0 +1,152 @@
+//! Uniform runners for the five compared systems (§6.1's methodology):
+//! shared-work systems execute each workload's queries as a single batch,
+//! query-at-a-time systems execute them one after the other. Each runner
+//! returns the batch's wall-clock time; statistics sampling for the
+//! optimize-then-execute systems happens once outside the timed region
+//! (a real DBMS keeps statistics precomputed), while the online-sharing
+//! planners' plan-composition time *is* included — plan composition is
+//! their per-batch work.
+
+use roulette_baselines::{
+    execute_global, match_share_plan, stitch_plan, ExecMode, QatEngine,
+};
+use roulette_core::EngineConfig;
+use roulette_exec::{EngineStats, QueryResult, RouletteEngine};
+use roulette_query::{QueryBatch, SpjQuery};
+use roulette_storage::{Catalog, Stats};
+use std::time::Duration;
+
+/// The compared systems, in the paper's legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// MonetDB-style operator-at-a-time engine.
+    Monet,
+    /// Vectorized query-at-a-time engine.
+    DbmsV,
+    /// RouLette.
+    Roulette,
+    /// Stitch&Share online sharing.
+    StitchShare,
+    /// Match&Share online sharing.
+    MatchShare,
+}
+
+impl System {
+    /// The full Fig. 11 lineup.
+    pub const ALL: [System; 5] = [
+        System::Monet,
+        System::DbmsV,
+        System::Roulette,
+        System::StitchShare,
+        System::MatchShare,
+    ];
+
+    /// Paper legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Monet => "MonetDB",
+            System::DbmsV => "DBMS-V",
+            System::Roulette => "RouLette",
+            System::StitchShare => "Stitch&Share",
+            System::MatchShare => "Match&Share",
+        }
+    }
+}
+
+/// Outcome of running one workload on one system.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Wall-clock time for the whole workload.
+    pub elapsed: Duration,
+    /// Per-query results (for cross-system verification).
+    pub per_query: Vec<QueryResult>,
+    /// RouLette engine stats, when applicable.
+    pub stats: Option<EngineStats>,
+}
+
+/// Pre-built per-catalog state the systems reuse across workloads
+/// (sampled statistics, engines).
+pub struct Bench<'a> {
+    /// The catalog under test.
+    pub catalog: &'a Catalog,
+    stats: Stats,
+    qat: QatEngine<'a>,
+    monet: QatEngine<'a>,
+    config: EngineConfig,
+}
+
+impl<'a> Bench<'a> {
+    /// Prepares engines and statistics for `catalog`.
+    pub fn new(catalog: &'a Catalog, config: EngineConfig) -> Self {
+        Bench {
+            catalog,
+            stats: Stats::sample(catalog, 1024, 7),
+            qat: QatEngine::new(catalog, ExecMode::Vectorized, 7),
+            monet: QatEngine::new(catalog, ExecMode::Materialized, 7),
+            config,
+        }
+    }
+
+    /// The engine configuration used for RouLette runs.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs `queries` on `system`.
+    pub fn run(&self, system: System, queries: &[SpjQuery]) -> RunOutcome {
+        match system {
+            System::DbmsV => {
+                let (elapsed, per_query) =
+                    crate::harness::time(|| self.qat.execute_serial(queries));
+                RunOutcome { elapsed, per_query, stats: None }
+            }
+            System::Monet => {
+                let (elapsed, per_query) =
+                    crate::harness::time(|| self.monet.execute_serial(queries));
+                RunOutcome { elapsed, per_query, stats: None }
+            }
+            System::Roulette => {
+                let engine = RouletteEngine::new(self.catalog, self.config.clone());
+                let (elapsed, outcome) =
+                    crate::harness::time(|| engine.execute_batch(queries).expect("batch"));
+                RunOutcome {
+                    elapsed,
+                    per_query: outcome.per_query,
+                    stats: Some(outcome.stats),
+                }
+            }
+            System::StitchShare => {
+                let (elapsed, run) = crate::harness::time(|| {
+                    let plan = stitch_plan(self.catalog, &self.stats, queries);
+                    let batch =
+                        QueryBatch::from_queries(self.catalog.len(), queries).expect("batch");
+                    execute_global(self.catalog, &batch, &plan)
+                });
+                RunOutcome { elapsed, per_query: run.per_query, stats: None }
+            }
+            System::MatchShare => {
+                let (elapsed, run) = crate::harness::time(|| {
+                    let plan = match_share_plan(self.catalog, &self.stats, queries);
+                    let batch =
+                        QueryBatch::from_queries(self.catalog.len(), queries).expect("batch");
+                    execute_global(self.catalog, &batch, &plan)
+                });
+                RunOutcome { elapsed, per_query: run.per_query, stats: None }
+            }
+        }
+    }
+
+    /// Sampled statistics (shared with figure code needing plans).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// Asserts that two systems' per-query results agree (used by the figure
+/// targets in debug runs; skipped under `ROULETTE_NO_VERIFY`).
+pub fn verify(a: &RunOutcome, b: &RunOutcome, label: &str) {
+    if std::env::var_os("ROULETTE_NO_VERIFY").is_some() {
+        return;
+    }
+    assert_eq!(a.per_query, b.per_query, "result mismatch: {label}");
+}

@@ -1,0 +1,147 @@
+//! Engine configuration.
+//!
+//! All tuning knobs of the prototype are collected here, with the paper's
+//! published defaults: 1024-tuple vectors (§3, "Episodes … map 1-1 to
+//! vectors (1024 input tuples in our prototype)"), and the grid-searched
+//! Q-learning hyper-parameters `μ = 0.21`, `ε = 0.014`, `γ = 1` (§6).
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the RouLette engine and its learned policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Tuples per ingested vector; episodes map 1-1 to vectors.
+    pub vector_size: usize,
+    /// Q-learning learning rate μ. Lowering μ trades learning speed for
+    /// smoothing noise due to local data distribution (§4.3).
+    pub mu: f64,
+    /// ε-greedy exploration probability. Lowering ε trades exploration for
+    /// Q-table exploitation (§4.3).
+    pub epsilon: f64,
+    /// Discount rate γ; the paper sets γ = 1 because future rewards are
+    /// equally important.
+    pub gamma: f64,
+    /// Number of executor workers (episodes processed concurrently, §5.2).
+    pub workers: usize,
+    /// Enable symmetric join pruning (§5.2).
+    pub pruning: bool,
+    /// Enable adaptive projections (§5.2).
+    pub adaptive_projections: bool,
+    /// Enable range-based grouped filters; when disabled, shared selections
+    /// fall back to per-query predicate evaluation (§5.1 / Fig. 18).
+    pub grouped_filters: bool,
+    /// Enable the locality-conscious two-pass router; when disabled, routers
+    /// multicast tuples directly (§5.1 / Fig. 18).
+    pub locality_router: bool,
+    /// Seed for the policy's exploration randomness and any tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            vector_size: 1024,
+            mu: 0.21,
+            epsilon: 0.014,
+            gamma: 1.0,
+            workers: 1,
+            pruning: true,
+            adaptive_projections: true,
+            grouped_filters: true,
+            locality_router: true,
+            seed: 0x5EED_0001,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder-style override of the vector size.
+    pub fn with_vector_size(mut self, v: usize) -> Self {
+        assert!(v > 0, "vector size must be positive");
+        self.vector_size = v;
+        self
+    }
+
+    /// Builder-style override of the worker count.
+    pub fn with_workers(mut self, w: usize) -> Self {
+        assert!(w > 0, "worker count must be positive");
+        self.workers = w;
+        self
+    }
+
+    /// Builder-style override of the learning hyper-parameters.
+    pub fn with_learning(mut self, mu: f64, epsilon: f64, gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&mu), "μ must be in [0,1]");
+        assert!((0.0..=1.0).contains(&epsilon), "ε must be in [0,1]");
+        assert!((0.0..=1.0).contains(&gamma), "γ must be in [0,1]");
+        self.mu = mu;
+        self.epsilon = epsilon;
+        self.gamma = gamma;
+        self
+    }
+
+    /// Builder-style override of the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables every §5 optimization — the "Plain" configuration of the
+    /// ablation experiments (Figs. 17–18).
+    pub fn plain(mut self) -> Self {
+        self.pruning = false;
+        self.adaptive_projections = false;
+        self.grouped_filters = false;
+        self.locality_router = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::default();
+        assert_eq!(c.vector_size, 1024);
+        assert_eq!(c.mu, 0.21);
+        assert_eq!(c.epsilon, 0.014);
+        assert_eq!(c.gamma, 1.0);
+        assert!(c.pruning && c.adaptive_projections && c.grouped_filters && c.locality_router);
+    }
+
+    #[test]
+    fn plain_disables_all_optimizations() {
+        let c = EngineConfig::default().plain();
+        assert!(!c.pruning);
+        assert!(!c.adaptive_projections);
+        assert!(!c.grouped_filters);
+        assert!(!c.locality_router);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = EngineConfig::default()
+            .with_vector_size(256)
+            .with_workers(4)
+            .with_learning(0.5, 0.1, 0.9)
+            .with_seed(7);
+        assert_eq!(c.vector_size, 256);
+        assert_eq!(c.workers, 4);
+        assert_eq!((c.mu, c.epsilon, c.gamma), (0.5, 0.1, 0.9));
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector size")]
+    fn zero_vector_size_rejected() {
+        let _ = EngineConfig::default().with_vector_size(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "μ must be")]
+    fn out_of_range_mu_rejected() {
+        let _ = EngineConfig::default().with_learning(1.5, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Shared error type for the workspace.
+
+use std::fmt;
+
+/// Convenience alias used across all RouLette crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the RouLette engine and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation, column, or query referenced something missing from the
+    /// catalog.
+    Schema(String),
+    /// A query is malformed (e.g. disconnected join graph, type mismatch).
+    InvalidQuery(String),
+    /// SQL-ish parser failure, with position information in the message.
+    Parse(String),
+    /// Plan construction or execution invariant violation.
+    Plan(String),
+    /// Cost-model calibration failure.
+    Calibration(String),
+    /// Engine capacity exceeded (e.g. more than 64 relations in a batch).
+    Capacity(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Plan(m) => write!(f, "plan error: {m}"),
+            Error::Calibration(m) => write!(f, "calibration error: {m}"),
+            Error::Capacity(m) => write!(f, "capacity error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::Parse("unexpected token at 12".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token at 12");
+        let e = Error::Capacity("65 relations".into());
+        assert!(e.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Plan("x".into()));
+    }
+}

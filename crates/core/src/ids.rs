@@ -1,0 +1,112 @@
+//! Strongly-typed identifiers used across the engine.
+//!
+//! Newtypes keep relation, column, and query indices from being mixed up in
+//! the executor's hot loops while compiling down to plain integers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a query within a scheduled batch.
+///
+/// RouLette annotates every tuple with the set of queries it belongs to;
+/// query ids index bits in those [`crate::QuerySet`]s. Batches of up to
+/// 4096 queries (the paper's largest configuration) fit comfortably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+/// Identifier of a base relation in the catalog.
+///
+/// Lineages ([`crate::RelSet`]) are 64-bit bitsets, so at most 64 relations
+/// may participate in one scheduled batch — far beyond TPC-DS (24 tables)
+/// and the Join Order Benchmark (21 tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelId(pub u16);
+
+/// Identifier of a column within a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColId(pub u16);
+
+impl QueryId {
+    /// Index usable for slices/bitsets.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelId {
+    /// Index usable for slices/bitsets.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ColId {
+    /// Index usable for slices.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for ColId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<usize> for QueryId {
+    fn from(v: usize) -> Self {
+        QueryId(v as u32)
+    }
+}
+
+impl From<usize> for RelId {
+    fn from(v: usize) -> Self {
+        RelId(v as u16)
+    }
+}
+
+impl From<usize> for ColId {
+    fn from(v: usize) -> Self {
+        ColId(v as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(QueryId(3).to_string(), "Q3");
+        assert_eq!(RelId(1).to_string(), "R1");
+        assert_eq!(ColId(7).to_string(), "C7");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(QueryId::from(5usize).index(), 5);
+        assert_eq!(RelId::from(9usize).index(), 9);
+        assert_eq!(ColId::from(2usize).index(), 2);
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(QueryId(1) < QueryId(2));
+        assert!(RelId(0) < RelId(63));
+    }
+}

@@ -1,0 +1,522 @@
+//! Query-set bitsets of the Data-Query model (§2.1).
+//!
+//! The Data-Query model expresses a tuple as `(a₁ … aₙ, a_q)` where `a_q` is
+//! the set of queries the tuple belongs to. Shared selections intersect
+//! `a_q` with the set of queries whose predicates are satisfied; shared
+//! joins intersect the query-sets of matching tuples; tuples with empty
+//! query-sets are dropped.
+//!
+//! Two representations are provided:
+//!
+//! * [`QuerySet`] — an owned, growable bitset for control-plane use
+//!   (scheduling, plan construction, policy keys);
+//! * [`QuerySetColumn`] — a columnar block of fixed-width bitsets, one row
+//!   per tuple, used on the data plane so that query-set intersection over a
+//!   whole vector is a tight loop over `u64` words.
+
+use crate::ids::QueryId;
+use std::fmt;
+
+/// Number of `u64` words needed for a bitset over `n` queries.
+#[inline]
+pub const fn words_for(n_queries: usize) -> usize {
+    n_queries.div_ceil(64)
+}
+
+/// Intersects `a` and `b` into `dst`, returning `true` iff the result is
+/// non-empty. All slices must have the same length.
+#[inline]
+pub fn and_into(dst: &mut [u64], a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    let mut any = 0u64;
+    for i in 0..dst.len() {
+        let w = a[i] & b[i];
+        dst[i] = w;
+        any |= w;
+    }
+    any != 0
+}
+
+/// In-place intersection `dst &= mask`, returning `true` iff the result is
+/// non-empty.
+#[inline]
+pub fn and_assign(dst: &mut [u64], mask: &[u64]) -> bool {
+    debug_assert_eq!(dst.len(), mask.len());
+    let mut any = 0u64;
+    for i in 0..dst.len() {
+        dst[i] &= mask[i];
+        any |= dst[i];
+    }
+    any != 0
+}
+
+/// Whether two bitset word slices share any set bit.
+#[inline]
+pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut any = 0u64;
+    for i in 0..a.len() {
+        any |= a[i] & b[i];
+    }
+    any != 0
+}
+
+/// Population count over a word slice.
+#[inline]
+pub fn count_ones(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// An owned query-set bitset.
+///
+/// The width (number of words) is fixed at construction from the batch's
+/// query-count capacity; all sets flowing through one scheduled batch share
+/// the same width so word-wise operations never reallocate.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct QuerySet {
+    words: Vec<u64>,
+}
+
+impl QuerySet {
+    /// Creates an empty set with capacity for `n_queries` queries.
+    pub fn empty(n_queries: usize) -> Self {
+        QuerySet { words: vec![0; words_for(n_queries.max(1))] }
+    }
+
+    /// Creates the full set `{Q0, …, Q(n_queries-1)}`.
+    pub fn full(n_queries: usize) -> Self {
+        let mut s = Self::empty(n_queries);
+        for q in 0..n_queries {
+            s.insert(QueryId(q as u32));
+        }
+        s
+    }
+
+    /// Creates a singleton set sized for `n_queries`.
+    pub fn singleton(q: QueryId, n_queries: usize) -> Self {
+        let mut s = Self::empty(n_queries.max(q.index() + 1));
+        s.insert(q);
+        s
+    }
+
+    /// Builds a set from raw words (e.g. a [`QuerySetColumn`] row).
+    pub fn from_words(words: &[u64]) -> Self {
+        QuerySet { words: words.to_vec() }
+    }
+
+    /// The underlying words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of words in the representation.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Adds a query (panics in debug builds if out of capacity).
+    #[inline]
+    pub fn insert(&mut self, q: QueryId) {
+        let (w, b) = (q.index() / 64, q.index() % 64);
+        debug_assert!(w < self.words.len(), "query id beyond set capacity");
+        self.words[w] |= 1u64 << b;
+    }
+
+    /// Removes a query.
+    #[inline]
+    pub fn remove(&mut self, q: QueryId) {
+        let (w, b) = (q.index() / 64, q.index() % 64);
+        if w < self.words.len() {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, q: QueryId) -> bool {
+        let (w, b) = (q.index() / 64, q.index() % 64);
+        w < self.words.len() && (self.words[w] >> b) & 1 == 1
+    }
+
+    /// Number of member queries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        count_ones(&self.words)
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection; returns `true` iff non-empty afterwards.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &QuerySet) -> bool {
+        and_assign(&mut self.words, &other.words)
+    }
+
+    /// In-place intersection with raw bitset words (e.g. a grouped-filter
+    /// mask); returns `true` iff non-empty afterwards.
+    #[inline]
+    pub fn intersect_words(&mut self, mask: &[u64]) -> bool {
+        and_assign(&mut self.words, mask)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &QuerySet) {
+        debug_assert_eq!(self.width(), other.width());
+        for i in 0..self.words.len() {
+            self.words[i] |= other.words[i];
+        }
+    }
+
+    /// In-place difference `self −= other`.
+    pub fn subtract(&mut self, other: &QuerySet) {
+        debug_assert_eq!(self.width(), other.width());
+        for i in 0..self.words.len() {
+            self.words[i] &= !other.words[i];
+        }
+    }
+
+    /// Returns `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &QuerySet) -> QuerySet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns `self − other` as a new set.
+    pub fn difference(&self, other: &QuerySet) -> QuerySet {
+        let mut out = self.clone();
+        out.subtract(other);
+        out
+    }
+
+    /// Whether the two sets overlap.
+    #[inline]
+    pub fn intersects(&self, other: &QuerySet) -> bool {
+        intersects(&self.words, &other.words)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &QuerySet) -> bool {
+        debug_assert_eq!(self.width(), other.width());
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// The lowest-numbered member, if any.
+    pub fn first(&self) -> Option<QueryId> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(QueryId((i * 64 + w.trailing_zeros() as usize) as u32));
+            }
+        }
+        None
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(QueryId((i * 64 + tz) as u32))
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for QuerySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for q in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", q)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A columnar block of fixed-width query-set bitsets, one row per tuple.
+///
+/// This is the data-plane representation: intermediate vectors and STeM
+/// entry blocks store their query-sets here, so per-vector filtering is a
+/// contiguous sweep.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySetColumn {
+    words_per_set: usize,
+    data: Vec<u64>,
+}
+
+impl QuerySetColumn {
+    /// Creates an empty column whose rows are `words_per_set` words wide.
+    pub fn new(words_per_set: usize) -> Self {
+        QuerySetColumn { words_per_set: words_per_set.max(1), data: Vec::new() }
+    }
+
+    /// Creates an empty column with room for `rows` rows.
+    pub fn with_capacity(words_per_set: usize, rows: usize) -> Self {
+        QuerySetColumn {
+            words_per_set: words_per_set.max(1),
+            data: Vec::with_capacity(words_per_set.max(1) * rows),
+        }
+    }
+
+    /// Width of each row in words.
+    #[inline]
+    pub fn words_per_set(&self) -> usize {
+        self.words_per_set
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.words_per_set
+    }
+
+    /// Whether the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a row given as raw words.
+    #[inline]
+    pub fn push(&mut self, words: &[u64]) {
+        debug_assert_eq!(words.len(), self.words_per_set);
+        self.data.extend_from_slice(words);
+    }
+
+    /// Appends a row copied from another column.
+    #[inline]
+    pub fn push_row_from(&mut self, other: &QuerySetColumn, row: usize) {
+        debug_assert_eq!(other.words_per_set, self.words_per_set);
+        self.push(other.row(row));
+    }
+
+    /// Appends the intersection `a ∩ b`; returns `true` (and keeps the row)
+    /// iff the intersection is non-empty, otherwise leaves the column
+    /// unchanged and returns `false`.
+    #[inline]
+    pub fn push_and(&mut self, a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), self.words_per_set);
+        debug_assert_eq!(b.len(), self.words_per_set);
+        let start = self.data.len();
+        let mut any = 0u64;
+        for i in 0..self.words_per_set {
+            let w = a[i] & b[i];
+            self.data.push(w);
+            any |= w;
+        }
+        if any == 0 {
+            self.data.truncate(start);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        let s = i * self.words_per_set;
+        &self.data[s..s + self.words_per_set]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [u64] {
+        let s = i * self.words_per_set;
+        &mut self.data[s..s + self.words_per_set]
+    }
+
+    /// `row(i) &= mask`; returns `true` iff the row stays non-empty.
+    #[inline]
+    pub fn and_row(&mut self, i: usize, mask: &[u64]) -> bool {
+        and_assign(self.row_mut(i), mask)
+    }
+
+    /// Materializes row `i` as an owned [`QuerySet`].
+    pub fn get(&self, i: usize) -> QuerySet {
+        QuerySet::from_words(self.row(i))
+    }
+
+    /// Removes all rows (keeps the allocation).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Truncates to the first `rows` rows.
+    pub fn truncate(&mut self, rows: usize) {
+        self.data.truncate(rows * self.words_per_set);
+    }
+
+    /// Raw word storage (rows concatenated).
+    #[inline]
+    pub fn raw(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Total member count over all rows (Σ |row|), the "query-set work"
+    /// metric used by the Data-Query-model bottleneck analysis in §6.1.
+    pub fn total_members(&self) -> usize {
+        count_ones(&self.data)
+    }
+
+    /// Applies `keep[i]` selection, compacting rows in place.
+    pub fn retain_rows(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len());
+        let wps = self.words_per_set;
+        let mut out = 0;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                if out != i {
+                    let (dst_start, src_start) = (out * wps, i * wps);
+                    self.data.copy_within(src_start..src_start + wps, dst_start);
+                }
+                out += 1;
+            }
+        }
+        self.data.truncate(out * wps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qs(ids: &[u32], n: usize) -> QuerySet {
+        let mut s = QuerySet::empty(n);
+        for &i in ids {
+            s.insert(QueryId(i));
+        }
+        s
+    }
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(4096), 64);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = QuerySet::empty(130);
+        s.insert(QueryId(0));
+        s.insert(QueryId(64));
+        s.insert(QueryId(129));
+        assert!(s.contains(QueryId(0)));
+        assert!(s.contains(QueryId(64)));
+        assert!(s.contains(QueryId(129)));
+        assert!(!s.contains(QueryId(1)));
+        assert_eq!(s.len(), 3);
+        s.remove(QueryId(64));
+        assert!(!s.contains(QueryId(64)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_set_has_exact_members() {
+        let s = QuerySet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(QueryId(69)));
+        assert!(!s.contains(QueryId(70)));
+    }
+
+    #[test]
+    fn set_algebra_matches_semantics() {
+        let a = qs(&[1, 2, 3, 70], 128);
+        let b = qs(&[2, 70, 100], 128);
+        assert_eq!(a.intersection(&b), qs(&[2, 70], 128));
+        assert_eq!(a.difference(&b), qs(&[1, 3], 128));
+        assert!(a.intersects(&b));
+        assert!(!qs(&[5], 128).intersects(&b));
+        assert!(qs(&[2], 128).is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+    }
+
+    #[test]
+    fn iter_and_first() {
+        let s = qs(&[100, 3, 64], 128);
+        let v: Vec<u32> = s.iter().map(|q| q.0).collect();
+        assert_eq!(v, vec![3, 64, 100]);
+        assert_eq!(s.first(), Some(QueryId(3)));
+        assert_eq!(QuerySet::empty(128).first(), None);
+    }
+
+    #[test]
+    fn column_push_and_row_access() {
+        let mut c = QuerySetColumn::new(2);
+        c.push(&[0b101, 0]);
+        c.push(&[0, 0b11]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.row(0), &[0b101, 0]);
+        assert_eq!(c.row(1), &[0, 0b11]);
+        assert_eq!(c.total_members(), 4);
+    }
+
+    #[test]
+    fn column_push_and_drops_empty_intersections() {
+        let mut c = QuerySetColumn::new(1);
+        assert!(c.push_and(&[0b110], &[0b010]));
+        assert!(!c.push_and(&[0b100], &[0b010]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.row(0), &[0b010]);
+    }
+
+    #[test]
+    fn column_and_row_filters_in_place() {
+        let mut c = QuerySetColumn::new(1);
+        c.push(&[0b111]);
+        c.push(&[0b100]);
+        assert!(c.and_row(0, &[0b011]));
+        assert!(!c.and_row(1, &[0b011]));
+        assert_eq!(c.row(0), &[0b011]);
+        assert_eq!(c.row(1), &[0]);
+    }
+
+    #[test]
+    fn column_retain_rows_compacts() {
+        let mut c = QuerySetColumn::new(1);
+        for i in 0..5u64 {
+            c.push(&[1 << i]);
+        }
+        c.retain_rows(&[true, false, true, false, true]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.row(0), &[1]);
+        assert_eq!(c.row(1), &[4]);
+        assert_eq!(c.row(2), &[16]);
+    }
+
+    #[test]
+    fn helper_fns_agree_with_owned_ops() {
+        let a = [0b1100u64, 0b1];
+        let b = [0b0100u64, 0b0];
+        let mut dst = [0u64; 2];
+        assert!(and_into(&mut dst, &a, &b));
+        assert_eq!(dst, [0b0100, 0]);
+        assert!(intersects(&a, &b));
+        assert_eq!(count_ones(&a), 3);
+        let mut d = a;
+        assert!(and_assign(&mut d, &b));
+        assert_eq!(d, [0b0100, 0]);
+        let mut z = [0b1000u64, 0];
+        assert!(!and_assign(&mut z, &b));
+    }
+}

@@ -1,0 +1,674 @@
+//! The RouLette engine (§3).
+//!
+//! [`RouletteEngine`] is the public entry point: it executes batches of
+//! SPJ queries over a catalog through episode-based adaptive processing.
+//! [`Session`] exposes the engine's dynamic side — queries can be admitted
+//! while processing is under way (online scheduling, §6.2's dynamic
+//! workloads), sharing the circular scans and STeM state of ongoing
+//! queries.
+
+use crate::episode::{run_episode, EngineShared, FilterPair, SharedStats, TraceEntry};
+use crate::filter::{group_queries, GroupedFilter, PlainFilter};
+use crate::output::{Outputs, QueryResult};
+use crate::profile::Profile;
+use crate::pruning::rank_relations;
+use crate::stem::Stem;
+use parking_lot::Mutex;
+use roulette_core::{
+    ColId, CostModel, EngineConfig, QueryId, QuerySet, RelId, RelSet, Result,
+};
+use roulette_policy::{ExecutionLog, Policy, QLearningPolicy};
+use roulette_query::{QueryBatch, SpjQuery};
+use roulette_storage::{Catalog, Ingestion};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Aggregate execution statistics of one batch/session.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Episodes executed.
+    pub episodes: u64,
+    /// Intermediate join tuples (Σ probe outputs).
+    pub join_tuples: u64,
+    /// Tuples inserted into STeMs.
+    pub inserted_tuples: u64,
+    /// Tuples dropped by symmetric join pruning.
+    pub pruned_tuples: u64,
+    /// vID cells materialized by probe outputs.
+    pub materialized_cells: u64,
+    /// Nanoseconds in selection-phase filtering (incl. pruning).
+    pub filter_ns: u64,
+    /// Nanoseconds in STeM inserts.
+    pub build_ns: u64,
+    /// Nanoseconds in STeM probes.
+    pub probe_ns: u64,
+    /// Nanoseconds in output routing.
+    pub route_ns: u64,
+    /// Approximate resident STeM bytes (the in-memory state that bounds
+    /// the processable dataset size, §3).
+    pub stem_bytes: u64,
+}
+
+/// The result of executing a batch.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-query results, in admission order.
+    pub per_query: Vec<QueryResult>,
+    /// Engine statistics.
+    pub stats: EngineStats,
+    /// Fig. 16 trace points (empty unless tracing was enabled).
+    pub trace: Vec<TraceEntry>,
+}
+
+/// The multi-query execution engine.
+pub struct RouletteEngine<'a> {
+    catalog: &'a Catalog,
+    config: EngineConfig,
+}
+
+impl<'a> RouletteEngine<'a> {
+    /// Creates an engine over `catalog`.
+    pub fn new(catalog: &'a Catalog, config: EngineConfig) -> Self {
+        RouletteEngine { catalog, config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Executes `queries` as one batch with the default learned policy and
+    /// returns per-query results.
+    pub fn execute_batch(&self, queries: &[SpjQuery]) -> Result<BatchOutcome> {
+        let policy = Box::new(QLearningPolicy::new(CostModel::default(), &self.config));
+        self.execute_batch_with_policy(queries, policy)
+    }
+
+    /// Executes `queries` as one batch under a caller-supplied policy.
+    pub fn execute_batch_with_policy(
+        &self,
+        queries: &[SpjQuery],
+        policy: Box<dyn Policy>,
+    ) -> Result<BatchOutcome> {
+        let mut session = self.session_with_policy(queries.len().max(1), policy);
+        for q in queries {
+            session.admit(q.clone())?;
+        }
+        session.run();
+        Ok(session.finish())
+    }
+
+    /// Opens a dynamic session that can admit up to `capacity` queries.
+    pub fn session(&self, capacity: usize) -> Session<'a> {
+        let policy = Box::new(QLearningPolicy::new(CostModel::default(), &self.config));
+        self.session_with_policy(capacity, policy)
+    }
+
+    /// Opens a dynamic session with a caller-supplied policy.
+    pub fn session_with_policy(&self, capacity: usize, policy: Box<dyn Policy>) -> Session<'a> {
+        let capacity = capacity.max(1);
+        Session {
+            catalog: self.catalog,
+            config: self.config.clone(),
+            batch: QueryBatch::new(self.catalog.len(), capacity),
+            ingestion: Mutex::new(Ingestion::new(
+                &self
+                    .catalog
+                    .relations()
+                    .map(|(_, r)| r.rows())
+                    .collect::<Vec<_>>(),
+                self.config.vector_size,
+                capacity,
+            )),
+            stems: (0..self.catalog.len()).map(|_| None).collect(),
+            filters: Vec::new(),
+            filter_pred_counts: Vec::new(),
+            sel_owners: Vec::new(),
+            full_set: QuerySet::full(capacity),
+            proj_rels: Vec::new(),
+            projections: Vec::new(),
+            outputs: Outputs::new(capacity, false),
+            profile: Profile::new(),
+            stats: SharedStats::default(),
+            global_version: AtomicU32::new(1),
+            policy: Mutex::new(policy),
+            cost: CostModel::default(),
+            pending_episodes: (0..self.catalog.len()).map(|_| AtomicU64::new(0)).collect(),
+            trace: false,
+            traces: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A running engine instance with dynamic query admission.
+pub struct Session<'a> {
+    catalog: &'a Catalog,
+    config: EngineConfig,
+    batch: QueryBatch,
+    ingestion: Mutex<Ingestion>,
+    stems: Vec<Option<Stem>>,
+    filters: Vec<FilterPair>,
+    filter_pred_counts: Vec<usize>,
+    sel_owners: Vec<QuerySet>,
+    full_set: QuerySet,
+    proj_rels: Vec<RelSet>,
+    projections: Vec<Vec<(RelId, ColId)>>,
+    outputs: Outputs,
+    profile: Profile,
+    stats: SharedStats,
+    global_version: AtomicU32,
+    policy: Mutex<Box<dyn Policy>>,
+    cost: CostModel,
+    /// Per-relation count of handed-out but not-yet-finished episodes.
+    /// Pruning may only treat a relation's STeM as final when its scan is
+    /// complete AND no episode is still inserting into it (a racing worker
+    /// could otherwise publish matches after a semi-join already pruned).
+    pending_episodes: Vec<AtomicU64>,
+    trace: bool,
+    traces: Mutex<Vec<TraceEntry>>,
+}
+
+impl<'a> Session<'a> {
+    /// Enables collecting projected output rows (tests / small workloads).
+    /// Must be called before any output is produced.
+    pub fn collect_rows(&mut self) {
+        assert_eq!(
+            self.stats.episodes.load(Ordering::Relaxed),
+            0,
+            "collect_rows must precede execution"
+        );
+        self.outputs = Outputs::new(self.batch.capacity(), true);
+    }
+
+    /// Enables Fig. 16 cost tracing.
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// Overrides the cost model used for learning rewards and traces.
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Admits a query: schedules its circular scans, extends the global
+    /// join/predicate structures, and (re)builds the affected filters and
+    /// STeM indices. Processing may already be under way.
+    pub fn admit(&mut self, q: SpjQuery) -> Result<QueryId> {
+        q.validate(self.catalog)?;
+        let id = self.batch.add(q)?;
+        let query = self.batch.query(id).clone();
+
+        // STeMs + indices for the query's relations and join keys.
+        for rel in query.relations.iter() {
+            let mut key_cols: Vec<ColId> = Vec::new();
+            for &eid in self.batch.edges_of(rel) {
+                let edge = self.batch.edge(eid);
+                let (this_side, _) = edge.oriented_from(rel).expect("edge is incident");
+                if !key_cols.contains(&this_side.1) {
+                    key_cols.push(this_side.1);
+                }
+            }
+            let wps = self.full_set.width();
+            match &mut self.stems[rel.index()] {
+                slot @ None => *slot = Some(Stem::new(rel, key_cols, wps)),
+                Some(stem) => {
+                    for col in key_cols {
+                        stem.ensure_index(col, self.catalog.relation(rel).column(col));
+                    }
+                }
+            }
+        }
+
+        // (Re)build filters for new or extended selection groups.
+        let capacity = self.batch.capacity();
+        for (gid, group) in self.batch.selection_groups().iter().enumerate() {
+            let fresh = gid >= self.filters.len();
+            if fresh || self.filter_pred_counts[gid] != group.preds.len() {
+                let pair = FilterPair {
+                    grouped: GroupedFilter::build(&group.preds, capacity),
+                    plain: PlainFilter::new(&group.preds, capacity),
+                };
+                let owners = group_queries(&group.preds, capacity);
+                if fresh {
+                    self.filters.push(pair);
+                    self.filter_pred_counts.push(group.preds.len());
+                    self.sel_owners.push(owners);
+                } else {
+                    self.filters[gid] = pair;
+                    self.filter_pred_counts[gid] = group.preds.len();
+                    self.sel_owners[gid] = owners;
+                }
+            }
+        }
+
+        // Projection metadata.
+        let mut prels = RelSet::EMPTY;
+        for &(rel, _) in &query.projections {
+            prels.insert(rel);
+        }
+        self.proj_rels.push(prels);
+        self.projections.push(query.projections.clone());
+
+        // Schedule scans; refresh the pruning-driven initiation ranks.
+        {
+            let mut ing = self.ingestion.lock();
+            ing.schedule(id, query.relations);
+            if self.config.pruning {
+                ing.set_ranks(&rank_relations(&self.batch, self.catalog));
+            }
+        }
+        Ok(id)
+    }
+
+    fn shared_view(&self) -> EngineShared<'_> {
+        EngineShared {
+            catalog: self.catalog,
+            config: &self.config,
+            batch: &self.batch,
+            stems: &self.stems,
+            filters: &self.filters,
+            sel_owners: &self.sel_owners,
+            full_set: &self.full_set,
+            proj_rels: &self.proj_rels,
+            projections: &self.projections,
+            outputs: &self.outputs,
+            profile: &self.profile,
+            stats: &self.stats,
+            global_version: &self.global_version,
+            cost: &self.cost,
+        }
+    }
+
+    fn next_work(&self) -> Option<(roulette_storage::IngestVector, RelSet)> {
+        let mut ing = self.ingestion.lock();
+        let iv = ing.next()?;
+        // Hand-out is counted under the ingestion latch so the pending
+        // counters order consistently with scan completion.
+        self.pending_episodes[iv.rel.index()].fetch_add(1, Ordering::Release);
+        let mut complete = RelSet::EMPTY;
+        for i in 0..self.catalog.len() {
+            let r = RelId(i as u16);
+            if ing.scan_complete(r)
+                && self.pending_episodes[i].load(Ordering::Acquire) == 0
+            {
+                complete.insert(r);
+            }
+        }
+        Some((iv, complete))
+    }
+
+    fn finish_episode(&self, rel: RelId) {
+        self.pending_episodes[rel.index()].fetch_sub(1, Ordering::Release);
+    }
+
+    fn worker_loop(&self) {
+        let mut log = ExecutionLog::new();
+        let shared = self.shared_view();
+        while let Some((iv, complete)) = self.next_work() {
+            let trace =
+                run_episode(&shared, &iv, complete, &self.policy, &mut log, self.trace);
+            self.finish_episode(iv.rel);
+            if let Some(t) = trace {
+                self.traces.lock().push(t);
+            }
+        }
+    }
+
+    /// Executes one episode; returns `false` when no input is pending.
+    pub fn step(&mut self) -> bool {
+        let Some((iv, complete)) = self.next_work() else { return false };
+        let mut log = ExecutionLog::new();
+        let shared = self.shared_view();
+        let trace = run_episode(&shared, &iv, complete, &self.policy, &mut log, self.trace);
+        self.finish_episode(iv.rel);
+        if let Some(t) = trace {
+            self.traces.lock().push(t);
+        }
+        true
+    }
+
+    /// Runs episodes until all admitted queries' input is consumed, using
+    /// `config.workers` worker threads.
+    pub fn run(&mut self) {
+        if self.config.workers <= 1 {
+            self.worker_loop();
+            return;
+        }
+        let workers = self.config.workers;
+        let this: &Session<'_> = self;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| this.worker_loop());
+            }
+        });
+    }
+
+    /// Runs `f` with exclusive access to the session's policy (e.g. to
+    /// decode the learned plan after a run, §6.2's Stitch&Share–Sim).
+    pub fn with_policy<R>(&self, f: impl FnOnce(&mut dyn Policy) -> R) -> R {
+        let mut p = self.policy.lock();
+        f(&mut **p)
+    }
+
+    /// The session's merged batch structures (edges, query-sets).
+    pub fn batch(&self) -> &QueryBatch {
+        &self.batch
+    }
+
+    /// Swaps the session's policy, returning the previous one (e.g. to
+    /// carry a learned policy across sessions for warm-start studies).
+    pub fn replace_policy(&mut self, policy: Box<dyn Policy>) -> Box<dyn Policy> {
+        std::mem::replace(&mut *self.policy.lock(), policy)
+    }
+
+    /// Fraction of query `q`'s input already ingested (Fig. 14's admission
+    /// pacing signal).
+    pub fn progress(&self, q: QueryId) -> f64 {
+        self.ingestion.lock().progress(q)
+    }
+
+    /// Whether query `q` still has unread input.
+    pub fn query_active(&self, q: QueryId) -> bool {
+        self.ingestion.lock().query_active(q)
+    }
+
+    /// Number of admitted queries.
+    pub fn n_queries(&self) -> usize {
+        self.batch.n_queries()
+    }
+
+    /// Snapshot of one query's accumulated result.
+    pub fn result(&self, q: QueryId) -> QueryResult {
+        self.outputs.result(q)
+    }
+
+    /// Takes the collected rows of `q` (only when [`Self::collect_rows`]
+    /// was enabled).
+    pub fn take_collected(&self, q: QueryId) -> Vec<Vec<i64>> {
+        self.outputs.take_collected(q)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let (filter_ns, build_ns, probe_ns, route_ns) = self.profile.breakdown();
+        EngineStats {
+            episodes: self.stats.episodes.load(Ordering::Relaxed),
+            join_tuples: self.stats.join_tuples.load(Ordering::Relaxed),
+            inserted_tuples: self.stats.inserted_tuples.load(Ordering::Relaxed),
+            pruned_tuples: self.stats.pruned_tuples.load(Ordering::Relaxed),
+            materialized_cells: self.stats.materialized_cells.load(Ordering::Relaxed),
+            filter_ns,
+            build_ns,
+            probe_ns,
+            route_ns,
+            stem_bytes: self
+                .stems
+                .iter()
+                .flatten()
+                .map(|s| s.memory_bytes() as u64)
+                .sum(),
+        }
+    }
+
+    /// Finalizes the session into a [`BatchOutcome`].
+    pub fn finish(self) -> BatchOutcome {
+        let stats = self.stats();
+        BatchOutcome {
+            per_query: self.outputs.results(self.batch.n_queries()),
+            stats,
+            trace: self.traces.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_storage::RelationBuilder;
+
+    /// fact(fk → dim.pk, v) with controllable matches.
+    fn tiny_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut f = RelationBuilder::new("fact");
+        f.int64("fk", vec![0, 1, 2, 0, 1, 9, 9, 2]);
+        f.int64("v", vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        c.add(f.build()).unwrap();
+        let mut d = RelationBuilder::new("dim");
+        d.int64("pk", vec![0, 1, 2, 3]);
+        d.int64("w", vec![10, 11, 12, 13]);
+        c.add(d.build()).unwrap();
+        c
+    }
+
+    fn join_query(c: &Catalog) -> SpjQuery {
+        SpjQuery::builder(c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_join_counts_match_ground_truth() {
+        let c = tiny_catalog();
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3));
+        let out = engine.execute_batch(&[join_query(&c)]).unwrap();
+        // fk values 0,1,2,0,1,2 match (6 rows); the two 9s don't.
+        assert_eq!(out.per_query[0].rows, 6);
+        assert!(out.stats.episodes > 0);
+        assert!(out.stats.inserted_tuples > 0);
+    }
+
+    #[test]
+    fn selection_filters_before_join() {
+        let c = tiny_catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .range("fact", "v", 0, 2)
+            .build()
+            .unwrap();
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(4));
+        let out = engine.execute_batch(&[q]).unwrap();
+        // Rows v ∈ {0,1,2}: fks 0,1,2 all match → 3.
+        assert_eq!(out.per_query[0].rows, 3);
+    }
+
+    #[test]
+    fn shared_batch_gets_per_query_results() {
+        let c = tiny_catalog();
+        let q_all = join_query(&c);
+        let q_sel = SpjQuery::builder(&c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .range("dim", "w", 10, 10)
+            .build()
+            .unwrap();
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3));
+        let out = engine.execute_batch(&[q_all, q_sel]).unwrap();
+        assert_eq!(out.per_query[0].rows, 6);
+        // dim.w == 10 → pk 0 → fact rows with fk 0: two.
+        assert_eq!(out.per_query[1].rows, 2);
+    }
+
+    #[test]
+    fn projections_are_routed() {
+        let c = tiny_catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .range("fact", "v", 7, 7)
+            .project("dim", "w")
+            .project("fact", "v")
+            .build()
+            .unwrap();
+        let engine = RouletteEngine::new(&c, EngineConfig::default());
+        let mut session = engine.session(1);
+        session.collect_rows();
+        session.admit(q).unwrap();
+        session.run();
+        let rows = session.take_collected(QueryId(0));
+        assert_eq!(rows, vec![vec![12, 7]]);
+    }
+
+    #[test]
+    fn plain_configuration_matches_optimized_results() {
+        let c = tiny_catalog();
+        let q = join_query(&c);
+        let optimized = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3))
+            .execute_batch(std::slice::from_ref(&q))
+            .unwrap();
+        let plain = RouletteEngine::new(&c, EngineConfig::default().plain().with_vector_size(3))
+            .execute_batch(&[q])
+            .unwrap();
+        assert_eq!(optimized.per_query[0], plain.per_query[0]);
+    }
+
+    #[test]
+    fn dynamic_admission_mid_run_completes_both_queries() {
+        let c = tiny_catalog();
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2));
+        let mut session = engine.session(2);
+        let q0 = session.admit(join_query(&c)).unwrap();
+        // Process a couple of episodes, then admit a second instance.
+        assert!(session.step());
+        assert!(session.step());
+        let q1 = session.admit(join_query(&c)).unwrap();
+        session.run();
+        assert!(!session.query_active(q0));
+        assert!(!session.query_active(q1));
+        let out = session.finish();
+        assert_eq!(out.per_query[0].rows, 6);
+        assert_eq!(out.per_query[1].rows, 6);
+        assert_eq!(out.per_query[0].checksum, out.per_query[1].checksum);
+    }
+
+    #[test]
+    fn multi_worker_run_matches_single_worker() {
+        let c = tiny_catalog();
+        let q = join_query(&c);
+        let single = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2))
+            .execute_batch(&[q.clone(), q.clone()])
+            .unwrap();
+        let multi = RouletteEngine::new(
+            &c,
+            EngineConfig::default().with_vector_size(2).with_workers(4),
+        )
+        .execute_batch(&[q.clone(), q])
+        .unwrap();
+        assert_eq!(single.per_query, multi.per_query);
+    }
+
+    #[test]
+    fn trace_collects_episode_costs() {
+        let c = tiny_catalog();
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2));
+        let mut session = engine.session(1);
+        session.enable_trace();
+        session.admit(join_query(&c)).unwrap();
+        session.run();
+        let out = session.finish();
+        assert!(!out.trace.is_empty());
+        assert!(out.trace.iter().any(|t| t.measured > 0.0));
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let c = tiny_catalog();
+        let engine = RouletteEngine::new(&c, EngineConfig::default());
+        let out = engine.execute_batch(&[]).unwrap();
+        assert!(out.per_query.is_empty());
+        assert_eq!(out.stats.episodes, 0);
+    }
+
+    #[test]
+    fn query_over_empty_relation_returns_zero_rows() {
+        let mut c = Catalog::new();
+        let mut f = RelationBuilder::new("fact");
+        f.int64("fk", vec![]);
+        c.add(f.build()).unwrap();
+        let mut d = RelationBuilder::new("dim");
+        d.int64("pk", vec![0, 1]);
+        c.add(d.build()).unwrap();
+        let q = SpjQuery::builder(&c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .build()
+            .unwrap();
+        let out = RouletteEngine::new(&c, EngineConfig::default())
+            .execute_batch(&[q])
+            .unwrap();
+        assert_eq!(out.per_query[0].rows, 0);
+    }
+
+    #[test]
+    fn predicate_matching_nothing_yields_empty_result() {
+        let c = tiny_catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .range("fact", "v", 1000, 2000)
+            .build()
+            .unwrap();
+        let out = RouletteEngine::new(&c, EngineConfig::default())
+            .execute_batch(&[q])
+            .unwrap();
+        assert_eq!(out.per_query[0].rows, 0);
+        assert_eq!(out.per_query[0].checksum, 0);
+    }
+
+    #[test]
+    fn session_capacity_rejects_excess_admissions() {
+        let c = tiny_catalog();
+        let engine = RouletteEngine::new(&c, EngineConfig::default());
+        let mut session = engine.session(1);
+        session.admit(join_query(&c)).unwrap();
+        assert!(session.admit(join_query(&c)).is_err());
+    }
+
+    #[test]
+    fn stats_report_stem_footprint() {
+        let c = tiny_catalog();
+        let out = RouletteEngine::new(&c, EngineConfig::default())
+            .execute_batch(&[join_query(&c)])
+            .unwrap();
+        assert!(out.stats.stem_bytes > 0);
+    }
+
+    #[test]
+    fn single_relation_scan_only_query() {
+        let c = tiny_catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("fact")
+            .range("fact", "v", 2, 5)
+            .build()
+            .unwrap();
+        let out = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3))
+            .execute_batch(&[q])
+            .unwrap();
+        assert_eq!(out.per_query[0].rows, 4);
+        assert_eq!(out.stats.join_tuples, 0);
+    }
+
+    #[test]
+    fn pruning_reduces_insertions() {
+        // Many fact rows dangle (fk=9): with dim ranked first and pruning
+        // on, those rows are dropped before insertion.
+        let c = tiny_catalog();
+        let q = join_query(&c);
+        let with = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2))
+            .execute_batch(std::slice::from_ref(&q))
+            .unwrap();
+        let mut cfg = EngineConfig::default().with_vector_size(2);
+        cfg.pruning = false;
+        let without = RouletteEngine::new(&c, cfg).execute_batch(&[q]).unwrap();
+        assert_eq!(with.per_query, without.per_query);
+        assert!(with.stats.pruned_tuples > 0);
+        assert!(with.stats.inserted_tuples < without.stats.inserted_tuples);
+    }
+}

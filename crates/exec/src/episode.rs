@@ -1,0 +1,524 @@
+//! Episode execution (§3's executor, steps 1–5 of Figure 6).
+//!
+//! Each episode processes one ingested vector end-to-end: (i) the
+//! selection phase filters query-sets through grouped filters in the
+//! eddy's chosen order; (ii) symmetric join pruning semi-joins the vector
+//! against fully-ingested neighboring STeMs; (iii) the survivors are
+//! inserted into the scanned relation's STeM (making the join symmetric)
+//! under a fresh global version; (iv) the join-phase plan probes the other
+//! STeMs, routing divergence branches and, at null decisions, multicasting
+//! SPJ results to the per-query sinks; (v) the execution log is fed back
+//! to the learned policy.
+
+use crate::output::{row_hash, Outputs};
+use crate::planner::{
+    assign_projections, plan_join_phase, plan_selection_phase, JoinNode, ProbeNode,
+};
+use crate::profile::{Category, Profile};
+use crate::spaces::{JoinSpace, SelectionSpace};
+use crate::stem::Stem;
+use crate::vector::DataVector;
+use roulette_core::{
+    queryset::and_into, ColId, EngineConfig, QueryId, QuerySet, RelId, RelSet,
+};
+use roulette_policy::{ExecutionLog, LogEntry, Scope};
+use roulette_query::QueryBatch;
+use roulette_storage::{Catalog, IngestVector};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Grouped + plain evaluation strategies for one selection group.
+#[derive(Debug, Clone)]
+pub struct FilterPair {
+    /// Range-based lookup table (§5.1).
+    pub grouped: crate::filter::GroupedFilter,
+    /// Per-query fallback (ablation baseline).
+    pub plain: crate::filter::PlainFilter,
+}
+
+/// Engine-wide counters shared across workers.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    /// Episodes executed.
+    pub episodes: AtomicU64,
+    /// Intermediate join tuples (Σ probe outputs) — §6.2's cost metric.
+    pub join_tuples: AtomicU64,
+    /// Tuples inserted into STeMs.
+    pub inserted_tuples: AtomicU64,
+    /// Tuples dropped by symmetric join pruning.
+    pub pruned_tuples: AtomicU64,
+    /// Intermediate vID cells materialized by probe outputs (adaptive-
+    /// projection ablation metric).
+    pub materialized_cells: AtomicU64,
+}
+
+/// One Fig. 16 trace point: the episode's measured cost vs the policy's
+/// pre-execution estimate of the best achievable cost.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEntry {
+    /// Episode sequence number.
+    pub episode: u64,
+    /// Measured episode cost under the engine's cost model.
+    pub measured: f64,
+    /// Policy estimate (|best Q| × insert cardinality).
+    pub estimated: f64,
+}
+
+/// Immutable state shared by all workers during a run.
+pub struct EngineShared<'a> {
+    /// Host storage.
+    pub catalog: &'a Catalog,
+    /// Engine configuration.
+    pub config: &'a EngineConfig,
+    /// The scheduled batch.
+    pub batch: &'a QueryBatch,
+    /// Per-relation STeMs (None for unscanned relations).
+    pub stems: &'a [Option<Stem>],
+    /// Per-selection-group filters (aligned with `batch.selection_groups`).
+    pub filters: &'a [FilterPair],
+    /// Per-selection-group predicate owners.
+    pub sel_owners: &'a [QuerySet],
+    /// The capacity-wide full query-set.
+    pub full_set: &'a QuerySet,
+    /// Per-query projected relations.
+    pub proj_rels: &'a [RelSet],
+    /// Per-query projection columns.
+    pub projections: &'a [Vec<(RelId, ColId)>],
+    /// Output sinks.
+    pub outputs: &'a Outputs,
+    /// Time breakdown.
+    pub profile: &'a Profile,
+    /// Shared counters.
+    pub stats: &'a SharedStats,
+    /// The batch-versioning counter.
+    pub global_version: &'a AtomicU32,
+    /// Cost model (for traces).
+    pub cost: &'a roulette_core::CostModel,
+}
+
+/// Runs one episode. `complete` is the set of relations whose scans have
+/// finished (pruning eligibility), sampled under the ingestion lock.
+/// Returns a Fig. 16 trace point when `trace` is set.
+pub fn run_episode(
+    shared: &EngineShared<'_>,
+    iv: &IngestVector,
+    complete: RelSet,
+    policy: &parking_lot::Mutex<Box<dyn roulette_policy::Policy>>,
+    log: &mut ExecutionLog,
+    trace: bool,
+) -> Option<TraceEntry> {
+    log.clear();
+    let rel = iv.rel;
+    let batch = shared.batch;
+    let jspace = JoinSpace::new(batch);
+    let sspace = SelectionSpace::new(batch, rel, shared.sel_owners, shared.full_set);
+
+    // --- Planning (policy latch held across the episode's decisions) ----
+    let (sel_order, mut join_plan, estimate) = {
+        let mut p = policy.lock();
+        let sel_order = plan_selection_phase(&sspace, &mut **p, rel, &iv.queries);
+        let plan = plan_join_phase(batch, &jspace, &mut **p, rel, &iv.queries);
+        let est = if trace {
+            -p.estimate(Scope::JOIN, RelSet::singleton(rel).0, &iv.queries, &jspace)
+        } else {
+            0.0
+        };
+        (sel_order, plan, est)
+    };
+    assign_projections(
+        &mut join_plan,
+        &|q: QueryId| shared.proj_rels[q.index()],
+        shared.config.adaptive_projections,
+    );
+
+    let mut vec = DataVector::from_scan(rel, iv.start, iv.end, &iv.queries);
+
+    // --- Selection phase -------------------------------------------------
+    let t0 = Instant::now();
+    let mut values: Vec<i64> = Vec::new();
+    let mut keep: Vec<bool> = Vec::new();
+    let mut lineage = 0u64;
+    let relation = shared.catalog.relation(rel);
+    let groups = batch.selections_of(rel);
+    for &op in &sel_order {
+        let gid = groups[op as usize] as usize;
+        let group = &batch.selection_groups()[gid];
+        let filter = &shared.filters[gid];
+        let vids = vec.vids_of(rel).expect("scan column present");
+        relation.column(group.col).gather(vids, &mut values);
+        let n_in = vec.len();
+        keep.clear();
+        keep.resize(n_in, false);
+        if shared.config.grouped_filters {
+            for i in 0..n_in {
+                keep[i] = vec.qsets.and_row(i, filter.grouped.mask_for(values[i]));
+            }
+        } else {
+            let mut plain_mask = vec![0u64; iv.queries.width()];
+            for i in 0..n_in {
+                filter.plain.mask_into(values[i], &mut plain_mask);
+                keep[i] = vec.qsets.and_row(i, &plain_mask);
+            }
+        }
+        vec.retain(&keep);
+        log.push(LogEntry {
+            scope: Scope::selection(rel),
+            lineage,
+            queries: iv.queries.clone(),
+            op,
+            n_in: n_in as u64,
+            n_out: vec.len() as u64,
+            n_div: None,
+        });
+        lineage |= 1 << op;
+        if vec.is_empty() {
+            break;
+        }
+    }
+
+    // --- Symmetric join pruning ------------------------------------------
+    if shared.config.pruning && !vec.is_empty() {
+        prune_vector(shared, rel, complete, &mut vec, &mut values, &mut keep);
+    }
+    shared.profile.add(Category::Filter, t0.elapsed().as_nanos() as u64);
+
+    // --- Insert (build side of the symmetric join) ------------------------
+    let mut measured_insert = 0u64;
+    if !vec.is_empty() {
+        if let Some(stem) = shared.stems[rel.index()].as_ref() {
+            let t_build = Instant::now();
+            let vids = vec.vids_of(rel).expect("scan column");
+            let keys: Vec<Vec<i64>> = stem
+                .key_cols()
+                .iter()
+                .map(|&c| {
+                    let mut k = Vec::new();
+                    relation.column(c).gather(vids, &mut k);
+                    k
+                })
+                .collect();
+            let version = stem.insert_vector(vids, &vec.qsets, &keys, shared.global_version);
+            shared.profile.add(Category::Build, t_build.elapsed().as_nanos() as u64);
+            shared.stats.inserted_tuples.fetch_add(vec.len() as u64, Ordering::Relaxed);
+            measured_insert = vec.len() as u64;
+
+            // --- Join phase ------------------------------------------------
+            exec_join(shared, &join_plan, &vec, version, log);
+        }
+    }
+
+    // --- Learning ----------------------------------------------------------
+    let episode = shared.stats.episodes.fetch_add(1, Ordering::Relaxed);
+    let join_out: u64 = log
+        .entries()
+        .iter()
+        .filter(|e| e.scope == Scope::JOIN)
+        .map(|e| e.n_out)
+        .sum();
+    shared.stats.join_tuples.fetch_add(join_out, Ordering::Relaxed);
+    {
+        let mut p = policy.lock();
+        // Reverse order: children before parents, so bootstrapped values
+        // propagate one level per episode at worst, usually further.
+        for entry in log.entries().iter().rev() {
+            if entry.scope == Scope::JOIN {
+                p.observe(entry, &jspace);
+            } else {
+                p.observe(entry, &sspace);
+            }
+        }
+    }
+
+    if trace {
+        // Join-phase cost only, so the trace is comparable to the policy's
+        // join-plan estimate.
+        let measured: f64 = log
+            .entries()
+            .iter()
+            .filter(|e| e.scope == Scope::JOIN)
+            .map(|e| shared.cost.cost(roulette_core::OpKind::Join, e.n_in, e.n_out))
+            .sum();
+        Some(TraceEntry { episode, measured, estimated: estimate * measured_insert as f64 })
+    } else {
+        None
+    }
+}
+
+/// Semi-joins `vec` against every fully-ingested joinable STeM (§5.2):
+/// for queries containing the edge, a tuple keeps its bit only if a match
+/// carries it; emptied tuples are dropped before insertion.
+fn prune_vector(
+    shared: &EngineShared<'_>,
+    rel: RelId,
+    complete: RelSet,
+    vec: &mut DataVector,
+    values: &mut Vec<i64>,
+    keep: &mut Vec<bool>,
+) {
+    let batch = shared.batch;
+    let relation = shared.catalog.relation(rel);
+    let width = vec.qsets.words_per_set();
+    let mut allowed = vec![0u64; width];
+    for &eid in batch.edges_of(rel) {
+        if vec.is_empty() {
+            return;
+        }
+        let edge = batch.edge(eid);
+        let Some((this_side, other_side)) = edge.oriented_from(rel) else { continue };
+        if !complete.contains(other_side.0) {
+            continue;
+        }
+        let Some(stem) = shared.stems[other_side.0.index()].as_ref() else { continue };
+        let Some(index_id) = stem.index_of(other_side.1) else { continue };
+        let edge_q = batch.edge_queries(eid);
+        let vids = vec.vids_of(rel).expect("scan column");
+        relation.column(this_side.1).gather(vids, values);
+        let reader = stem.read();
+        let n_in = vec.len();
+        keep.clear();
+        keep.resize(n_in, false);
+        let mut dropped = 0u64;
+        for i in 0..n_in {
+            // allowed = (∪ matching entry query-sets) ∪ ¬Q_edge — queries
+            // without this edge are unaffected by the semi-join.
+            for (a, &eqw) in allowed.iter_mut().zip(edge_q.words()) {
+                *a = !eqw;
+            }
+            reader.semijoin_mask(index_id, values[i], &mut allowed);
+            keep[i] = vec.qsets.and_row(i, &allowed);
+            if !keep[i] {
+                dropped += 1;
+            }
+        }
+        shared.stats.pruned_tuples.fetch_add(dropped, Ordering::Relaxed);
+        vec.retain(keep);
+    }
+}
+
+/// Upper bound on an intermediate vector's tuple count: larger probe
+/// outputs are processed in chunks, bounding the pending-vector footprint
+/// (§3) — without this, a bad exploratory order on an expanding join chain
+/// can hold gigabytes of transient tuples across the recursion.
+const MAX_PENDING_VECTOR: usize = 1 << 16;
+
+/// Executes the join-phase plan for `vec` (probe sub-plans first, then
+/// divergence sub-plans, as in §3's executor walk-through).
+fn exec_join(
+    shared: &EngineShared<'_>,
+    node: &JoinNode,
+    vec: &DataVector,
+    version: u32,
+    log: &mut ExecutionLog,
+) {
+    if vec.is_empty() {
+        return;
+    }
+    if vec.len() > MAX_PENDING_VECTOR {
+        let mut start = 0;
+        while start < vec.len() {
+            let end = (start + MAX_PENDING_VECTOR).min(vec.len());
+            let chunk = vec.slice(start, end);
+            exec_join(shared, node, &chunk, version, log);
+            start = end;
+        }
+        return;
+    }
+    match node {
+        JoinNode::Output { queries } => route(shared, vec, queries),
+        JoinNode::Probe(p) => {
+            let (main_vec, div_vec) = exec_probe(shared, p, vec, version, log);
+            exec_join(shared, &p.main, &main_vec, version, log);
+            if let (Some(div_plan), Some(dv)) = (&p.div, div_vec) {
+                exec_join(shared, div_plan, &dv, version, log);
+            }
+        }
+    }
+}
+
+fn exec_probe(
+    shared: &EngineShared<'_>,
+    p: &ProbeNode,
+    vec: &DataVector,
+    version: u32,
+    log: &mut ExecutionLog,
+) -> (DataVector, Option<DataVector>) {
+    let t0 = Instant::now();
+    let stem = shared.stems[p.target_rel.index()]
+        .as_ref()
+        .expect("probed relation has a STeM");
+    let index_id = stem.index_of(p.target_col).expect("probe key is indexed");
+    let width = vec.qsets.words_per_set();
+
+    // Gather probe keys.
+    let probe_vids = vec.vids_of(p.probe_rel).expect("probe column present");
+    let mut keys: Vec<i64> = Vec::new();
+    shared
+        .catalog
+        .relation(p.probe_rel)
+        .column(p.probe_col)
+        .gather(probe_vids, &mut keys);
+
+    // Output builders: source columns to carry + the target vID column.
+    let mut main_out = DataVector::new(width);
+    let carry_main: Vec<usize> = vec
+        .columns()
+        .iter()
+        .enumerate()
+        .filter(|(_, (r, _))| p.keep_main.contains(*r))
+        .map(|(i, _)| i)
+        .collect();
+    let keep_target = p.keep_main.contains(p.target_rel);
+    let mut main_bufs: Vec<Vec<u32>> = vec![Vec::new(); carry_main.len()];
+    let mut target_buf: Vec<u32> = Vec::new();
+
+    let mut div_out: Option<(DataVector, Vec<usize>, Vec<Vec<u32>>)> =
+        p.div_queries.as_ref().map(|_| {
+            let carry: Vec<usize> = vec
+                .columns()
+                .iter()
+                .enumerate()
+                .filter(|(_, (r, _))| p.keep_div.contains(*r))
+                .map(|(i, _)| i)
+                .collect();
+            let bufs = vec![Vec::new(); carry.len()];
+            (DataVector::new(width), carry, bufs)
+        });
+
+    let reader = stem.read();
+    let mut scratch = vec![0u64; width];
+    let main_words = p.main_queries.words();
+    let cols = vec.columns();
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..vec.len() {
+        let qs = vec.qsets.row(i);
+        if and_into(&mut scratch, qs, main_words) {
+            reader.probe(index_id, keys[i], version, |entry_q, entry_vid| {
+                if main_out.qsets.push_and(&scratch, entry_q) {
+                    for (buf, &src) in main_bufs.iter_mut().zip(&carry_main) {
+                        buf.push(cols[src].1[i]);
+                    }
+                    if keep_target {
+                        target_buf.push(entry_vid);
+                    }
+                }
+            });
+        }
+        if let Some((dv, carry, bufs)) = &mut div_out {
+            let div_words = p.div_queries.as_ref().unwrap().words();
+            if dv.qsets.push_and(qs, div_words) {
+                for (buf, &src) in bufs.iter_mut().zip(carry.iter()) {
+                    buf.push(cols[src].1[i]);
+                }
+            }
+        }
+    }
+
+    // Assemble output vectors.
+    for (buf, &src) in main_bufs.into_iter().zip(&carry_main) {
+        main_out.push_column(cols[src].0, buf);
+    }
+    if keep_target {
+        main_out.push_column(p.target_rel, target_buf);
+    }
+    let div_vec = div_out.map(|(mut dv, carry, bufs)| {
+        for (buf, &src) in bufs.into_iter().zip(&carry) {
+            dv.push_column(cols[src].0, buf);
+        }
+        dv
+    });
+
+    shared
+        .stats
+        .materialized_cells
+        .fetch_add(main_out.footprint_cells() as u64, Ordering::Relaxed);
+    shared.profile.add(Category::Probe, t0.elapsed().as_nanos() as u64);
+
+    log.push(LogEntry {
+        scope: Scope::JOIN,
+        lineage: p.lineage.0,
+        queries: p.queries.clone(),
+        op: p.edge,
+        n_in: vec.len() as u64,
+        n_out: main_out.len() as u64,
+        n_div: div_vec.as_ref().map(|d| d.len() as u64),
+    });
+
+    (main_out, div_vec)
+}
+
+/// Routes an output vector to its queries' sinks. The locality-conscious
+/// router (§5.1) works query-at-a-time in two passes — count, then gather —
+/// issuing one sink update per query per vector; the direct router
+/// multicasts tuple-by-tuple.
+fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet) {
+    let t0 = Instant::now();
+    let mut values: Vec<i64> = Vec::new();
+    if shared.config.locality_router {
+        // Pass 1: per-query counts.
+        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        for q in queries.iter() {
+            let (w, b) = (q.index() / 64, q.index() % 64);
+            let mut n = 0u64;
+            for i in 0..vec.len() {
+                n += (vec.qsets.row(i)[w] >> b) & 1;
+            }
+            if n > 0 {
+                counts.push((q, n));
+            }
+        }
+        // Pass 2: per-query gather with one sink update each.
+        for (q, n) in counts {
+            let (w, b) = (q.index() / 64, q.index() % 64);
+            let mut checksum = 0u64;
+            let mut collected: Vec<Vec<i64>> = Vec::new();
+            for i in 0..vec.len() {
+                if (vec.qsets.row(i)[w] >> b) & 1 == 1 {
+                    project_row(shared, vec, q, i, &mut values);
+                    checksum = checksum.wrapping_add(row_hash(&values));
+                    if shared.outputs.collecting() {
+                        collected.push(values.clone());
+                    }
+                }
+            }
+            shared.outputs.push_batch(q, n, checksum);
+            if shared.outputs.collecting() {
+                shared.outputs.extend_collected(q, &collected);
+            }
+        }
+    } else {
+        // Direct multicast: iterate set bits straight off the row words
+        // (no per-tuple set materialization — the ablation compares
+        // routing strategies, not allocator traffic).
+        for i in 0..vec.len() {
+            let row = vec.qsets.row(i);
+            for (w, &word) in row.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let q = QueryId((w * 64 + b) as u32);
+                    project_row(shared, vec, q, i, &mut values);
+                    shared.outputs.push(q, &values);
+                }
+            }
+        }
+    }
+    shared.profile.add(Category::Route, t0.elapsed().as_nanos() as u64);
+}
+
+#[inline]
+fn project_row(
+    shared: &EngineShared<'_>,
+    vec: &DataVector,
+    q: QueryId,
+    row: usize,
+    out: &mut Vec<i64>,
+) {
+    out.clear();
+    for &(rel, col) in &shared.projections[q.index()] {
+        let vids = vec
+            .vids_of(rel)
+            .expect("projection column survived adaptive projections");
+        out.push(shared.catalog.relation(rel).column(col).value(vids[row] as usize));
+    }
+}

@@ -1,0 +1,208 @@
+//! Shared selections with range-based grouped filters (§5.1).
+//!
+//! A selection-phase operator evaluates *all* queries' predicates on one
+//! attribute and intersects each tuple's query-set with the satisfied set.
+//! Prior work indexes predicates but still pays per-satisfied-query
+//! comparison costs; RouLette instead precomputes a *lookup table* of
+//! predicate-result bitsets over the value ranges induced by the batch's
+//! predicate boundaries, so evaluating a tuple is one binary search —
+//! logarithmic in the number of queries.
+//!
+//! [`PlainFilter`] is the per-query fallback used by the Fig. 18 ablation.
+
+use roulette_core::{QueryId, QuerySet};
+
+/// Precomputed range → predicate-result-bitset lookup table for one
+/// `(relation, column)` selection group.
+#[derive(Debug, Clone)]
+pub struct GroupedFilter {
+    /// Sorted distinct cut points. Segment `i` covers
+    /// `[boundaries[i-1], boundaries[i])`, with open-ended segments at both
+    /// ends.
+    boundaries: Vec<i64>,
+    /// Per-segment masks, `words` words each.
+    masks: Vec<u64>,
+    words: usize,
+}
+
+impl GroupedFilter {
+    /// Builds the table from per-query inclusive ranges; `capacity` is the
+    /// batch's query-id capacity.
+    pub fn build(preds: &[(QueryId, i64, i64)], capacity: usize) -> Self {
+        let words = roulette_core::queryset::words_for(capacity.max(1));
+        let mut boundaries: Vec<i64> = Vec::with_capacity(preds.len() * 2);
+        for &(_, lo, hi) in preds {
+            boundaries.push(lo);
+            if hi < i64::MAX {
+                boundaries.push(hi + 1);
+            }
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let n_segments = boundaries.len() + 1;
+        let mut masks = vec![u64::MAX; n_segments * words];
+        for seg in 0..n_segments {
+            // A representative value inside the segment; segments never
+            // straddle a predicate boundary, so one sample decides.
+            let sample = if seg == 0 {
+                boundaries.first().map_or(0, |&b| b.saturating_sub(1))
+            } else {
+                boundaries[seg - 1]
+            };
+            let row = &mut masks[seg * words..(seg + 1) * words];
+            for &(q, lo, hi) in preds {
+                if sample < lo || sample > hi {
+                    row[q.index() / 64] &= !(1u64 << (q.index() % 64));
+                }
+            }
+        }
+        GroupedFilter { boundaries, masks, words }
+    }
+
+    /// The predicate-result bitset for value `v`: bit `q` is set iff query
+    /// `q` either has no predicate in this group or its predicate is
+    /// satisfied by `v`.
+    #[inline]
+    pub fn mask_for(&self, v: i64) -> &[u64] {
+        let seg = self.boundaries.partition_point(|&b| b <= v);
+        &self.masks[seg * self.words..(seg + 1) * self.words]
+    }
+
+    /// Number of range segments (diagnostics).
+    pub fn segments(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+}
+
+/// Per-query predicate evaluation (the pre-grouped-filter baseline):
+/// cost is linear in the number of predicates for every tuple.
+#[derive(Debug, Clone)]
+pub struct PlainFilter {
+    preds: Vec<(QueryId, i64, i64)>,
+    words: usize,
+}
+
+impl PlainFilter {
+    /// Wraps the group's predicates.
+    pub fn new(preds: &[(QueryId, i64, i64)], capacity: usize) -> Self {
+        PlainFilter {
+            preds: preds.to_vec(),
+            words: roulette_core::queryset::words_for(capacity.max(1)),
+        }
+    }
+
+    /// Writes the predicate-result bitset for `v` into `mask`
+    /// (`words_for(capacity)` words, set to all-ones first).
+    #[inline]
+    pub fn mask_into(&self, v: i64, mask: &mut [u64]) {
+        debug_assert_eq!(mask.len(), self.words);
+        mask.fill(u64::MAX);
+        for &(q, lo, hi) in &self.preds {
+            if v < lo || v > hi {
+                mask[q.index() / 64] &= !(1u64 << (q.index() % 64));
+            }
+        }
+    }
+}
+
+/// Builds the set of queries that have a predicate in a group (callers
+/// combine with satisfied masks for bookkeeping/diagnostics).
+pub fn group_queries(preds: &[(QueryId, i64, i64)], capacity: usize) -> QuerySet {
+    let mut qs = QuerySet::empty(capacity);
+    for &(q, _, _) in preds {
+        qs.insert(q);
+    }
+    qs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 8 example on R.d:
+    /// Q1: −3 < d < 3 (as −2..=2), Q2: true, Q3: d < 0.
+    fn fig8_preds() -> Vec<(QueryId, i64, i64)> {
+        vec![(QueryId(0), -2, 2), (QueryId(2), i64::MIN, -1)]
+    }
+
+    #[test]
+    fn grouped_filter_reproduces_fig8_table() {
+        let f = GroupedFilter::build(&fig8_preds(), 3);
+        // (-∞,-2) → Q2,Q3 pass, Q1 fails: 110 (bit0=Q1).
+        assert_eq!(f.mask_for(-5)[0] & 0b111, 0b110);
+        // [-2,0) → all pass: 111.
+        assert_eq!(f.mask_for(-1)[0] & 0b111, 0b111);
+        // [0,3) → Q3 fails: 011.
+        assert_eq!(f.mask_for(1)[0] & 0b111, 0b011);
+        // [3,∞) → Q1,Q3 fail: 010.
+        assert_eq!(f.mask_for(3)[0] & 0b111, 0b010);
+        assert_eq!(f.mask_for(100)[0] & 0b111, 0b010);
+    }
+
+    #[test]
+    fn plain_filter_agrees_with_grouped() {
+        let preds = vec![
+            (QueryId(0), 10, 20),
+            (QueryId(1), 15, 35),
+            (QueryId(3), i64::MIN, 12),
+            (QueryId(5), 33, i64::MAX),
+        ];
+        let grouped = GroupedFilter::build(&preds, 6);
+        let plain = PlainFilter::new(&preds, 6);
+        let mut mask = vec![0u64; 1];
+        for v in [-100, 9, 10, 12, 13, 15, 20, 21, 32, 33, 35, 36, 1000, i64::MIN, i64::MAX] {
+            plain.mask_into(v, &mut mask);
+            assert_eq!(
+                mask[0] & 0b111111,
+                grouped.mask_for(v)[0] & 0b111111,
+                "divergence at v={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_without_predicates_always_pass() {
+        let f = GroupedFilter::build(&[(QueryId(1), 0, 0)], 64);
+        for v in [-1, 0, 1] {
+            let m = f.mask_for(v)[0];
+            // Bits other than Q1's must be set everywhere.
+            assert_eq!(m | 0b10, u64::MAX);
+        }
+        assert_eq!(f.mask_for(0)[0] & 0b10, 0b10);
+        assert_eq!(f.mask_for(1)[0] & 0b10, 0);
+    }
+
+    #[test]
+    fn segment_count_is_bounded_by_boundaries() {
+        let preds: Vec<_> = (0..10).map(|i| (QueryId(i), i as i64 * 10, i as i64 * 10 + 5)).collect();
+        let f = GroupedFilter::build(&preds, 10);
+        assert!(f.segments() <= 21);
+    }
+
+    #[test]
+    fn multiword_masks() {
+        // Query 70 lives in the second word.
+        let f = GroupedFilter::build(&[(QueryId(70), 5, 9)], 128);
+        assert_eq!(f.mask_for(7)[1] & (1 << 6), 1 << 6);
+        assert_eq!(f.mask_for(4)[1] & (1 << 6), 0);
+        assert_eq!(f.mask_for(4)[0], u64::MAX);
+    }
+
+    #[test]
+    fn extreme_bounds_do_not_overflow() {
+        let preds = vec![(QueryId(0), i64::MIN, i64::MAX)];
+        let f = GroupedFilter::build(&preds, 1);
+        assert_eq!(f.mask_for(i64::MIN)[0] & 1, 1);
+        assert_eq!(f.mask_for(i64::MAX)[0] & 1, 1);
+        assert_eq!(f.mask_for(0)[0] & 1, 1);
+    }
+
+    #[test]
+    fn group_queries_collects_predicate_owners() {
+        let qs = group_queries(&fig8_preds(), 3);
+        assert!(qs.contains(QueryId(0)));
+        assert!(!qs.contains(QueryId(1)));
+        assert!(qs.contains(QueryId(2)));
+    }
+}

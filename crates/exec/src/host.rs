@@ -1,0 +1,135 @@
+//! Host-side consumer operators.
+//!
+//! RouLette executes SPJ *sub-queries*; the host DBMS's executor consumes
+//! their results through RouLette sources and applies the rest of the plan
+//! — grouping, aggregation, ordering (the Γ and sort operators of
+//! Figure 6). This module provides those consumers over collected result
+//! rows so examples and applications can express complete analytical
+//! queries.
+
+use std::collections::HashMap;
+
+/// An aggregate over one projected column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `COUNT(*)` (the column index is ignored).
+    Count,
+    /// `SUM(col)`.
+    Sum(usize),
+    /// `MIN(col)`.
+    Min(usize),
+    /// `MAX(col)`.
+    Max(usize),
+}
+
+impl Aggregate {
+    fn init(&self) -> i64 {
+        match self {
+            Aggregate::Count => 0,
+            Aggregate::Sum(_) => 0,
+            Aggregate::Min(_) => i64::MAX,
+            Aggregate::Max(_) => i64::MIN,
+        }
+    }
+
+    fn fold(&self, acc: i64, row: &[i64]) -> i64 {
+        match self {
+            Aggregate::Count => acc + 1,
+            Aggregate::Sum(c) => acc.wrapping_add(row[*c]),
+            Aggregate::Min(c) => acc.min(row[*c]),
+            Aggregate::Max(c) => acc.max(row[*c]),
+        }
+    }
+}
+
+/// `GROUP BY key_cols` with one or more aggregates, like the Γ consumer in
+/// Figure 6. Returns `[key values…, aggregate values…]` rows in
+/// unspecified order (feed through [`order_by`] for the figure's sorted
+/// output).
+pub fn group_by(rows: &[Vec<i64>], key_cols: &[usize], aggs: &[Aggregate]) -> Vec<Vec<i64>> {
+    let mut groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
+    for row in rows {
+        let key: Vec<i64> = key_cols.iter().map(|&c| row[c]).collect();
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|a| a.init()).collect());
+        for (acc, agg) in accs.iter_mut().zip(aggs) {
+            *acc = agg.fold(*acc, row);
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(mut key, accs)| {
+            key.extend(accs);
+            key
+        })
+        .collect()
+}
+
+/// `ORDER BY cols` (ascending); the sort consumer the optimizer adds when
+/// a delegated sub-query's parent needs an interesting order (§3 — RouLette
+/// itself does not preserve orders).
+pub fn order_by(mut rows: Vec<Vec<i64>>, cols: &[usize]) -> Vec<Vec<i64>> {
+    rows.sort_by(|a, b| {
+        for &c in cols {
+            match a[c].cmp(&b[c]) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<i64>> {
+        vec![
+            vec![1, 10, 5],
+            vec![2, 20, 1],
+            vec![1, 30, 7],
+            vec![2, 40, 3],
+            vec![1, 50, 2],
+        ]
+    }
+
+    #[test]
+    fn group_by_sum_and_count() {
+        let out = order_by(
+            group_by(&rows(), &[0], &[Aggregate::Sum(1), Aggregate::Count]),
+            &[0],
+        );
+        assert_eq!(out, vec![vec![1, 90, 3], vec![2, 60, 2]]);
+    }
+
+    #[test]
+    fn group_by_min_max() {
+        let out = order_by(
+            group_by(&rows(), &[0], &[Aggregate::Min(2), Aggregate::Max(2)]),
+            &[0],
+        );
+        assert_eq!(out, vec![vec![1, 2, 7], vec![2, 1, 3]]);
+    }
+
+    #[test]
+    fn global_aggregate_with_empty_key() {
+        let out = group_by(&rows(), &[], &[Aggregate::Count, Aggregate::Sum(1)]);
+        assert_eq!(out, vec![vec![5, 150]]);
+    }
+
+    #[test]
+    fn order_by_multiple_columns() {
+        let rows = vec![vec![2, 1], vec![1, 9], vec![2, 0], vec![1, 3]];
+        let out = order_by(rows, &[0, 1]);
+        assert_eq!(out, vec![vec![1, 3], vec![1, 9], vec![2, 0], vec![2, 1]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(group_by(&[], &[0], &[Aggregate::Count]).is_empty());
+        assert!(order_by(Vec::new(), &[0]).is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # roulette-exec
+//!
+//! The adaptive multi-query executor (§3, §5): STeMs implementing a
+//! history-independent multi-query n-ary symmetric hash join with batch
+//! versioning, shared selections with range-based grouped filters, the
+//! eddy's multi-step optimization (Algorithm 1) driven by a learned policy,
+//! symmetric join pruning with scan-order ranking, adaptive projections,
+//! locality-conscious routing, and the episode-based engine with dynamic
+//! query admission and a multi-core worker pool.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod episode;
+pub mod filter;
+pub mod host;
+pub mod output;
+pub mod planner;
+pub mod profile;
+pub mod pruning;
+pub mod spaces;
+pub mod stem;
+pub mod vector;
+
+pub use engine::{BatchOutcome, EngineStats, RouletteEngine, Session};
+pub use episode::{EngineShared, FilterPair, SharedStats, TraceEntry};
+pub use filter::{GroupedFilter, PlainFilter};
+pub use output::{row_hash, Outputs, QueryResult};
+pub use planner::{JoinNode, ProbeNode};
+pub use profile::{Category, Profile};
+pub use spaces::{JoinSpace, SelectionSpace};
+pub use stem::{Stem, StemReader, VERSION_ALL};
+pub use vector::DataVector;

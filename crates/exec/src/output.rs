@@ -1,0 +1,165 @@
+//! RouLette sources: per-query output sinks (§3).
+//!
+//! Routers multicast SPJ result tuples to their query-set's *RouLette
+//! sources*, which pipeline them to host-side consumers. This reproduction
+//! models the host side as per-query sinks that accumulate a row count, an
+//! order-independent checksum over the projected values (so RouLette's
+//! results can be compared tuple-for-tuple against the baseline engines,
+//! which compute the same checksum), and optionally the projected rows
+//! themselves for small workloads.
+
+use parking_lot::Mutex;
+use roulette_core::QueryId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Hashes one projected output row (order-independent accumulation is the
+/// caller's job). An empty projection hashes to a constant, making the
+/// checksum a scaled row count for `COUNT(*)`-style queries.
+#[inline]
+pub fn row_hash(values: &[i64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &v in values {
+        let mut z = (v as u64).wrapping_add(h);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h = z ^ (z >> 31);
+    }
+    h | 1 // never zero, so checksums distinguish "no rows" from "hash 0"
+}
+
+/// One query's accumulated result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryResult {
+    /// Output cardinality.
+    pub rows: u64,
+    /// Wrapping sum of [`row_hash`] over all output rows.
+    pub checksum: u64,
+}
+
+/// Per-query sinks shared across workers.
+#[derive(Debug)]
+pub struct Outputs {
+    rows: Vec<AtomicU64>,
+    checksums: Vec<AtomicU64>,
+    collected: Option<Vec<Mutex<Vec<Vec<i64>>>>>,
+}
+
+impl Outputs {
+    /// Sinks for up to `capacity` queries. When `collect` is set, projected
+    /// rows are retained (intended for tests and small examples).
+    pub fn new(capacity: usize, collect: bool) -> Self {
+        Outputs {
+            rows: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            checksums: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            collected: collect
+                .then(|| (0..capacity).map(|_| Mutex::new(Vec::new())).collect()),
+        }
+    }
+
+    /// Whether rows are being collected.
+    pub fn collecting(&self) -> bool {
+        self.collected.is_some()
+    }
+
+    /// Adds one output row for `q`.
+    #[inline]
+    pub fn push(&self, q: QueryId, values: &[i64]) {
+        self.rows[q.index()].fetch_add(1, Ordering::Relaxed);
+        self.checksums[q.index()].fetch_add(row_hash(values), Ordering::Relaxed);
+        if let Some(collected) = &self.collected {
+            collected[q.index()].lock().push(values.to_vec());
+        }
+    }
+
+    /// Adds a pre-aggregated batch for `q` (the locality-conscious router's
+    /// one-update-per-query-per-vector path).
+    #[inline]
+    pub fn push_batch(&self, q: QueryId, rows: u64, checksum: u64) {
+        self.rows[q.index()].fetch_add(rows, Ordering::Relaxed);
+        self.checksums[q.index()].fetch_add(checksum, Ordering::Relaxed);
+    }
+
+    /// Appends collected rows for `q` (two-pass router path).
+    pub fn extend_collected(&self, q: QueryId, rows: &[Vec<i64>]) {
+        if let Some(collected) = &self.collected {
+            collected[q.index()].lock().extend(rows.iter().cloned());
+        }
+    }
+
+    /// Snapshot of one query's result.
+    pub fn result(&self, q: QueryId) -> QueryResult {
+        QueryResult {
+            rows: self.rows[q.index()].load(Ordering::Relaxed),
+            checksum: self.checksums[q.index()].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the first `n` queries' results.
+    pub fn results(&self, n: usize) -> Vec<QueryResult> {
+        (0..n).map(|i| self.result(QueryId(i as u32))).collect()
+    }
+
+    /// Takes the collected rows of `q` (empty when not collecting).
+    pub fn take_collected(&self, q: QueryId) -> Vec<Vec<i64>> {
+        match &self.collected {
+            Some(c) => std::mem::take(&mut *c[q.index()].lock()),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hash_is_order_sensitive_but_accumulation_is_not() {
+        assert_ne!(row_hash(&[1, 2]), row_hash(&[2, 1]));
+        let a = row_hash(&[1, 2]).wrapping_add(row_hash(&[3, 4]));
+        let b = row_hash(&[3, 4]).wrapping_add(row_hash(&[1, 2]));
+        assert_eq!(a, b);
+        assert_ne!(row_hash(&[]), 0);
+    }
+
+    #[test]
+    fn push_accumulates() {
+        let o = Outputs::new(2, false);
+        o.push(QueryId(0), &[1]);
+        o.push(QueryId(0), &[2]);
+        o.push(QueryId(1), &[1]);
+        let r0 = o.result(QueryId(0));
+        assert_eq!(r0.rows, 2);
+        assert_eq!(r0.checksum, row_hash(&[1]).wrapping_add(row_hash(&[2])));
+        assert_eq!(o.result(QueryId(1)).rows, 1);
+    }
+
+    #[test]
+    fn batch_path_equals_per_row_path() {
+        let a = Outputs::new(1, false);
+        let b = Outputs::new(1, false);
+        for v in 0..10i64 {
+            a.push(QueryId(0), &[v]);
+        }
+        let mut sum = 0u64;
+        for v in 0..10i64 {
+            sum = sum.wrapping_add(row_hash(&[v]));
+        }
+        b.push_batch(QueryId(0), 10, sum);
+        assert_eq!(a.result(QueryId(0)), b.result(QueryId(0)));
+    }
+
+    #[test]
+    fn collection_is_optional() {
+        let o = Outputs::new(1, true);
+        assert!(o.collecting());
+        o.push(QueryId(0), &[7, 8]);
+        o.extend_collected(QueryId(0), &[vec![9, 10]]);
+        let rows = o.take_collected(QueryId(0));
+        assert_eq!(rows, vec![vec![7, 8], vec![9, 10]]);
+        assert!(o.take_collected(QueryId(0)).is_empty());
+
+        let no = Outputs::new(1, false);
+        no.push(QueryId(0), &[1]);
+        assert!(no.take_collected(QueryId(0)).is_empty());
+    }
+}

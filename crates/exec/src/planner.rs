@@ -1,0 +1,451 @@
+//! Multi-step optimization — the eddy's planning logic (§4.1, Algorithm 1).
+//!
+//! At each episode's start, the eddy builds the episode's two plans by a
+//! sequence of policy decisions. Starting from the plan's input virtual
+//! vector, each decision picks a candidate operator; *sharing* keeps one
+//! output sub-expression, *divergence* splits the vector into
+//! `(L ∪ {o}, Q ∩ Q_o)` and `(L, Q − Q_o)` with a routing selection on the
+//! second branch; a null decision (no candidates) emits a router to the
+//! query-set's RouLette sources.
+//!
+//! A second bottom-up pass assigns *adaptive projections* (§5.2): each
+//! probe records the minimal set of vID columns its output vectors must
+//! carry, derived from downstream probe keys and the output projections.
+
+use crate::spaces::{JoinSpace, SelectionSpace};
+use roulette_core::{ColId, QuerySet, RelId, RelSet};
+use roulette_policy::{OpId, PlanSpace, Policy, Scope};
+use roulette_query::{EdgeId, QueryBatch};
+
+/// A probe step of the join-phase plan.
+#[derive(Debug)]
+pub struct ProbeNode {
+    /// The applied join edge.
+    pub edge: EdgeId,
+    /// Input lineage `L`.
+    pub lineage: RelSet,
+    /// Input query-set `Q`.
+    pub queries: QuerySet,
+    /// `Q ∩ Q_o` — queries continuing through the probe.
+    pub main_queries: QuerySet,
+    /// `Q − Q_o` — queries routed around the probe, when non-empty.
+    pub div_queries: Option<QuerySet>,
+    /// Lineage-side relation whose key drives the probe.
+    pub probe_rel: RelId,
+    /// Key column on the probe side.
+    pub probe_col: ColId,
+    /// Probed (target) relation.
+    pub target_rel: RelId,
+    /// Key column on the target side (a STeM index of `target_rel`).
+    pub target_col: ColId,
+    /// vID columns the main output vector carries (adaptive projection).
+    pub keep_main: RelSet,
+    /// vID columns the divergence vector carries.
+    pub keep_div: RelSet,
+    /// Plan for the probe output.
+    pub main: JoinNode,
+    /// Plan for the divergence branch.
+    pub div: Option<JoinNode>,
+}
+
+/// A join-phase plan node.
+#[derive(Debug)]
+pub enum JoinNode {
+    /// STeM probe (with optional divergence routing selection).
+    Probe(Box<ProbeNode>),
+    /// Router to the query-set's RouLette sources (null decision).
+    Output {
+        /// The routed queries.
+        queries: QuerySet,
+    },
+}
+
+impl JoinNode {
+    /// Renders the plan as an indented tree (EXPLAIN-style), resolving
+    /// names through the catalog.
+    pub fn explain(&self, catalog: &roulette_storage::Catalog) -> String {
+        let mut out = String::new();
+        self.explain_into(catalog, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, catalog: &roulette_storage::Catalog, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            JoinNode::Output { queries } => {
+                let _ = writeln!(out, "{pad}Router → {queries:?}");
+            }
+            JoinNode::Probe(p) => {
+                let probe = catalog.relation(p.probe_rel);
+                let target = catalog.relation(p.target_rel);
+                let _ = writeln!(
+                    out,
+                    "{pad}Probe STeM({}) on {}.{} = {}.{}  Q={:?}{}",
+                    target.name(),
+                    probe.name(),
+                    probe.column_name(p.probe_col),
+                    target.name(),
+                    target.column_name(p.target_col),
+                    p.main_queries,
+                    if p.div_queries.is_some() { "  [diverges]" } else { "" },
+                );
+                p.main.explain_into(catalog, depth + 1, out);
+                if let (Some(d), Some(dq)) = (&p.div, &p.div_queries) {
+                    let _ = writeln!(out, "{pad}RoutingSelection → {dq:?}");
+                    d.explain_into(catalog, depth + 1, out);
+                }
+            }
+        }
+    }
+
+    /// Number of probe nodes in the plan (diagnostics).
+    pub fn probe_count(&self) -> usize {
+        match self {
+            JoinNode::Output { .. } => 0,
+            JoinNode::Probe(p) => {
+                1 + p.main.probe_count() + p.div.as_ref().map_or(0, |d| d.probe_count())
+            }
+        }
+    }
+}
+
+/// Builds the episode's join-phase plan for a vector of `root` tuples
+/// carrying `queries` (Algorithm 1 with the learned policy making
+/// Definition 6's decisions).
+pub fn plan_join_phase(
+    batch: &QueryBatch,
+    space: &JoinSpace<'_>,
+    policy: &mut dyn Policy,
+    root: RelId,
+    queries: &QuerySet,
+) -> JoinNode {
+    build_join(batch, space, policy, RelSet::singleton(root), queries.clone())
+}
+
+fn build_join(
+    batch: &QueryBatch,
+    space: &JoinSpace<'_>,
+    policy: &mut dyn Policy,
+    lineage: RelSet,
+    queries: QuerySet,
+) -> JoinNode {
+    let mut candidates: Vec<OpId> = Vec::new();
+    batch.join_candidates(lineage, &queries, &mut candidates);
+    if candidates.is_empty() {
+        return JoinNode::Output { queries };
+    }
+    let op = policy.choose(Scope::JOIN, lineage.0, &queries, &candidates, space);
+    let edge = batch.edge(op);
+    let edge_q = batch.edge_queries(op);
+    let (a, _) = edge.rels();
+    let (probe_side, target_side) = if lineage.contains(a) {
+        (edge.left, edge.right)
+    } else {
+        (edge.right, edge.left)
+    };
+
+    let main_queries = queries.intersection(edge_q);
+    let div_q = queries.difference(edge_q);
+    let next_lineage = lineage.with(target_side.0);
+
+    let main = build_join(batch, space, policy, next_lineage, main_queries.clone());
+    let (div_queries, div) = if div_q.is_empty() {
+        (None, None)
+    } else {
+        let child = build_join(batch, space, policy, lineage, div_q.clone());
+        (Some(div_q), Some(child))
+    };
+
+    JoinNode::Probe(Box::new(ProbeNode {
+        edge: op,
+        lineage,
+        queries,
+        main_queries,
+        div_queries,
+        probe_rel: probe_side.0,
+        probe_col: probe_side.1,
+        target_rel: target_side.0,
+        target_col: target_side.1,
+        keep_main: RelSet::EMPTY, // assigned by `assign_projections`
+        keep_div: RelSet::EMPTY,
+        main,
+        div,
+    }))
+}
+
+/// Bottom-up adaptive-projection pass: computes, per probe, the minimal
+/// vID columns its outputs must carry. `proj_rels(q)` is the set of
+/// relations query `q` projects. When `enabled` is false every lineage
+/// column is kept (the "Plain" ablation configuration). Returns the
+/// columns the plan's *input* vector must carry.
+pub fn assign_projections(
+    node: &mut JoinNode,
+    proj_rels: &impl Fn(roulette_core::QueryId) -> RelSet,
+    enabled: bool,
+) -> RelSet {
+    match node {
+        JoinNode::Output { queries } => {
+            let mut needed = RelSet::EMPTY;
+            for q in queries.iter() {
+                needed = needed.union(proj_rels(q));
+            }
+            needed
+        }
+        JoinNode::Probe(p) => {
+            let n_main = assign_projections(&mut p.main, proj_rels, enabled);
+            let n_div = match &mut p.div {
+                Some(d) => assign_projections(d, proj_rels, enabled),
+                None => RelSet::EMPTY,
+            };
+            if enabled {
+                p.keep_main = n_main;
+                p.keep_div = n_div;
+                n_main.minus(RelSet::singleton(p.target_rel))
+                    .union(n_div)
+                    .union(RelSet::singleton(p.probe_rel))
+            } else {
+                let all_main = p.lineage.with(p.target_rel);
+                p.keep_main = all_main;
+                p.keep_div = p.lineage;
+                p.lineage
+            }
+        }
+    }
+}
+
+/// Builds the episode's selection-phase plan: an operator order over the
+/// relation's applicable selection groups.
+pub fn plan_selection_phase(
+    space: &SelectionSpace<'_>,
+    policy: &mut dyn Policy,
+    rel: RelId,
+    queries: &QuerySet,
+) -> Vec<OpId> {
+    let scope = Scope::selection(rel);
+    let mut order = Vec::with_capacity(space.len());
+    let mut lineage = 0u64;
+    let mut candidates: Vec<OpId> = Vec::new();
+    loop {
+        space.candidates(lineage, queries, &mut candidates);
+        if candidates.is_empty() {
+            return order;
+        }
+        let op = policy.choose(scope, lineage, queries, &candidates, space);
+        order.push(op);
+        lineage |= 1 << op;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_core::QueryId;
+    use roulette_policy::RandomPolicy;
+    use roulette_query::SpjQuery;
+    use roulette_storage::{Catalog, RelationBuilder};
+
+    /// Figure 1/2's setup: Q1 = R⋈S⋈T⋈U (R-S, R-T, S-U),
+    /// Q2 = R⋈S⋈U⋈V (R-S, S-U, S-V).
+    fn fig2() -> (Catalog, QueryBatch) {
+        let mut c = Catalog::new();
+        for name in ["r", "s", "t", "u", "v"] {
+            let mut b = RelationBuilder::new(name);
+            for col in ["a", "b", "c", "d"] {
+                b.int64(col, vec![0, 1]);
+            }
+            c.add(b.build()).unwrap();
+        }
+        let q1 = SpjQuery::builder(&c)
+            .relation("r").relation("s").relation("t").relation("u")
+            .join(("r", "a"), ("s", "a"))
+            .join(("r", "b"), ("t", "b"))
+            .join(("s", "c"), ("u", "c"))
+            .build()
+            .unwrap();
+        let q2 = SpjQuery::builder(&c)
+            .relation("r").relation("s").relation("u").relation("v")
+            .join(("r", "a"), ("s", "a"))
+            .join(("s", "c"), ("u", "c"))
+            .join(("s", "d"), ("v", "d"))
+            .build()
+            .unwrap();
+        let b = QueryBatch::from_queries(c.len(), &[q1, q2]).unwrap();
+        (c, b)
+    }
+
+    /// Every query must be routed to output exactly once (Algorithm 1's
+    /// correctness property), regardless of the policy's decisions.
+    fn count_outputs(node: &JoinNode, per_query: &mut [usize]) {
+        match node {
+            JoinNode::Output { queries } => {
+                for q in queries.iter() {
+                    per_query[q.index()] += 1;
+                }
+            }
+            JoinNode::Probe(p) => {
+                count_outputs(&p.main, per_query);
+                if let Some(d) = &p.div {
+                    count_outputs(d, per_query);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_query_reaches_exactly_one_output() {
+        let (c, batch) = fig2();
+        let space = JoinSpace::new(&batch);
+        let r = c.relation_id("r").unwrap();
+        let all = QuerySet::full(2);
+        for seed in 0..30 {
+            let mut policy = RandomPolicy::new(seed);
+            let plan = plan_join_phase(&batch, &space, &mut policy, r, &all);
+            let mut per_query = [0usize; 2];
+            count_outputs(&plan, &mut per_query);
+            assert_eq!(per_query, [1, 1], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn plans_from_every_scan_root_are_complete() {
+        let (c, batch) = fig2();
+        let space = JoinSpace::new(&batch);
+        let all = QuerySet::full(2);
+        for name in ["r", "s", "u"] {
+            let root = c.relation_id(name).unwrap();
+            let mut policy = RandomPolicy::new(7);
+            let plan = plan_join_phase(&batch, &space, &mut policy, root, &all);
+            let mut per_query = [0usize; 2];
+            count_outputs(&plan, &mut per_query);
+            assert_eq!(per_query, [1, 1], "root {name}");
+        }
+        // T is scanned only by Q1.
+        let t = c.relation_id("t").unwrap();
+        let mut policy = RandomPolicy::new(7);
+        let q1_only = QuerySet::singleton(QueryId(0), 2);
+        let plan = plan_join_phase(&batch, &space, &mut policy, t, &q1_only);
+        let mut per_query = [0usize; 2];
+        count_outputs(&plan, &mut per_query);
+        assert_eq!(per_query, [1, 0]);
+    }
+
+    #[test]
+    fn divergence_splits_query_sets_disjointly() {
+        fn check(node: &JoinNode) {
+            if let JoinNode::Probe(p) = node {
+                if let Some(div_q) = &p.div_queries {
+                    assert!(!p.main_queries.intersects(div_q));
+                    let mut union = p.main_queries.clone();
+                    union.union_with(div_q);
+                    assert_eq!(union, p.queries);
+                }
+                check(&p.main);
+                if let Some(d) = &p.div {
+                    check(d);
+                }
+            }
+        }
+        let (c, batch) = fig2();
+        let space = JoinSpace::new(&batch);
+        let r = c.relation_id("r").unwrap();
+        for seed in 0..10 {
+            let mut policy = RandomPolicy::new(seed);
+            let plan = plan_join_phase(&batch, &space, &mut policy, r, &QuerySet::full(2));
+            check(&plan);
+        }
+    }
+
+    #[test]
+    fn projection_pass_keeps_probe_keys_and_projected_rels() {
+        let (c, batch) = fig2();
+        let space = JoinSpace::new(&batch);
+        let r = c.relation_id("r").unwrap();
+        let mut policy = RandomPolicy::new(3);
+        let mut plan = plan_join_phase(&batch, &space, &mut policy, r, &QuerySet::full(2));
+        // COUNT(*) queries: nothing projected.
+        let input_needed =
+            assign_projections(&mut plan, &|_q| RelSet::EMPTY, true);
+        assert!(input_needed.is_subset_of(RelSet::singleton(r)));
+        fn check(node: &JoinNode) {
+            if let JoinNode::Probe(p) = node {
+                // Whatever the main child probes from must be kept.
+                if let JoinNode::Probe(m) = &p.main {
+                    assert!(
+                        p.keep_main.contains(m.probe_rel),
+                        "dropped a column still needed as probe key"
+                    );
+                }
+                check(&p.main);
+                if let Some(d) = &p.div {
+                    check(d);
+                }
+            }
+        }
+        check(&plan);
+    }
+
+    #[test]
+    fn disabled_projections_keep_everything() {
+        let (c, batch) = fig2();
+        let space = JoinSpace::new(&batch);
+        let r = c.relation_id("r").unwrap();
+        let mut policy = RandomPolicy::new(3);
+        let mut plan = plan_join_phase(&batch, &space, &mut policy, r, &QuerySet::full(2));
+        assign_projections(&mut plan, &|_q| RelSet::EMPTY, false);
+        if let JoinNode::Probe(p) = &plan {
+            assert_eq!(p.keep_main, p.lineage.with(p.target_rel));
+        } else {
+            panic!("expected probe at root");
+        }
+    }
+
+    #[test]
+    fn explain_renders_probes_and_routers() {
+        let (c, batch) = fig2();
+        let space = JoinSpace::new(&batch);
+        let r = c.relation_id("r").unwrap();
+        let mut policy = RandomPolicy::new(1);
+        let plan = plan_join_phase(&batch, &space, &mut policy, r, &QuerySet::full(2));
+        let text = plan.explain(&c);
+        assert!(text.contains("Probe STeM("));
+        assert!(text.contains("Router →"));
+        // Both queries' routers appear.
+        assert!(text.contains("Q0") && text.contains("Q1"));
+    }
+
+    #[test]
+    fn selection_plan_orders_all_applicable_groups() {
+        let mut c = Catalog::new();
+        let mut b = RelationBuilder::new("r");
+        b.int64("x", vec![0]);
+        b.int64("y", vec![0]);
+        c.add(b.build()).unwrap();
+        let q0 = SpjQuery::builder(&c).relation("r").range("r", "x", 0, 5).build().unwrap();
+        let q1 = SpjQuery::builder(&c).relation("r").range("r", "y", 0, 5).build().unwrap();
+        let batch = QueryBatch::from_queries(1, &[q0, q1]).unwrap();
+        let owners: Vec<QuerySet> = batch
+            .selection_groups()
+            .iter()
+            .map(|g| {
+                let mut qs = QuerySet::empty(2);
+                for &(q, _, _) in &g.preds {
+                    qs.insert(q);
+                }
+                qs
+            })
+            .collect();
+        let full = QuerySet::full(2);
+        let rel = RelId(0);
+        let space = SelectionSpace::new(&batch, rel, &owners, &full);
+        let mut policy = RandomPolicy::new(0);
+        let order = plan_selection_phase(&space, &mut policy, rel, &full);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+        // With only Q0 active, only its group is planned.
+        let q0_only = QuerySet::singleton(QueryId(0), 2);
+        let order = plan_selection_phase(&space, &mut policy, rel, &q0_only);
+        assert_eq!(order.len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Symmetric join pruning and scan-order ranking (§5.2).
+//!
+//! Symmetric joins materialize every relation; pruning cuts that cost by
+//! dropping, before insertion, tuples that can no longer contribute output
+//! for any of their queries. A tuple of `R` is checked by semi-joins
+//! against *fully-ingested* joinable STeMs: for each query containing the
+//! edge `R ⋈ S` (with `S` complete), the tuple keeps that query's bit only
+//! if some `S` entry with a matching key carries it. Tuples whose
+//! query-sets empty out are dropped.
+//!
+//! Because pruning needs fully-ingested relations, RouLette controls scan
+//! *initiation order* with a ranking heuristic: small relations that sit on
+//! the build side everywhere go first, large (prunable) relations last.
+
+use roulette_core::RelId;
+use roulette_query::QueryBatch;
+use roulette_storage::Catalog;
+
+/// Computes per-relation scan-initiation ranks for a batch (lower rank
+/// scans earlier). Implements the §5.2 heuristic: starting from rank 0,
+/// repeatedly (i) mark unranked relations that are no larger than every
+/// joinable unranked relation, (ii) assign them the current rank. If a
+/// round marks nothing (size ties in a cycle), the smallest unranked
+/// relation is marked to guarantee progress. Unscanned relations get rank
+/// `usize::MAX` and never gate anything.
+pub fn rank_relations(batch: &QueryBatch, catalog: &Catalog) -> Vec<usize> {
+    let n = catalog.len();
+    let mut ranks = vec![usize::MAX; n];
+    let scanned = batch.scanned_relations();
+    let mut unranked: Vec<RelId> = scanned.iter().collect();
+
+    // Adjacency via the batch's distinct edges.
+    let joinable = |a: RelId, b: RelId| -> bool {
+        batch.edges().iter().any(|e| {
+            let (x, y) = e.rels();
+            (x == a && y == b) || (x == b && y == a)
+        })
+    };
+
+    let mut rank = 0usize;
+    while !unranked.is_empty() {
+        let mut marked: Vec<RelId> = unranked
+            .iter()
+            .copied()
+            .filter(|&r| {
+                unranked.iter().all(|&other| {
+                    other == r
+                        || !joinable(r, other)
+                        || catalog.relation(r).rows() <= catalog.relation(other).rows()
+                })
+            })
+            .collect();
+        if marked.is_empty() {
+            // Tie cycle: force the globally smallest to keep making progress.
+            let smallest = *unranked
+                .iter()
+                .min_by_key(|&&r| catalog.relation(r).rows())
+                .expect("unranked non-empty");
+            marked.push(smallest);
+        }
+        for r in &marked {
+            ranks[r.index()] = rank;
+        }
+        unranked.retain(|r| !marked.contains(r));
+        rank += 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_query::SpjQuery;
+    use roulette_storage::RelationBuilder;
+
+    fn catalog_with_sizes(sizes: &[(&str, usize)]) -> Catalog {
+        let mut c = Catalog::new();
+        for &(name, rows) in sizes {
+            let mut b = RelationBuilder::new(name);
+            b.int64("k", (0..rows as i64).collect());
+            c.add(b.build()).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn dimensions_rank_before_facts() {
+        // fact(1000) joins d1(10) and d2(50); d2 joins d3(5).
+        let c = catalog_with_sizes(&[("fact", 1000), ("d1", 10), ("d2", 50), ("d3", 5)]);
+        let q = SpjQuery::builder(&c)
+            .relation("fact").relation("d1").relation("d2").relation("d3")
+            .join(("fact", "k"), ("d1", "k"))
+            .join(("fact", "k"), ("d2", "k"))
+            .join(("d2", "k"), ("d3", "k"))
+            .build()
+            .unwrap();
+        let batch = QueryBatch::from_queries(c.len(), &[q]).unwrap();
+        let ranks = rank_relations(&batch, &c);
+        let id = |n: &str| c.relation_id(n).unwrap().index();
+        // Every dimension must be ranked before the fact.
+        assert!(ranks[id("d1")] < ranks[id("fact")]);
+        assert!(ranks[id("d2")] < ranks[id("fact")]);
+        assert!(ranks[id("d3")] < ranks[id("fact")]);
+        // d3 (smaller) is not blocked by d2.
+        assert!(ranks[id("d3")] <= ranks[id("d2")]);
+    }
+
+    #[test]
+    fn non_adjacent_relations_do_not_gate_each_other() {
+        // Two disjoint queries: big1⋈small1, big2⋈small2. The small ones
+        // rank first in parallel.
+        let c = catalog_with_sizes(&[("big1", 100), ("small1", 5), ("big2", 100), ("small2", 5)]);
+        let q1 = SpjQuery::builder(&c)
+            .relation("big1").relation("small1")
+            .join(("big1", "k"), ("small1", "k"))
+            .build()
+            .unwrap();
+        let q2 = SpjQuery::builder(&c)
+            .relation("big2").relation("small2")
+            .join(("big2", "k"), ("small2", "k"))
+            .build()
+            .unwrap();
+        let batch = QueryBatch::from_queries(c.len(), &[q1, q2]).unwrap();
+        let ranks = rank_relations(&batch, &c);
+        let id = |n: &str| c.relation_id(n).unwrap().index();
+        assert_eq!(ranks[id("small1")], ranks[id("small2")]);
+        assert_eq!(ranks[id("big1")], ranks[id("big2")]);
+    }
+
+    #[test]
+    fn unscanned_relations_get_max_rank() {
+        let c = catalog_with_sizes(&[("a", 10), ("b", 10), ("unused", 10)]);
+        let q = SpjQuery::builder(&c)
+            .relation("a").relation("b")
+            .join(("a", "k"), ("b", "k"))
+            .build()
+            .unwrap();
+        let batch = QueryBatch::from_queries(c.len(), &[q]).unwrap();
+        let ranks = rank_relations(&batch, &c);
+        assert_eq!(ranks[c.relation_id("unused").unwrap().index()], usize::MAX);
+    }
+
+    #[test]
+    fn equal_size_chain_terminates() {
+        let c = catalog_with_sizes(&[("x", 10), ("y", 10), ("z", 10)]);
+        let q = SpjQuery::builder(&c)
+            .relation("x").relation("y").relation("z")
+            .join(("x", "k"), ("y", "k"))
+            .join(("y", "k"), ("z", "k"))
+            .build()
+            .unwrap();
+        let batch = QueryBatch::from_queries(c.len(), &[q]).unwrap();
+        let ranks = rank_relations(&batch, &c);
+        // All ranked (progress guaranteed even with ties).
+        assert!(ranks.iter().take(3).all(|&r| r != usize::MAX));
+    }
+}

@@ -1,0 +1,187 @@
+//! [`PlanSpace`] implementations for the two episode phases (§3, §4.1).
+//!
+//! * [`JoinSpace`] — operators are the batch's distinct join edges, the
+//!   lineage is a relation bitset, candidates follow Definition 5 over the
+//!   join dependency graph, and divergence is driven by each edge's `Q_o`.
+//! * [`SelectionSpace`] — operators are one relation's selection groups,
+//!   the lineage is an applied-operator bitset, and `Q_o` is the full
+//!   query set (a selection evaluates a TRUE predicate for queries without
+//!   one, so ordering decisions never diverge); groups whose predicate
+//!   owners don't intersect the vector's queries are no-ops and excluded
+//!   from the candidate set.
+
+use roulette_core::{OpKind, QuerySet, RelId, RelSet};
+use roulette_policy::{Lineage, OpId, PlanSpace};
+use roulette_query::QueryBatch;
+
+/// Join-phase plan space over a batch's distinct edges.
+pub struct JoinSpace<'a> {
+    batch: &'a QueryBatch,
+}
+
+impl<'a> JoinSpace<'a> {
+    /// Wraps a batch.
+    pub fn new(batch: &'a QueryBatch) -> Self {
+        JoinSpace { batch }
+    }
+}
+
+impl PlanSpace for JoinSpace<'_> {
+    fn candidates(&self, lineage: Lineage, queries: &QuerySet, out: &mut Vec<OpId>) {
+        self.batch.join_candidates(RelSet(lineage), queries, out);
+    }
+
+    fn op_queries(&self, op: OpId) -> &QuerySet {
+        self.batch.edge_queries(op)
+    }
+
+    fn op_kind(&self, _op: OpId) -> OpKind {
+        OpKind::Join
+    }
+
+    fn apply(&self, lineage: Lineage, op: OpId) -> Lineage {
+        let (a, b) = self.batch.edge(op).rels();
+        RelSet(lineage).with(a).with(b).0
+    }
+}
+
+/// Selection-phase plan space for one relation.
+pub struct SelectionSpace<'a> {
+    /// Predicate owners per local group (aligned with
+    /// `batch.selections_of(rel)`).
+    owners: Vec<&'a QuerySet>,
+    /// The all-queries set (`Q_o` of every selection operator).
+    full: &'a QuerySet,
+}
+
+impl<'a> SelectionSpace<'a> {
+    /// Builds the space for `rel`. `sel_owners` maps *global* selection
+    /// group ids to their predicate-owner query-sets; `full` is the
+    /// batch-capacity full set.
+    pub fn new(
+        batch: &'a QueryBatch,
+        rel: RelId,
+        sel_owners: &'a [QuerySet],
+        full: &'a QuerySet,
+    ) -> Self {
+        let owners =
+            batch.selections_of(rel).iter().map(|&g| &sel_owners[g as usize]).collect();
+        SelectionSpace { owners, full }
+    }
+
+    /// Number of selection operators for the relation.
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Whether the relation has no selection groups.
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+}
+
+impl PlanSpace for SelectionSpace<'_> {
+    fn candidates(&self, lineage: Lineage, queries: &QuerySet, out: &mut Vec<OpId>) {
+        out.clear();
+        for (i, owners) in self.owners.iter().enumerate() {
+            if lineage & (1 << i) == 0 && owners.intersects(queries) {
+                out.push(i as OpId);
+            }
+        }
+    }
+
+    fn op_queries(&self, _op: OpId) -> &QuerySet {
+        self.full
+    }
+
+    fn op_kind(&self, _op: OpId) -> OpKind {
+        OpKind::Selection
+    }
+
+    fn apply(&self, lineage: Lineage, op: OpId) -> Lineage {
+        lineage | (1 << op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_core::QueryId;
+    use roulette_query::SpjQuery;
+    use roulette_storage::{Catalog, RelationBuilder};
+
+    fn setup() -> (Catalog, QueryBatch) {
+        let mut c = Catalog::new();
+        for name in ["r", "s", "t"] {
+            let mut b = RelationBuilder::new(name);
+            b.int64("k", vec![0, 1]);
+            b.int64("v", vec![0, 1]);
+            c.add(b.build()).unwrap();
+        }
+        let q0 = SpjQuery::builder(&c)
+            .relation("r").relation("s")
+            .join(("r", "k"), ("s", "k"))
+            .range("r", "v", 0, 0)
+            .build()
+            .unwrap();
+        let q1 = SpjQuery::builder(&c)
+            .relation("r").relation("s").relation("t")
+            .join(("r", "k"), ("s", "k"))
+            .join(("s", "k"), ("t", "k"))
+            .range("r", "k", 0, 1)
+            .build()
+            .unwrap();
+        let batch = QueryBatch::from_queries(c.len(), &[q0, q1]).unwrap();
+        (c, batch)
+    }
+
+    #[test]
+    fn join_space_candidates_and_apply() {
+        let (c, batch) = setup();
+        let space = JoinSpace::new(&batch);
+        let r = c.relation_id("r").unwrap();
+        let mut out = Vec::new();
+        space.candidates(RelSet::singleton(r).0, &QuerySet::full(2), &mut out);
+        assert_eq!(out.len(), 1); // only R⋈S from {R}
+        let next = space.apply(RelSet::singleton(r).0, out[0]);
+        assert_eq!(RelSet(next).len(), 2);
+        assert_eq!(space.op_kind(out[0]), OpKind::Join);
+        // From {R,S}, S⋈T appears but only intersects Q1.
+        space.candidates(next, &QuerySet::singleton(QueryId(0), 2), &mut out);
+        assert!(out.is_empty());
+        space.candidates(next, &QuerySet::full(2), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn selection_space_skips_irrelevant_groups() {
+        let (c, batch) = setup();
+        let full = QuerySet::full(2);
+        let owners: Vec<QuerySet> = batch
+            .selection_groups()
+            .iter()
+            .map(|g| {
+                let mut qs = QuerySet::empty(2);
+                for &(q, _, _) in &g.preds {
+                    qs.insert(q);
+                }
+                qs
+            })
+            .collect();
+        let r = c.relation_id("r").unwrap();
+        let space = SelectionSpace::new(&batch, r, &owners, &full);
+        assert_eq!(space.len(), 2); // r.v (q0) and r.k (q1)
+        let mut out = Vec::new();
+        space.candidates(0, &full, &mut out);
+        assert_eq!(out.len(), 2);
+        // With only Q0 active, the r.k group (owned by Q1) is a no-op.
+        space.candidates(0, &QuerySet::singleton(QueryId(0), 2), &mut out);
+        assert_eq!(out.len(), 1);
+        // Applied groups drop out.
+        space.candidates(0b1, &full, &mut out);
+        assert_eq!(out, vec![1]);
+        // Selections never diverge: Q_o is the full set.
+        assert_eq!(space.op_queries(0), &full);
+        assert_eq!(space.op_kind(0), OpKind::Selection);
+    }
+}

@@ -1,0 +1,454 @@
+//! State Modules (STeMs) — the shared join state (§2.2, §5.1).
+//!
+//! RouLette keeps one STeM per base relation, shared across all queries and
+//! joins. Entries are *unified*: `(index-vector, vID, version, query-set)`
+//! stored columnarly; each hash index materializes its join key and chains
+//! entries through a self-referential `next` vector (the paper's
+//! index-vector element).
+//!
+//! ## Insert-probe atomicity (scalable versioning, §5.2)
+//!
+//! Symmetric-join correctness requires each match be produced by exactly
+//! one side: a probe only sees entries with a *strictly older* version.
+//! Versions are assigned per inserted vector ("batch versioning" — one
+//! version per 1024-tuple vector, not per tuple) from a global atomic
+//! counter, *inside* the STeM's write latch. Probes hold the read latch.
+//! This gives the required invariant cheaply: if `entry.version <
+//! probe.version`, the entry's insert critical section completed before the
+//! probe's read latch, so the entry is visible; otherwise the entry's
+//! inserter holds the later version and will see the prober's tuples when
+//! it probes. Latches are taken once per *vector*, so synchronization cost
+//! is two atomic acquisitions per episode per STeM — the same granularity
+//! the paper's wait-free scheme achieves.
+
+use parking_lot::{RwLock, RwLockReadGuard};
+use roulette_core::{ColId, QuerySetColumn, RelId};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Version value meaning "see everything" (semi-joins against completed
+/// scans).
+///
+/// Versions are `u32` and one is consumed per inserted vector; a session
+/// would need ~4.3 billion episodes (quadrillions of tuples at the default
+/// vector size) to exhaust them, far beyond the in-memory datasets STeMs
+/// can hold. Sessions are per-batch, so the counter resets naturally.
+pub const VERSION_ALL: u32 = u32::MAX;
+
+#[inline]
+fn hash_key(key: i64) -> u64 {
+    // SplitMix64 finalizer — cheap and well-distributed for integer keys.
+    let mut z = key as u64;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One hash index of a STeM (per join-key column).
+#[derive(Debug)]
+struct StemIndex {
+    /// Materialized join key per entry (avoids late materialization on the
+    /// probe's inner loop).
+    keys: Vec<i64>,
+    /// Bucket heads: entry index + 1, 0 = empty.
+    buckets: Vec<u32>,
+    /// Chain links: next entry index + 1, 0 = end.
+    next: Vec<u32>,
+    mask: usize,
+}
+
+impl StemIndex {
+    fn new() -> Self {
+        const INIT: usize = 1024;
+        StemIndex { keys: Vec::new(), buckets: vec![0; INIT], next: Vec::new(), mask: INIT - 1 }
+    }
+
+    fn insert(&mut self, key: i64) {
+        if self.keys.len() + 1 > self.buckets.len() - self.buckets.len() / 4 {
+            self.grow();
+        }
+        let idx = self.keys.len() as u32;
+        self.keys.push(key);
+        let b = (hash_key(key) as usize) & self.mask;
+        self.next.push(self.buckets[b]);
+        self.buckets[b] = idx + 1;
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.buckets.len() * 2;
+        self.buckets.clear();
+        self.buckets.resize(new_size, 0);
+        self.mask = new_size - 1;
+        for (i, &k) in self.keys.iter().enumerate() {
+            let b = (hash_key(k) as usize) & self.mask;
+            self.next[i] = self.buckets[b];
+            self.buckets[b] = i as u32 + 1;
+        }
+    }
+
+    /// Calls `f(entry_index)` for every entry with this key.
+    #[inline]
+    fn for_each_match(&self, key: i64, mut f: impl FnMut(usize)) {
+        let b = (hash_key(key) as usize) & self.mask;
+        let mut cur = self.buckets[b];
+        while cur != 0 {
+            let e = (cur - 1) as usize;
+            if self.keys[e] == key {
+                f(e);
+            }
+            cur = self.next[e];
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StemInner {
+    vids: Vec<u32>,
+    versions: Vec<u32>,
+    qsets: QuerySetColumn,
+    indices: Vec<StemIndex>,
+}
+
+/// A shared, versioned, multi-index state module for one relation.
+#[derive(Debug)]
+pub struct Stem {
+    rel: RelId,
+    key_cols: Vec<ColId>,
+    inner: RwLock<StemInner>,
+}
+
+impl Stem {
+    /// Creates a STeM for `rel` with one hash index per key column.
+    /// `words_per_set` fixes the query-set width.
+    pub fn new(rel: RelId, key_cols: Vec<ColId>, words_per_set: usize) -> Self {
+        let indices = key_cols.iter().map(|_| StemIndex::new()).collect();
+        Stem {
+            rel,
+            key_cols,
+            inner: RwLock::new(StemInner {
+                vids: Vec::new(),
+                versions: Vec::new(),
+                qsets: QuerySetColumn::new(words_per_set),
+                indices,
+            }),
+        }
+    }
+
+    /// The STeM's relation.
+    #[inline]
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// The indexed key columns, in index order.
+    #[inline]
+    pub fn key_cols(&self) -> &[ColId] {
+        &self.key_cols
+    }
+
+    /// Index id of `col`, if indexed.
+    pub fn index_of(&self, col: ColId) -> Option<usize> {
+        self.key_cols.iter().position(|&c| c == col)
+    }
+
+    /// Inserts a vector of tuples, assigning it a fresh global version
+    /// under the write latch (see module docs). `keys[k][i]` is tuple `i`'s
+    /// key for index `k`. Returns the assigned version.
+    pub fn insert_vector(
+        &self,
+        vids: &[u32],
+        qsets: &QuerySetColumn,
+        keys: &[Vec<i64>],
+        global_version: &AtomicU32,
+    ) -> u32 {
+        debug_assert_eq!(keys.len(), self.key_cols.len());
+        debug_assert_eq!(qsets.len(), vids.len());
+        let mut inner = self.inner.write();
+        let version = global_version.fetch_add(1, Ordering::Relaxed);
+        inner.vids.extend_from_slice(vids);
+        let new_len = inner.versions.len() + vids.len();
+        inner.versions.resize(new_len, version);
+        for i in 0..vids.len() {
+            inner.qsets.push_row_from(qsets, i);
+        }
+        for (k, index_keys) in keys.iter().enumerate() {
+            debug_assert_eq!(index_keys.len(), vids.len());
+            let idx = &mut inner.indices[k];
+            for &key in index_keys {
+                idx.insert(key);
+            }
+        }
+        version
+    }
+
+    /// Adds a hash index on `col` if absent, retroactively indexing stored
+    /// entries by gathering their keys from the base column (dynamic query
+    /// admission can introduce new join keys mid-run).
+    pub fn ensure_index(&mut self, col: ColId, column: &roulette_storage::Column) -> usize {
+        if let Some(i) = self.index_of(col) {
+            return i;
+        }
+        let inner = self.inner.get_mut();
+        let mut idx = StemIndex::new();
+        for &vid in &inner.vids {
+            idx.insert(column.value(vid as usize));
+        }
+        inner.indices.push(idx);
+        self.key_cols.push(col);
+        self.key_cols.len() - 1
+    }
+
+    /// Acquires the probe-side read latch once per vector.
+    pub fn read(&self) -> StemReader<'_> {
+        StemReader { guard: self.inner.read() }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().vids.len()
+    }
+
+    /// Approximate resident bytes (entry block + indices). STeM footprint
+    /// bounds the dataset size RouLette can process (§3), so the engine
+    /// surfaces it in its statistics.
+    pub fn memory_bytes(&self) -> usize {
+        let inner = self.inner.read();
+        let entries = inner.vids.capacity() * std::mem::size_of::<u32>()
+            + inner.versions.capacity() * std::mem::size_of::<u32>()
+            + std::mem::size_of_val(inner.qsets.raw());
+        let indices: usize = inner
+            .indices
+            .iter()
+            .map(|i| {
+                i.keys.capacity() * std::mem::size_of::<i64>()
+                    + (i.buckets.capacity() + i.next.capacity()) * std::mem::size_of::<u32>()
+            })
+            .sum();
+        entries + indices
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Read access to a STeM for the duration of one probe vector.
+pub struct StemReader<'a> {
+    guard: RwLockReadGuard<'a, StemInner>,
+}
+
+impl StemReader<'_> {
+    /// Calls `f(entry, entry_qset_words, entry_vid)` for every match of
+    /// `key` in index `index_id` with version strictly older than
+    /// `version` (pass [`VERSION_ALL`] to see everything).
+    #[inline]
+    pub fn probe(&self, index_id: usize, key: i64, version: u32, mut f: impl FnMut(&[u64], u32)) {
+        let inner = &*self.guard;
+        inner.indices[index_id].for_each_match(key, |e| {
+            if inner.versions[e] < version {
+                f(inner.qsets.row(e), inner.vids[e]);
+            }
+        });
+    }
+
+    /// Semi-join support for symmetric join pruning (§5.2): ORs into
+    /// `acc` the query-sets of all matches of `key` (any version).
+    #[inline]
+    pub fn semijoin_mask(&self, index_id: usize, key: i64, acc: &mut [u64]) {
+        let inner = &*self.guard;
+        inner.indices[index_id].for_each_match(key, |e| {
+            for (a, w) in acc.iter_mut().zip(inner.qsets.row(e)) {
+                *a |= w;
+            }
+        });
+    }
+
+    /// Number of entries visible to this reader.
+    pub fn len(&self) -> usize {
+        self.guard.vids.len()
+    }
+
+    /// Whether the STeM is empty.
+    pub fn is_empty(&self) -> bool {
+        self.guard.vids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_core::QuerySet;
+
+    fn qcol(sets: &[&QuerySet]) -> QuerySetColumn {
+        let mut c = QuerySetColumn::new(sets[0].width());
+        for s in sets {
+            c.push(s.words());
+        }
+        c
+    }
+
+    #[test]
+    fn insert_and_probe_round_trip() {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 1);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(2);
+        let v = stem.insert_vector(&[10, 11, 12], &qcol(&[&q, &q, &q]), &[vec![5, 7, 5]], &global);
+        assert_eq!(v, 0);
+        assert_eq!(stem.len(), 3);
+        let r = stem.read();
+        let mut hits = Vec::new();
+        r.probe(0, 5, VERSION_ALL, |_, vid| hits.push(vid));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![10, 12]);
+        let mut none = 0;
+        r.probe(0, 99, VERSION_ALL, |_, _| none += 1);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn version_filtering_enforces_atomicity() {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 1);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(1);
+        let v0 = stem.insert_vector(&[1], &qcol(&[&q]), &[vec![42]], &global);
+        let v1 = stem.insert_vector(&[2], &qcol(&[&q]), &[vec![42]], &global);
+        assert!(v0 < v1);
+        let r = stem.read();
+        // A probe at version v1 sees only the v0 entry.
+        let mut hits = Vec::new();
+        r.probe(0, 42, v1, |_, vid| hits.push(vid));
+        assert_eq!(hits, vec![1]);
+        // A probe at version v0 sees nothing (no strictly older entries).
+        hits.clear();
+        r.probe(0, 42, v0, |_, vid| hits.push(vid));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn multiple_indices_are_independent() {
+        let stem = Stem::new(RelId(0), vec![ColId(0), ColId(3)], 1);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(1);
+        stem.insert_vector(&[7], &qcol(&[&q]), &[vec![1], vec![100]], &global);
+        assert_eq!(stem.index_of(ColId(3)), Some(1));
+        assert_eq!(stem.index_of(ColId(9)), None);
+        let r = stem.read();
+        let mut hits = 0;
+        r.probe(1, 100, VERSION_ALL, |_, _| hits += 1);
+        assert_eq!(hits, 1);
+        hits = 0;
+        r.probe(0, 100, VERSION_ALL, |_, _| hits += 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn index_growth_preserves_entries() {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 1);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(1);
+        let n = 10_000u32;
+        let vids: Vec<u32> = (0..n).collect();
+        let keys: Vec<i64> = (0..n as i64).map(|i| i % 97).collect();
+        let mut qc = QuerySetColumn::new(1);
+        for _ in 0..n {
+            qc.push(q.words());
+        }
+        stem.insert_vector(&vids, &qc, &[keys], &global);
+        let r = stem.read();
+        let mut hits = 0;
+        r.probe(0, 13, VERSION_ALL, |_, _| hits += 1);
+        let expected = (0..n as i64).filter(|i| i % 97 == 13).count();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn ensure_index_retroactively_indexes_entries() {
+        let mut stem = Stem::new(RelId(0), vec![ColId(0)], 1);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(1);
+        // Entries reference base rows 0..4 before the second index exists.
+        stem.insert_vector(&[0, 1, 2, 3], &qcol(&[&q, &q, &q, &q]), &[vec![0, 1, 2, 3]], &global);
+        let base = roulette_storage::Column::Int64(vec![7, 8, 7, 8]);
+        let idx = stem.ensure_index(ColId(5), &base);
+        assert_eq!(idx, 1);
+        // Idempotent.
+        assert_eq!(stem.ensure_index(ColId(5), &base), 1);
+        let r = stem.read();
+        let mut hits = Vec::new();
+        r.probe(1, 7, VERSION_ALL, |_, vid| hits.push(vid));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_entries() {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 2);
+        let global = AtomicU32::new(0);
+        let empty = stem.memory_bytes();
+        let q = QuerySet::full(100);
+        let n = 4096u32;
+        let mut qc = QuerySetColumn::new(2);
+        for _ in 0..n {
+            qc.push(q.words());
+        }
+        let vids: Vec<u32> = (0..n).collect();
+        let keys: Vec<i64> = (0..n as i64).collect();
+        stem.insert_vector(&vids, &qc, &[keys], &global);
+        let full = stem.memory_bytes();
+        // At least vids + versions + qsets + keys worth of growth.
+        assert!(full > empty + n as usize * (4 + 4 + 16 + 8) - 1, "{empty} → {full}");
+    }
+
+    #[test]
+    fn semijoin_mask_unions_query_sets() {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 1);
+        let global = AtomicU32::new(0);
+        let q0 = QuerySet::singleton(roulette_core::QueryId(0), 3);
+        let q2 = QuerySet::singleton(roulette_core::QueryId(2), 3);
+        stem.insert_vector(&[1, 2], &qcol(&[&q0, &q2]), &[vec![5, 5]], &global);
+        let r = stem.read();
+        let mut mask = [0u64];
+        r.semijoin_mask(0, 5, &mut mask);
+        assert_eq!(mask[0], 0b101);
+        mask = [0];
+        r.semijoin_mask(0, 9, &mut mask);
+        assert_eq!(mask[0], 0);
+    }
+
+    #[test]
+    fn concurrent_insert_probe_exactly_once() {
+        // Two threads symmetric-join R and S: each inserts its vector then
+        // probes the other side. Every (r, s) match must be found exactly
+        // once across both threads.
+        use std::sync::Arc;
+        let stem_r = Arc::new(Stem::new(RelId(0), vec![ColId(0)], 1));
+        let stem_s = Arc::new(Stem::new(RelId(1), vec![ColId(0)], 1));
+        let global = Arc::new(AtomicU32::new(0));
+        let q = QuerySet::full(1);
+
+        for trial in 0..50 {
+            let found = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let mk = |own: Arc<Stem>, other: Arc<Stem>, vid: u32| {
+                let global = Arc::clone(&global);
+                let q = q.clone();
+                let found = Arc::clone(&found);
+                move || {
+                    let key = 1000 + trial;
+                    let mut qc = QuerySetColumn::new(1);
+                    qc.push(q.words());
+                    let v = own.insert_vector(&[vid], &qc, &[vec![key]], &global);
+                    let r = other.read();
+                    r.probe(0, key, v, |_, other_vid| {
+                        found.lock().unwrap().push((vid, other_vid));
+                    });
+                }
+            };
+            let t1 = std::thread::spawn(mk(Arc::clone(&stem_r), Arc::clone(&stem_s), trial as u32));
+            let t2 = std::thread::spawn(mk(Arc::clone(&stem_s), Arc::clone(&stem_r), trial as u32));
+            t1.join().unwrap();
+            t2.join().unwrap();
+            let matches = found.lock().unwrap();
+            assert_eq!(matches.len(), 1, "trial {trial}: {:?}", *matches);
+        }
+    }
+}

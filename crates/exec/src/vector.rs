@@ -1,0 +1,187 @@
+//! Intermediate data vectors.
+//!
+//! The prototype uses columnar data with late materialization (§3): a
+//! vector carries one virtual-ID (vID) column per base relation present in
+//! its lineage, plus the tuples' query-sets. Operators gather attribute
+//! mini-columns from base storage on demand. Adaptive projections (§5.2)
+//! drop vID columns that no downstream operator needs.
+
+use roulette_core::{QuerySet, QuerySetColumn, RelId};
+
+/// A batch of Data-Query-model tuples in vID form.
+#[derive(Debug, Clone)]
+pub struct DataVector {
+    /// One `(relation, vID column)` pair per lineage relation still
+    /// carried. Order is insertion order (probe order).
+    cols: Vec<(RelId, Vec<u32>)>,
+    /// Per-tuple query-sets, aligned with the vID columns.
+    pub qsets: QuerySetColumn,
+}
+
+impl DataVector {
+    /// An empty vector whose query-sets are `words_per_set` words wide.
+    pub fn new(words_per_set: usize) -> Self {
+        DataVector { cols: Vec::new(), qsets: QuerySetColumn::new(words_per_set) }
+    }
+
+    /// Builds a base-scan vector: rows `start..end` of `rel`, all annotated
+    /// with `queries`.
+    pub fn from_scan(rel: RelId, start: usize, end: usize, queries: &QuerySet) -> Self {
+        let n = end - start;
+        let mut qsets = QuerySetColumn::with_capacity(queries.width(), n);
+        let mut vids = Vec::with_capacity(n);
+        for row in start..end {
+            vids.push(row as u32);
+            qsets.push(queries.words());
+        }
+        DataVector { cols: vec![(rel, vids)], qsets }
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.qsets.len()
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.qsets.is_empty()
+    }
+
+    /// The carried `(relation, vID column)` pairs.
+    #[inline]
+    pub fn columns(&self) -> &[(RelId, Vec<u32>)] {
+        &self.cols
+    }
+
+    /// The vID column of `rel`, if still carried.
+    pub fn vids_of(&self, rel: RelId) -> Option<&[u32]> {
+        self.cols.iter().find(|(r, _)| *r == rel).map(|(_, v)| v.as_slice())
+    }
+
+    /// Appends a vID column (used when constructing probe outputs).
+    pub fn push_column(&mut self, rel: RelId, vids: Vec<u32>) {
+        debug_assert!(self.vids_of(rel).is_none(), "duplicate column for {rel}");
+        debug_assert!(vids.len() == self.len() || self.cols.is_empty());
+        self.cols.push((rel, vids));
+    }
+
+    /// Drops every vID column whose relation is not in `keep` — the
+    /// adaptive-projection primitive.
+    pub fn project(&mut self, keep: impl Fn(RelId) -> bool) {
+        self.cols.retain(|(r, _)| keep(*r));
+    }
+
+    /// Keeps only tuples where `keep[i]`, compacting all columns.
+    pub fn retain(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len());
+        for (_, vids) in &mut self.cols {
+            let mut out = 0;
+            for (i, &k) in keep.iter().enumerate() {
+                if k {
+                    vids[out] = vids[i];
+                    out += 1;
+                }
+            }
+            vids.truncate(out);
+        }
+        self.qsets.retain_rows(keep);
+    }
+
+    /// Clears tuples but keeps column structure and allocations.
+    pub fn clear_rows(&mut self) {
+        for (_, vids) in &mut self.cols {
+            vids.clear();
+        }
+        self.qsets.clear();
+    }
+
+    /// Copies tuples `[start, end)` into a new vector with the same
+    /// columns (pending-vector chunking).
+    pub fn slice(&self, start: usize, end: usize) -> DataVector {
+        debug_assert!(start <= end && end <= self.len());
+        let mut qsets =
+            roulette_core::QuerySetColumn::with_capacity(self.qsets.words_per_set(), end - start);
+        for i in start..end {
+            qsets.push(self.qsets.row(i));
+        }
+        DataVector {
+            cols: self
+                .cols
+                .iter()
+                .map(|(rel, vids)| (*rel, vids[start..end].to_vec()))
+                .collect(),
+            qsets,
+        }
+    }
+
+    /// Total vID cells carried (a footprint metric for the adaptive-
+    /// projection ablation).
+    pub fn footprint_cells(&self) -> usize {
+        self.cols.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_scan_builds_aligned_columns() {
+        let qs = QuerySet::full(3);
+        let v = DataVector::from_scan(RelId(2), 10, 14, &qs);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.vids_of(RelId(2)).unwrap(), &[10, 11, 12, 13]);
+        assert!(v.vids_of(RelId(0)).is_none());
+        for i in 0..4 {
+            assert_eq!(v.qsets.get(i).len(), 3);
+        }
+    }
+
+    #[test]
+    fn retain_compacts_all_columns() {
+        let qs = QuerySet::full(1);
+        let mut v = DataVector::from_scan(RelId(0), 0, 4, &qs);
+        v.push_column(RelId(1), vec![9, 8, 7, 6]);
+        v.retain(&[true, false, false, true]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.vids_of(RelId(0)).unwrap(), &[0, 3]);
+        assert_eq!(v.vids_of(RelId(1)).unwrap(), &[9, 6]);
+    }
+
+    #[test]
+    fn project_drops_columns() {
+        let qs = QuerySet::full(1);
+        let mut v = DataVector::from_scan(RelId(0), 0, 2, &qs);
+        v.push_column(RelId(1), vec![5, 5]);
+        assert_eq!(v.footprint_cells(), 4);
+        v.project(|r| r == RelId(1));
+        assert!(v.vids_of(RelId(0)).is_none());
+        assert!(v.vids_of(RelId(1)).is_some());
+        assert_eq!(v.footprint_cells(), 2);
+        // Row data survives projection.
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn slice_copies_rows_and_columns() {
+        let qs = QuerySet::full(2);
+        let mut v = DataVector::from_scan(RelId(0), 0, 6, &qs);
+        v.push_column(RelId(1), vec![10, 11, 12, 13, 14, 15]);
+        let s = v.slice(2, 5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.vids_of(RelId(0)).unwrap(), &[2, 3, 4]);
+        assert_eq!(s.vids_of(RelId(1)).unwrap(), &[12, 13, 14]);
+        assert_eq!(s.qsets.row(0), v.qsets.row(2));
+        let empty = v.slice(3, 3);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn empty_scan_vector() {
+        let qs = QuerySet::full(1);
+        let v = DataVector::from_scan(RelId(0), 5, 5, &qs);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! The execution log (§4.3).
+//!
+//! By monitoring execution, the eddy generates a log entry for each
+//! processed operator in the format `(L, Q, o, n_in, n_out, n_div)`, where
+//! `n_div` is the output size of the divergence routing selection
+//! `σ_{Q−Q_o}`, if any. At the end of each episode the entries drive
+//! policy updates.
+
+use crate::space::{Lineage, OpId, Scope};
+use roulette_core::QuerySet;
+
+/// One execution-log record.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Plan space the operator belongs to.
+    pub scope: Scope,
+    /// Lineage `L` of the operator's input virtual vector.
+    pub lineage: Lineage,
+    /// Query-set `Q` of the input virtual vector.
+    pub queries: QuerySet,
+    /// The processed operator.
+    pub op: OpId,
+    /// Input cardinality.
+    pub n_in: u64,
+    /// Operator output cardinality.
+    pub n_out: u64,
+    /// Divergence routing-selection output cardinality, if the decision
+    /// caused divergence.
+    pub n_div: Option<u64>,
+}
+
+/// An episode's worth of log entries, reused across episodes to avoid
+/// reallocation.
+#[derive(Debug, Default)]
+pub struct ExecutionLog {
+    entries: Vec<LogEntry>,
+}
+
+impl ExecutionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry.
+    #[inline]
+    pub fn push(&mut self, entry: LogEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The recorded entries in execution order.
+    #[inline]
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Clears the log for the next episode.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of join-operator outputs — the §6.2 "intermediate join tuples"
+    /// metric.
+    pub fn join_tuples(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.scope == Scope::JOIN)
+            .map(|e| e.n_out)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(scope: Scope, n_out: u64) -> LogEntry {
+        LogEntry {
+            scope,
+            lineage: 1,
+            queries: QuerySet::full(2),
+            op: 0,
+            n_in: 10,
+            n_out,
+            n_div: None,
+        }
+    }
+
+    #[test]
+    fn push_and_clear() {
+        let mut log = ExecutionLog::new();
+        assert!(log.is_empty());
+        log.push(entry(Scope::JOIN, 5));
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn join_tuples_counts_only_join_scope() {
+        let mut log = ExecutionLog::new();
+        log.push(entry(Scope::JOIN, 5));
+        log.push(entry(Scope::JOIN, 7));
+        log.push(entry(Scope::selection(roulette_core::RelId(0)), 100));
+        assert_eq!(log.join_tuples(), 12);
+    }
+}

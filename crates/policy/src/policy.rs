@@ -1,0 +1,103 @@
+//! The policy interface consumed by the eddy.
+//!
+//! A policy makes Definition 6's decisions — pick one candidate operator
+//! for a virtual vector `(L, Q)` — and is refined from execution-log
+//! entries after each episode. Implementations: [`crate::QLearningPolicy`]
+//! (the paper's contribution), [`crate::GreedyPolicy`] (the CACQ/CJOIN
+//! selectivity heuristic), and [`RandomPolicy`] (a lower bound for
+//! ablations).
+
+use crate::log::LogEntry;
+use crate::space::{Lineage, OpId, PlanSpace, Scope};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roulette_core::QuerySet;
+
+/// A planning policy: chooses candidates and learns from observations.
+pub trait Policy: Send {
+    /// Chooses one of `candidates` (non-empty) for virtual vector
+    /// `(lineage, queries)`.
+    fn choose(
+        &mut self,
+        scope: Scope,
+        lineage: Lineage,
+        queries: &QuerySet,
+        candidates: &[OpId],
+        space: &dyn PlanSpace,
+    ) -> OpId;
+
+    /// Incorporates one execution-log entry.
+    fn observe(&mut self, entry: &LogEntry, space: &dyn PlanSpace);
+
+    /// The policy's current estimate of the best-case cumulative cost per
+    /// input tuple at `(lineage, queries)`, as a non-positive value
+    /// (0 when unknown). Used by the convergence experiments (Fig. 16).
+    fn estimate(
+        &self,
+        scope: Scope,
+        lineage: Lineage,
+        queries: &QuerySet,
+        space: &dyn PlanSpace,
+    ) -> f64;
+
+    /// Discards learned state (queries finished processing).
+    fn reset(&mut self);
+}
+
+/// Chooses uniformly at random; learns nothing.
+#[derive(Debug)]
+pub struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// A seeded random policy.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Policy for RandomPolicy {
+    fn choose(
+        &mut self,
+        _scope: Scope,
+        _lineage: Lineage,
+        _queries: &QuerySet,
+        candidates: &[OpId],
+        _space: &dyn PlanSpace,
+    ) -> OpId {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    fn observe(&mut self, _entry: &LogEntry, _space: &dyn PlanSpace) {}
+
+    fn estimate(
+        &self,
+        _scope: Scope,
+        _lineage: Lineage,
+        _queries: &QuerySet,
+        _space: &dyn PlanSpace,
+    ) -> f64 {
+        0.0
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::testing::ToySpace;
+
+    #[test]
+    fn random_policy_picks_all_candidates_eventually() {
+        let space = ToySpace::uniform(4, 1);
+        let mut p = RandomPolicy::new(3);
+        let qs = QuerySet::full(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(p.choose(Scope::JOIN, 0, &qs, &[0, 1, 2, 3], &space));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

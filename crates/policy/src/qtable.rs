@@ -1,0 +1,194 @@
+//! The map-based Q-table (§4.3).
+//!
+//! `Q((L, Q), o)` estimates are stored in a hash map indexed by
+//! `(scope, lineage, query-set, op)` triplets — "concatenating the bytes of
+//! L, Q and o forms a unique key". Optimistic initialization means values
+//! start at 0 and only non-zero entries are materialized: failed lookups
+//! return 0 without allocating, which keeps the hot decision path free of
+//! heap traffic (the query-set is hashed from its borrowed words).
+
+use crate::space::{Lineage, OpId, Scope};
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct Entry {
+    scope: Scope,
+    lineage: Lineage,
+    op: OpId,
+    qwords: Box<[u64]>,
+    value: f64,
+}
+
+impl Entry {
+    #[inline]
+    fn matches(&self, scope: Scope, lineage: Lineage, op: OpId, qwords: &[u64]) -> bool {
+        self.scope == scope && self.lineage == lineage && self.op == op && *self.qwords == *qwords
+    }
+}
+
+/// Sparse Q-value table with zero-default lookups.
+#[derive(Debug, Default)]
+pub struct QTable {
+    buckets: HashMap<u64, Vec<Entry>>,
+    len: usize,
+}
+
+/// FNV-1a over the key components; computed from borrowed parts so lookups
+/// never allocate.
+#[inline]
+fn key_hash(scope: Scope, lineage: Lineage, op: OpId, qwords: &[u64]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(scope.0 as u64);
+    mix(lineage);
+    mix(op as u64);
+    for &w in qwords {
+        mix(w);
+    }
+    h
+}
+
+impl QTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current Q-value estimate (0 when never updated — optimistic
+    /// initialization for negative rewards).
+    #[inline]
+    pub fn get(&self, scope: Scope, lineage: Lineage, op: OpId, qwords: &[u64]) -> f64 {
+        match self.buckets.get(&key_hash(scope, lineage, op, qwords)) {
+            Some(entries) => entries
+                .iter()
+                .find(|e| e.matches(scope, lineage, op, qwords))
+                .map_or(0.0, |e| e.value),
+            None => 0.0,
+        }
+    }
+
+    /// Replaces the Q-value with `f(old)`.
+    pub fn update(
+        &mut self,
+        scope: Scope,
+        lineage: Lineage,
+        op: OpId,
+        qwords: &[u64],
+        f: impl FnOnce(f64) -> f64,
+    ) {
+        let h = key_hash(scope, lineage, op, qwords);
+        let entries = self.buckets.entry(h).or_default();
+        if let Some(e) = entries.iter_mut().find(|e| e.matches(scope, lineage, op, qwords)) {
+            e.value = f(e.value);
+        } else {
+            entries.push(Entry {
+                scope,
+                lineage,
+                op,
+                qwords: qwords.to_vec().into_boxed_slice(),
+                value: f(0.0),
+            });
+            self.len += 1;
+        }
+    }
+
+    /// Number of materialized (touched) state-action entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entry has been materialized.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all entries (the paper discards learned state after queries
+    /// finish processing — learning is per-batch).
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: Scope = Scope::JOIN;
+
+    #[test]
+    fn default_is_zero() {
+        let t = QTable::new();
+        assert_eq!(t.get(S, 0b11, 4, &[0b101]), 0.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn update_and_get_round_trip() {
+        let mut t = QTable::new();
+        t.update(S, 0b11, 4, &[0b101], |old| old - 5.0);
+        assert_eq!(t.get(S, 0b11, 4, &[0b101]), -5.0);
+        t.update(S, 0b11, 4, &[0b101], |old| old * 0.5);
+        assert_eq!(t.get(S, 0b11, 4, &[0b101]), -2.5);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let mut t = QTable::new();
+        t.update(S, 1, 0, &[0b1], |_| 1.0);
+        t.update(S, 1, 1, &[0b1], |_| 2.0);
+        t.update(S, 2, 0, &[0b1], |_| 3.0);
+        t.update(S, 1, 0, &[0b10], |_| 4.0);
+        t.update(Scope(0), 1, 0, &[0b1], |_| 5.0);
+        assert_eq!(t.get(S, 1, 0, &[0b1]), 1.0);
+        assert_eq!(t.get(S, 1, 1, &[0b1]), 2.0);
+        assert_eq!(t.get(S, 2, 0, &[0b1]), 3.0);
+        assert_eq!(t.get(S, 1, 0, &[0b10]), 4.0);
+        assert_eq!(t.get(Scope(0), 1, 0, &[0b1]), 5.0);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn multiword_query_sets_compare_fully() {
+        let mut t = QTable::new();
+        t.update(S, 7, 2, &[1, 0], |_| -1.0);
+        assert_eq!(t.get(S, 7, 2, &[1, 0]), -1.0);
+        assert_eq!(t.get(S, 7, 2, &[1, 1]), 0.0);
+        assert_eq!(t.get(S, 7, 2, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = QTable::new();
+        t.update(S, 1, 0, &[1], |_| 1.0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(S, 1, 0, &[1]), 0.0);
+    }
+
+    #[test]
+    fn hash_collisions_resolved_by_full_compare() {
+        // Force many keys through the table; values must all survive.
+        let mut t = QTable::new();
+        for lineage in 0..200u64 {
+            for op in 0..4u16 {
+                t.update(S, lineage, op, &[lineage ^ 0xAA], |_| (lineage * 4 + op as u64) as f64);
+            }
+        }
+        for lineage in 0..200u64 {
+            for op in 0..4u16 {
+                assert_eq!(
+                    t.get(S, lineage, op, &[lineage ^ 0xAA]),
+                    (lineage * 4 + op as u64) as f64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The plan-space abstraction behind policy decisions.
+//!
+//! Multi-step optimization (§4.1) is generic over *what* is being ordered:
+//! the join phase orders STeM probes (operators = distinct join edges,
+//! lineage = relation bitset) and the selection phase orders grouped
+//! filters (operators = selection groups, lineage = applied-operator
+//! bitset). A [`PlanSpace`] supplies the pieces the policy needs —
+//! candidate enumeration (Definition 5), each operator's query-set `Q_o`
+//! (Definition 3), its cost kind, and the lineage transition — so the
+//! Q-learning implementation stays phase-agnostic.
+
+use roulette_core::{OpKind, QuerySet};
+
+/// Identifier of an operator within one plan space (edge id or selection
+/// group id).
+pub type OpId = u16;
+
+/// Namespacing tag for Q-table keys: states from different plan spaces
+/// (the join phase, or one relation's selection phase) must not collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scope(pub u32);
+
+impl Scope {
+    /// The join phase's scope.
+    pub const JOIN: Scope = Scope(u32::MAX);
+
+    /// The selection-phase scope of relation `rel`.
+    pub fn selection(rel: roulette_core::RelId) -> Scope {
+        Scope(rel.0 as u32)
+    }
+}
+
+/// A lineage bitset: relations for the join phase, applied operators for
+/// the selection phase. 64 bits bound both (≤64 relations per catalog,
+/// ≤64 selection groups per relation).
+pub type Lineage = u64;
+
+/// The decision environment of one phase's multi-step optimization.
+pub trait PlanSpace {
+    /// Appends to `out` (cleared first) the candidate operators of virtual
+    /// vector `(lineage, queries)`, in ascending op-id order.
+    fn candidates(&self, lineage: Lineage, queries: &QuerySet, out: &mut Vec<OpId>);
+
+    /// `Q_o`: the queries containing operator `op`.
+    fn op_queries(&self, op: OpId) -> &QuerySet;
+
+    /// Cost-model kind of `op`.
+    fn op_kind(&self, op: OpId) -> OpKind;
+
+    /// The lineage after applying `op`.
+    fn apply(&self, lineage: Lineage, op: OpId) -> Lineage;
+}
+
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+    use roulette_core::QuerySet;
+
+    /// A tiny hand-built plan space for policy unit tests: operators are
+    /// bits; every op not yet in the lineage whose query-set intersects the
+    /// vector is a candidate.
+    pub struct ToySpace {
+        pub op_queries: Vec<QuerySet>,
+        pub kinds: Vec<OpKind>,
+    }
+
+    impl ToySpace {
+        pub fn uniform(n_ops: usize, n_queries: usize) -> Self {
+            ToySpace {
+                op_queries: vec![QuerySet::full(n_queries); n_ops],
+                kinds: vec![OpKind::Join; n_ops],
+            }
+        }
+    }
+
+    impl PlanSpace for ToySpace {
+        fn candidates(&self, lineage: Lineage, queries: &QuerySet, out: &mut Vec<OpId>) {
+            out.clear();
+            for (i, qs) in self.op_queries.iter().enumerate() {
+                if lineage & (1 << i) == 0 && qs.intersects(queries) {
+                    out.push(i as OpId);
+                }
+            }
+        }
+
+        fn op_queries(&self, op: OpId) -> &QuerySet {
+            &self.op_queries[op as usize]
+        }
+
+        fn op_kind(&self, op: OpId) -> OpKind {
+            self.kinds[op as usize]
+        }
+
+        fn apply(&self, lineage: Lineage, op: OpId) -> Lineage {
+            lineage | (1 << op)
+        }
+    }
+
+    #[test]
+    fn toy_space_candidates() {
+        let s = ToySpace::uniform(3, 2);
+        let mut out = Vec::new();
+        s.candidates(0b010, &QuerySet::full(2), &mut out);
+        assert_eq!(out, vec![0, 2]);
+    }
+
+    #[test]
+    fn scope_namespacing() {
+        assert_ne!(Scope::JOIN, Scope::selection(roulette_core::RelId(0)));
+        assert_ne!(
+            Scope::selection(roulette_core::RelId(1)),
+            Scope::selection(roulette_core::RelId(2))
+        );
+    }
+}

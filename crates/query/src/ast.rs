@@ -1,0 +1,436 @@
+//! SPJ query representation.
+//!
+//! RouLette executes Select-Project-Join *sub-queries* delegated by a host
+//! DBMS (§3). A query names its base relations, equi-join predicates, and
+//! conjunctive range selections, plus an optional projection list.
+//!
+//! Join graphs are restricted to *trees* (no cycles, no self-joins, single
+//! equi-join predicate per relation pair). This matches the paper's
+//! workloads — TPC-DS/star-schema and JOB queries are (snow)flake-shaped —
+//! and it is what makes the `(lineage, query-set)` pair a sound state key
+//! for the learned policy: within a tree, the edge set joining a connected
+//! relation subset is unique.
+
+use roulette_core::{ColId, Error, RelId, RelSet, Result};
+use roulette_storage::Catalog;
+use serde::{Deserialize, Serialize};
+
+/// A conjunctive range selection `lo <= rel.col <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangePred {
+    /// Relation the predicate applies to.
+    pub rel: RelId,
+    /// Column (on the `i64` logical view; dictionary columns compare codes).
+    pub col: ColId,
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl RangePred {
+    /// Whether `v` satisfies the predicate.
+    #[inline]
+    pub fn matches(&self, v: i64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+}
+
+/// An equi-join predicate `left.rel.col = right.rel.col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JoinPred {
+    /// One side.
+    pub left: (RelId, ColId),
+    /// The other side.
+    pub right: (RelId, ColId),
+}
+
+impl JoinPred {
+    /// Canonical form: the side with the smaller relation id first.
+    pub fn canonical(self) -> JoinPred {
+        if self.left.0 <= self.right.0 {
+            self
+        } else {
+            JoinPred { left: self.right, right: self.left }
+        }
+    }
+
+    /// The two joined relations.
+    pub fn rels(&self) -> (RelId, RelId) {
+        (self.left.0, self.right.0)
+    }
+
+    /// Given one endpoint relation, returns `(this side, other side)`.
+    pub fn oriented_from(&self, rel: RelId) -> Option<((RelId, ColId), (RelId, ColId))> {
+        if self.left.0 == rel {
+            Some((self.left, self.right))
+        } else if self.right.0 == rel {
+            Some((self.right, self.left))
+        } else {
+            None
+        }
+    }
+}
+
+/// A Select-Project-Join query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpjQuery {
+    /// Base relations scanned by the query.
+    pub relations: RelSet,
+    /// Equi-join predicates; must form a tree over `relations`.
+    pub joins: Vec<JoinPred>,
+    /// Conjunctive range selections.
+    pub predicates: Vec<RangePred>,
+    /// Projected output columns; empty means `COUNT(*)`-style consumption
+    /// (the host only needs cardinality).
+    pub projections: Vec<(RelId, ColId)>,
+}
+
+impl SpjQuery {
+    /// Starts a named-based builder over `catalog`.
+    pub fn builder(catalog: &Catalog) -> SpjQueryBuilder<'_> {
+        SpjQueryBuilder { catalog, relations: RelSet::EMPTY, joins: Vec::new(), predicates: Vec::new(), projections: Vec::new(), error: None }
+    }
+
+    /// Number of joins.
+    pub fn n_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Predicates on `rel`.
+    pub fn predicates_on(&self, rel: RelId) -> impl Iterator<Item = &RangePred> {
+        self.predicates.iter().filter(move |p| p.rel == rel)
+    }
+
+    /// Validates structural invariants against a catalog:
+    /// single-relation queries need no joins; multi-relation queries must
+    /// have a join *tree* spanning exactly `relations`; all columns must
+    /// exist; no self-joins.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        if self.relations.is_empty() {
+            return Err(Error::InvalidQuery("query scans no relations".into()));
+        }
+        for rel in self.relations.iter() {
+            if rel.index() >= catalog.len() {
+                return Err(Error::Schema(format!("unknown relation {rel}")));
+            }
+        }
+        let check_col = |rel: RelId, col: ColId| -> Result<()> {
+            if col.index() >= catalog.relation(rel).width() {
+                return Err(Error::Schema(format!(
+                    "relation '{}' has no column index {}",
+                    catalog.relation(rel).name(),
+                    col.0
+                )));
+            }
+            Ok(())
+        };
+        for p in &self.predicates {
+            if !self.relations.contains(p.rel) {
+                return Err(Error::InvalidQuery(format!("predicate on unscanned {}", p.rel)));
+            }
+            check_col(p.rel, p.col)?;
+            if p.lo > p.hi {
+                return Err(Error::InvalidQuery(format!(
+                    "empty predicate range [{}, {}]",
+                    p.lo, p.hi
+                )));
+            }
+        }
+        // Tree check: |joins| == |relations| - 1 and the joins connect all
+        // relations without touching anything unscanned.
+        if self.joins.len() != self.relations.len() - 1 {
+            return Err(Error::InvalidQuery(format!(
+                "{} joins cannot form a tree over {} relations",
+                self.joins.len(),
+                self.relations.len()
+            )));
+        }
+        let mut seen_pairs = std::collections::HashSet::new();
+        for j in &self.joins {
+            let (a, b) = j.rels();
+            if a == b {
+                return Err(Error::InvalidQuery("self-joins are not supported".into()));
+            }
+            if !self.relations.contains(a) || !self.relations.contains(b) {
+                return Err(Error::InvalidQuery("join touches an unscanned relation".into()));
+            }
+            check_col(j.left.0, j.left.1)?;
+            check_col(j.right.0, j.right.1)?;
+            let key = if a < b { (a, b) } else { (b, a) };
+            if !seen_pairs.insert(key) {
+                return Err(Error::InvalidQuery(format!(
+                    "multiple join predicates between {a} and {b}"
+                )));
+            }
+        }
+        // Connectivity via union-find over relations.
+        let mut parent: std::collections::HashMap<RelId, RelId> =
+            self.relations.iter().map(|r| (r, r)).collect();
+        fn find(parent: &mut std::collections::HashMap<RelId, RelId>, x: RelId) -> RelId {
+            let p = parent[&x];
+            if p == x {
+                x
+            } else {
+                let root = find(parent, p);
+                parent.insert(x, root);
+                root
+            }
+        }
+        for j in &self.joins {
+            let (a, b) = j.rels();
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra == rb {
+                return Err(Error::InvalidQuery("join graph contains a cycle".into()));
+            }
+            parent.insert(ra, rb);
+        }
+        let root = find(&mut parent, self.relations.first().unwrap());
+        for r in self.relations.iter() {
+            if find(&mut parent, r) != root {
+                return Err(Error::InvalidQuery("join graph is disconnected".into()));
+            }
+        }
+        for &(rel, col) in &self.projections {
+            if !self.relations.contains(rel) {
+                return Err(Error::InvalidQuery(format!("projection on unscanned {rel}")));
+            }
+            check_col(rel, col)?;
+        }
+        Ok(())
+    }
+}
+
+/// Name-based builder for [`SpjQuery`].
+pub struct SpjQueryBuilder<'a> {
+    catalog: &'a Catalog,
+    relations: RelSet,
+    joins: Vec<JoinPred>,
+    predicates: Vec<RangePred>,
+    projections: Vec<(RelId, ColId)>,
+    error: Option<Error>,
+}
+
+impl<'a> SpjQueryBuilder<'a> {
+    fn resolve(&mut self, rel: &str, col: &str) -> Option<(RelId, ColId)> {
+        if self.error.is_some() {
+            return None;
+        }
+        match self.catalog.relation_id(rel).and_then(|r| {
+            self.catalog.relation(r).column_id(col).map(|c| (r, c))
+        }) {
+            Ok(rc) => Some(rc),
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+
+    /// Adds a scanned relation by name.
+    pub fn relation(mut self, name: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match self.catalog.relation_id(name) {
+            Ok(r) => self.relations.insert(r),
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Adds an equi-join `a.rel.col = b.rel.col`.
+    pub fn join(mut self, a: (&str, &str), b: (&str, &str)) -> Self {
+        if let (Some(left), Some(right)) = (self.resolve(a.0, a.1), self.resolve(b.0, b.1)) {
+            self.joins.push(JoinPred { left, right }.canonical());
+        }
+        self
+    }
+
+    /// Adds `lo <= rel.col <= hi`.
+    pub fn range(mut self, rel: &str, col: &str, lo: i64, hi: i64) -> Self {
+        if let Some((r, c)) = self.resolve(rel, col) {
+            self.predicates.push(RangePred { rel: r, col: c, lo, hi });
+        }
+        self
+    }
+
+    /// Adds `rel.col = value`.
+    pub fn eq(self, rel: &str, col: &str, value: i64) -> Self {
+        self.range(rel, col, value, value)
+    }
+
+    /// Adds `rel.col = "string"` (dictionary columns).
+    pub fn eq_str(mut self, rel: &str, col: &str, value: &str) -> Self {
+        if let Some((r, c)) = self.resolve(rel, col) {
+            match self.catalog.relation(r).column(c).code_of(value) {
+                Some(code) => {
+                    self.predicates.push(RangePred { rel: r, col: c, lo: code, hi: code })
+                }
+                None => {
+                    // Unknown string: predicate matches nothing.
+                    self.predicates.push(RangePred { rel: r, col: c, lo: 1, hi: 0 });
+                    self.error = Some(Error::InvalidQuery(format!(
+                        "string '{value}' not present in {rel}.{col}"
+                    )));
+                }
+            }
+        }
+        self
+    }
+
+    /// Adds a projected output column.
+    pub fn project(mut self, rel: &str, col: &str) -> Self {
+        if let Some(rc) = self.resolve(rel, col) {
+            self.projections.push(rc);
+        }
+        self
+    }
+
+    /// Finalizes and validates the query.
+    pub fn build(self) -> Result<SpjQuery> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let q = SpjQuery {
+            relations: self.relations,
+            joins: self.joins,
+            predicates: self.predicates,
+            projections: self.projections,
+        };
+        q.validate(self.catalog)?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_storage::RelationBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut r = RelationBuilder::new("r");
+        r.int64("a", vec![1, 2, 3]);
+        r.int64("b", vec![1, 2, 3]);
+        c.add(r.build()).unwrap();
+        let mut s = RelationBuilder::new("s");
+        s.int64("a", vec![1, 2]);
+        s.int64("c", vec![5, 6]);
+        c.add(s.build()).unwrap();
+        let mut t = RelationBuilder::new("t");
+        t.int64("b", vec![1]);
+        c.add(t.build()).unwrap();
+        c
+    }
+
+    #[test]
+    fn builder_constructs_valid_query() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("r")
+            .relation("s")
+            .join(("r", "a"), ("s", "a"))
+            .range("r", "b", 1, 2)
+            .project("s", "c")
+            .build()
+            .unwrap();
+        assert_eq!(q.relations.len(), 2);
+        assert_eq!(q.n_joins(), 1);
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.projections.len(), 1);
+    }
+
+    #[test]
+    fn canonicalization_orders_by_rel_id() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("r")
+            .relation("s")
+            .join(("s", "a"), ("r", "a")) // reversed
+            .build()
+            .unwrap();
+        assert_eq!(q.joins[0].left.0, c.relation_id("r").unwrap());
+    }
+
+    #[test]
+    fn disconnected_join_graph_rejected() {
+        let c = catalog();
+        let err = SpjQuery::builder(&c)
+            .relation("r")
+            .relation("s")
+            .relation("t")
+            .join(("r", "a"), ("s", "a"))
+            .join(("r", "b"), ("s", "c")) // r-s again, not t
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn wrong_join_count_rejected() {
+        let c = catalog();
+        let err = SpjQuery::builder(&c)
+            .relation("r")
+            .relation("s")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("tree"));
+    }
+
+    #[test]
+    fn single_relation_query_needs_no_joins() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c).relation("r").range("r", "a", 1, 2).build().unwrap();
+        assert_eq!(q.n_joins(), 0);
+    }
+
+    #[test]
+    fn unknown_names_surface_as_errors() {
+        let c = catalog();
+        assert!(SpjQuery::builder(&c).relation("nope").build().is_err());
+        assert!(SpjQuery::builder(&c)
+            .relation("r")
+            .range("r", "zz", 0, 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let c = catalog();
+        let err = SpjQuery::builder(&c)
+            .relation("r")
+            .range("r", "a", 5, 2)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("empty predicate range"));
+    }
+
+    #[test]
+    fn oriented_from_returns_sides() {
+        let c = catalog();
+        let r = c.relation_id("r").unwrap();
+        let s = c.relation_id("s").unwrap();
+        let j = JoinPred { left: (r, ColId(0)), right: (s, ColId(0)) };
+        let ((from, _), (to, _)) = j.oriented_from(s).unwrap();
+        assert_eq!(from, s);
+        assert_eq!(to, r);
+        assert!(j.oriented_from(RelId(9)).is_none());
+    }
+
+    #[test]
+    fn predicates_on_filters_by_relation() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("r")
+            .relation("s")
+            .join(("r", "a"), ("s", "a"))
+            .range("r", "a", 0, 9)
+            .range("s", "c", 5, 5)
+            .build()
+            .unwrap();
+        let r = c.relation_id("r").unwrap();
+        assert_eq!(q.predicates_on(r).count(), 1);
+    }
+}

@@ -1,0 +1,374 @@
+//! Batch-level view of scheduled queries.
+//!
+//! Scheduling a batch "updates the predicate list and the join list" (§3):
+//! this module maintains the merged, deduplicated structures the eddy and
+//! the shared operators consume —
+//!
+//! * distinct canonical join predicates (*edges*) with per-edge query-sets
+//!   `Q_o` (Definition 3);
+//! * per-relation scan query-sets;
+//! * per `(relation, column)` *selection groups* holding every query's
+//!   range predicate on that column (the unit of grouped-filter
+//!   evaluation, §5.1).
+//!
+//! The batch is growable: dynamic workloads admit queries at runtime
+//! (§6.2 "Dynamic Opportunities") and the structures update incrementally.
+
+use crate::ast::{JoinPred, SpjQuery};
+use roulette_core::{ColId, Error, QueryId, QuerySet, RelId, RelSet, Result};
+
+/// Index of a distinct join edge within a batch.
+pub type EdgeId = u16;
+
+/// All range predicates of the batch on one `(relation, column)` pair.
+#[derive(Debug, Clone)]
+pub struct SelectionGroup {
+    /// Relation.
+    pub rel: RelId,
+    /// Column.
+    pub col: ColId,
+    /// Per-query inclusive ranges; queries with several predicates on the
+    /// column appear once with the intersected range.
+    pub preds: Vec<(QueryId, i64, i64)>,
+}
+
+/// A growable batch of scheduled SPJ queries with merged planning
+/// structures.
+#[derive(Debug)]
+pub struct QueryBatch {
+    capacity: usize,
+    n_rels: usize,
+    queries: Vec<SpjQuery>,
+    edges: Vec<JoinPred>,
+    edge_queries: Vec<QuerySet>,
+    rel_queries: Vec<QuerySet>,
+    sel_groups: Vec<SelectionGroup>,
+    sel_by_rel: Vec<Vec<u16>>,
+    edges_by_rel: Vec<Vec<EdgeId>>,
+}
+
+impl QueryBatch {
+    /// Creates an empty batch over a catalog of `n_rels` relations that can
+    /// hold up to `capacity` queries (fixing the query-set bitset width).
+    pub fn new(n_rels: usize, capacity: usize) -> Self {
+        QueryBatch {
+            capacity: capacity.max(1),
+            n_rels,
+            queries: Vec::new(),
+            edges: Vec::new(),
+            edge_queries: Vec::new(),
+            rel_queries: vec![QuerySet::empty(capacity.max(1)); n_rels],
+            sel_groups: Vec::new(),
+            sel_by_rel: vec![Vec::new(); n_rels],
+            edges_by_rel: vec![Vec::new(); n_rels],
+        }
+    }
+
+    /// Builds a batch directly from a slice of queries.
+    pub fn from_queries(n_rels: usize, queries: &[SpjQuery]) -> Result<Self> {
+        let mut b = QueryBatch::new(n_rels, queries.len());
+        for q in queries {
+            b.add(q.clone())?;
+        }
+        Ok(b)
+    }
+
+    /// Admits a query, returning its batch-local id.
+    pub fn add(&mut self, q: SpjQuery) -> Result<QueryId> {
+        if self.queries.len() >= self.capacity {
+            return Err(Error::Capacity(format!(
+                "batch capacity {} exhausted",
+                self.capacity
+            )));
+        }
+        let id = QueryId(self.queries.len() as u32);
+        for rel in q.relations.iter() {
+            if rel.index() >= self.n_rels {
+                return Err(Error::Schema(format!("relation {rel} outside catalog")));
+            }
+            self.rel_queries[rel.index()].insert(id);
+        }
+        for j in &q.joins {
+            let canon = j.canonical();
+            let eid = match self.edges.iter().position(|e| *e == canon) {
+                Some(i) => i as u16,
+                None => {
+                    let i = self.edges.len() as u16;
+                    self.edges.push(canon);
+                    self.edge_queries.push(QuerySet::empty(self.capacity));
+                    let (a, b) = canon.rels();
+                    self.edges_by_rel[a.index()].push(i);
+                    self.edges_by_rel[b.index()].push(i);
+                    i
+                }
+            };
+            self.edge_queries[eid as usize].insert(id);
+        }
+        for p in &q.predicates {
+            let gid = match self
+                .sel_groups
+                .iter()
+                .position(|g| g.rel == p.rel && g.col == p.col)
+            {
+                Some(i) => i,
+                None => {
+                    let i = self.sel_groups.len();
+                    self.sel_groups.push(SelectionGroup {
+                        rel: p.rel,
+                        col: p.col,
+                        preds: Vec::new(),
+                    });
+                    self.sel_by_rel[p.rel.index()].push(i as u16);
+                    i
+                }
+            };
+            let g = &mut self.sel_groups[gid];
+            match g.preds.iter_mut().find(|(q0, _, _)| *q0 == id) {
+                // Conjunctive predicates on the same column intersect.
+                Some((_, lo, hi)) => {
+                    *lo = (*lo).max(p.lo);
+                    *hi = (*hi).min(p.hi);
+                }
+                None => g.preds.push((id, p.lo, p.hi)),
+            }
+        }
+        self.queries.push(q);
+        Ok(id)
+    }
+
+    /// Query-id capacity (bitset width driver).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of admitted queries.
+    #[inline]
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The admitted queries, in id order.
+    #[inline]
+    pub fn queries(&self) -> &[SpjQuery] {
+        &self.queries
+    }
+
+    /// A query by id.
+    #[inline]
+    pub fn query(&self, id: QueryId) -> &SpjQuery {
+        &self.queries[id.index()]
+    }
+
+    /// Distinct canonical join edges.
+    #[inline]
+    pub fn edges(&self) -> &[JoinPred] {
+        &self.edges
+    }
+
+    /// Edge by id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &JoinPred {
+        &self.edges[id as usize]
+    }
+
+    /// `Q_o` for an edge: the queries containing it.
+    #[inline]
+    pub fn edge_queries(&self, id: EdgeId) -> &QuerySet {
+        &self.edge_queries[id as usize]
+    }
+
+    /// The queries scanning `rel`.
+    #[inline]
+    pub fn rel_queries(&self, rel: RelId) -> &QuerySet {
+        &self.rel_queries[rel.index()]
+    }
+
+    /// The relations scanned by at least one query.
+    pub fn scanned_relations(&self) -> RelSet {
+        let mut s = RelSet::EMPTY;
+        for (i, q) in self.rel_queries.iter().enumerate() {
+            if !q.is_empty() {
+                s.insert(RelId(i as u16));
+            }
+        }
+        s
+    }
+
+    /// Selection groups (grouped-filter units).
+    #[inline]
+    pub fn selection_groups(&self) -> &[SelectionGroup] {
+        &self.sel_groups
+    }
+
+    /// Indices of `rel`'s selection groups.
+    #[inline]
+    pub fn selections_of(&self, rel: RelId) -> &[u16] {
+        &self.sel_by_rel[rel.index()]
+    }
+
+    /// Indices of edges incident to `rel`.
+    #[inline]
+    pub fn edges_of(&self, rel: RelId) -> &[EdgeId] {
+        &self.edges_by_rel[rel.index()]
+    }
+
+    /// Candidate edges for virtual vector `(lineage, queries)`
+    /// (Definition 5): edges with exactly one endpoint inside the lineage
+    /// whose query-set intersects `queries`. Results are appended to `out`
+    /// (cleared first), in edge-id order for determinism.
+    pub fn join_candidates(&self, lineage: RelSet, queries: &QuerySet, out: &mut Vec<EdgeId>) {
+        out.clear();
+        for (i, e) in self.edges.iter().enumerate() {
+            let (a, b) = e.rels();
+            if lineage.contains(a) != lineage.contains(b)
+                && self.edge_queries[i].intersects(queries)
+            {
+                out.push(i as EdgeId);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SpjQuery;
+    use roulette_storage::{Catalog, RelationBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, cols) in [
+            ("r", vec!["a", "b", "d"]),
+            ("s", vec!["a", "c", "g"]),
+            ("t", vec!["b"]),
+            ("u", vec!["c"]),
+        ] {
+            let mut b = RelationBuilder::new(name);
+            for col in cols {
+                b.int64(col, vec![1, 2, 3]);
+            }
+            c.add(b.build()).unwrap();
+        }
+        c
+    }
+
+    /// The paper's Figure 1 queries:
+    /// Q1 = R ⋈ S ⋈ T ⋈ U, Q2 = R ⋈ S ⋈ U (subset with shared joins).
+    fn fig1_batch(c: &Catalog) -> QueryBatch {
+        let q1 = SpjQuery::builder(c)
+            .relation("r").relation("s").relation("t").relation("u")
+            .join(("r", "a"), ("s", "a"))
+            .join(("r", "b"), ("t", "b"))
+            .join(("s", "c"), ("u", "c"))
+            .build()
+            .unwrap();
+        let q2 = SpjQuery::builder(c)
+            .relation("r").relation("s").relation("u")
+            .join(("r", "a"), ("s", "a"))
+            .join(("s", "c"), ("u", "c"))
+            .range("s", "g", 0, 1)
+            .build()
+            .unwrap();
+        QueryBatch::from_queries(c.len(), &[q1, q2]).unwrap()
+    }
+
+    #[test]
+    fn shared_edges_are_deduplicated() {
+        let c = catalog();
+        let b = fig1_batch(&c);
+        // R⋈S and S⋈U shared; R⋈T only in Q1 → 3 distinct edges.
+        assert_eq!(b.edges().len(), 3);
+        let rs = b.edges().iter().position(|e| {
+            e.rels() == (c.relation_id("r").unwrap(), c.relation_id("s").unwrap())
+        }).unwrap();
+        assert_eq!(b.edge_queries(rs as u16).len(), 2);
+    }
+
+    #[test]
+    fn rel_queries_track_scans() {
+        let c = catalog();
+        let b = fig1_batch(&c);
+        let t = c.relation_id("t").unwrap();
+        let u = c.relation_id("u").unwrap();
+        assert_eq!(b.rel_queries(t).len(), 1);
+        assert_eq!(b.rel_queries(u).len(), 2);
+        assert_eq!(b.scanned_relations().len(), 4);
+    }
+
+    #[test]
+    fn join_candidates_respect_lineage_and_queries() {
+        let c = catalog();
+        let b = fig1_batch(&c);
+        let r = c.relation_id("r").unwrap();
+        let all = QuerySet::full(2);
+        let mut cand = Vec::new();
+        // From {R} with both queries: R⋈S (both) and R⋈T (Q1 only).
+        b.join_candidates(RelSet::singleton(r), &all, &mut cand);
+        assert_eq!(cand.len(), 2);
+        // From {R} with only Q2: R⋈T must disappear.
+        let q2_only = QuerySet::singleton(QueryId(1), 2);
+        b.join_candidates(RelSet::singleton(r), &q2_only, &mut cand);
+        assert_eq!(cand.len(), 1);
+        let e = b.edge(cand[0]);
+        assert_eq!(e.rels(), (r, c.relation_id("s").unwrap()));
+    }
+
+    #[test]
+    fn join_candidates_exclude_internal_edges() {
+        let c = catalog();
+        let b = fig1_batch(&c);
+        let r = c.relation_id("r").unwrap();
+        let s = c.relation_id("s").unwrap();
+        let all = QuerySet::full(2);
+        let mut cand = Vec::new();
+        b.join_candidates(RelSet::from_iter([r, s]), &all, &mut cand);
+        // R⋈S is internal now; T and U probes remain.
+        assert_eq!(cand.len(), 2);
+    }
+
+    #[test]
+    fn selection_groups_merge_conjunctive_ranges() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c)
+            .relation("r")
+            .range("r", "d", 0, 100)
+            .range("r", "d", 50, 200)
+            .build()
+            .unwrap();
+        let b = QueryBatch::from_queries(c.len(), &[q]).unwrap();
+        assert_eq!(b.selection_groups().len(), 1);
+        let g = &b.selection_groups()[0];
+        assert_eq!(g.preds, vec![(QueryId(0), 50, 100)]);
+    }
+
+    #[test]
+    fn selection_groups_collect_across_queries() {
+        let c = catalog();
+        let qa = SpjQuery::builder(&c).relation("r").range("r", "d", -3, 3).build().unwrap();
+        let qb = SpjQuery::builder(&c).relation("r").range("r", "d", i64::MIN, 0).build().unwrap();
+        let b = QueryBatch::from_queries(c.len(), &[qa, qb]).unwrap();
+        let r = c.relation_id("r").unwrap();
+        assert_eq!(b.selections_of(r).len(), 1);
+        assert_eq!(b.selection_groups()[0].preds.len(), 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c).relation("r").build().unwrap();
+        let mut b = QueryBatch::new(c.len(), 1);
+        b.add(q.clone()).unwrap();
+        assert!(b.add(q).is_err());
+    }
+
+    #[test]
+    fn ids_assigned_sequentially() {
+        let c = catalog();
+        let q = SpjQuery::builder(&c).relation("r").build().unwrap();
+        let mut b = QueryBatch::new(c.len(), 4);
+        assert_eq!(b.add(q.clone()).unwrap(), QueryId(0));
+        assert_eq!(b.add(q).unwrap(), QueryId(1));
+        assert_eq!(b.n_queries(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-query join-graph utilities.
+//!
+//! Baseline engines plan one query at a time and need adjacency over the
+//! query's join tree: which joins become available once a set of relations
+//! has been joined (no cross-products), and in which order a left-deep
+//! pipeline can consume them.
+
+use crate::ast::{JoinPred, SpjQuery};
+use roulette_core::{RelId, RelSet};
+
+/// Adjacency view of one query's join tree.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// The query's relations.
+    pub relations: RelSet,
+    /// The query's joins (canonical).
+    pub joins: Vec<JoinPred>,
+}
+
+impl JoinGraph {
+    /// Builds the graph from a validated query.
+    pub fn of(q: &SpjQuery) -> Self {
+        JoinGraph { relations: q.relations, joins: q.joins.clone() }
+    }
+
+    /// Joins that connect `joined` to one new relation, i.e. the legal next
+    /// steps of a plan that has already joined `joined` (avoids
+    /// cross-products). Returns `(join index, new relation)` pairs.
+    pub fn expansions(&self, joined: RelSet) -> Vec<(usize, RelId)> {
+        self.joins
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| {
+                let (a, b) = j.rels();
+                match (joined.contains(a), joined.contains(b)) {
+                    (true, false) => Some((i, b)),
+                    (false, true) => Some((i, a)),
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Relations adjacent to `rel` in the tree.
+    pub fn neighbors(&self, rel: RelId) -> Vec<RelId> {
+        self.joins
+            .iter()
+            .filter_map(|j| {
+                let (a, b) = j.rels();
+                if a == rel {
+                    Some(b)
+                } else if b == rel {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Whether `set` induces a connected subgraph (a *lineage*,
+    /// Definition 2).
+    pub fn is_connected(&self, set: RelSet) -> bool {
+        let Some(start) = set.first() else { return true };
+        let mut reached = RelSet::singleton(start);
+        let mut frontier = vec![start];
+        while let Some(r) = frontier.pop() {
+            for n in self.neighbors(r) {
+                if set.contains(n) && !reached.contains(n) {
+                    reached.insert(n);
+                    frontier.push(n);
+                }
+            }
+        }
+        reached == set
+    }
+
+    /// Enumerates all lineages (connected subsets) containing `root`, in
+    /// nondecreasing size order. Exponential — used only by the mini
+    /// offline optimizer on tiny queries.
+    pub fn lineages_from(&self, root: RelId) -> Vec<RelSet> {
+        let mut out = vec![RelSet::singleton(root)];
+        let mut i = 0;
+        while i < out.len() {
+            let cur = out[i];
+            for (_, next) in self.expansions(cur) {
+                let ext = cur.with(next);
+                if !out.contains(&ext) {
+                    out.push(ext);
+                }
+            }
+            i += 1;
+        }
+        out.sort_by_key(|s| s.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::SpjQuery;
+    use roulette_storage::{Catalog, RelationBuilder};
+
+    fn star_query() -> (Catalog, SpjQuery) {
+        let mut c = Catalog::new();
+        for name in ["f", "d1", "d2", "d3"] {
+            let mut b = RelationBuilder::new(name);
+            b.int64("k", vec![0, 1]);
+            b.int64("k2", vec![0, 1]);
+            c.add(b.build()).unwrap();
+        }
+        let q = SpjQuery::builder(&c)
+            .relation("f").relation("d1").relation("d2").relation("d3")
+            .join(("f", "k"), ("d1", "k"))
+            .join(("f", "k2"), ("d2", "k"))
+            .join(("d2", "k2"), ("d3", "k"))
+            .build()
+            .unwrap();
+        (c, q)
+    }
+
+    #[test]
+    fn expansions_avoid_cross_products() {
+        let (c, q) = star_query();
+        let g = JoinGraph::of(&q);
+        let f = c.relation_id("f").unwrap();
+        let d3 = c.relation_id("d3").unwrap();
+        let from_f = g.expansions(RelSet::singleton(f));
+        assert_eq!(from_f.len(), 2); // d1, d2 reachable; d3 not yet
+        assert!(!from_f.iter().any(|&(_, r)| r == d3));
+        let with_d2 =
+            g.expansions(RelSet::from_iter([f, c.relation_id("d2").unwrap()]));
+        assert!(with_d2.iter().any(|&(_, r)| r == d3));
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let (c, q) = star_query();
+        let g = JoinGraph::of(&q);
+        let f = c.relation_id("f").unwrap();
+        let d1 = c.relation_id("d1").unwrap();
+        let d3 = c.relation_id("d3").unwrap();
+        assert!(g.is_connected(RelSet::from_iter([f, d1])));
+        assert!(!g.is_connected(RelSet::from_iter([d1, d3])));
+        assert!(g.is_connected(RelSet::EMPTY));
+        assert!(g.is_connected(q.relations));
+    }
+
+    #[test]
+    fn lineages_enumerated_in_size_order() {
+        let (c, q) = star_query();
+        let g = JoinGraph::of(&q);
+        let f = c.relation_id("f").unwrap();
+        let ls = g.lineages_from(f);
+        // Connected subsets containing f: {f}, {f,d1}, {f,d2}, {f,d1,d2},
+        // {f,d2,d3}, {f,d1,d2,d3} — 6 total ({f,d1,d3} is disconnected,
+        // {f,d3} too).
+        assert_eq!(ls.len(), 6);
+        assert!(ls.windows(2).all(|w| w[0].len() <= w[1].len()));
+        assert!(ls.iter().all(|&l| g.is_connected(l) && l.contains(f)));
+    }
+
+    #[test]
+    fn neighbors_of_hub() {
+        let (c, q) = star_query();
+        let g = JoinGraph::of(&q);
+        let f = c.relation_id("f").unwrap();
+        assert_eq!(g.neighbors(f).len(), 2);
+    }
+}

@@ -1,0 +1,485 @@
+//! A small SQL parser for SPJ sub-queries.
+//!
+//! The host DBMS delegates SPJ sub-queries to RouLette (§3); this parser is
+//! the convenience front door for examples, tests, and interactive use. It
+//! accepts the SPJ fragment:
+//!
+//! ```sql
+//! SELECT <* | COUNT(*) | rel.col, ...>
+//! FROM rel [, rel ...]
+//! [WHERE rel.col = rel.col          -- equi-join
+//!    AND rel.col <op> <int|'str'>   -- selection (=, <, <=, >, >=, <>)
+//!    AND rel.col BETWEEN lo AND hi  -- range selection
+//!    ...]
+//! ```
+//!
+//! `SELECT *` and `COUNT(*)` both parse to an empty projection list (the
+//! host consumes cardinality); explicit column lists become projections.
+
+use crate::ast::{JoinPred, RangePred, SpjQuery};
+use roulette_core::{Error, Result};
+use roulette_storage::Catalog;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        Error::Parse(format!("{msg} at byte {} of {:?}", self.pos, self.src))
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, usize)> {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        if self.pos >= self.bytes.len() {
+            return Ok((Tok::Eof, start));
+        }
+        let c = self.bytes[self.pos];
+        let tok = match c {
+            b'*' => {
+                self.pos += 1;
+                Tok::Star
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Tok::Dot
+            }
+            b'(' => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            b'=' => {
+                self.pos += 1;
+                Tok::Symbol('=')
+            }
+            b'<' => {
+                self.pos += 1;
+                if self.pos < self.bytes.len() && self.bytes[self.pos] == b'=' {
+                    self.pos += 1;
+                    Tok::Le
+                } else if self.pos < self.bytes.len() && self.bytes[self.pos] == b'>' {
+                    self.pos += 1;
+                    Tok::Ne
+                } else {
+                    Tok::Symbol('<')
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.pos < self.bytes.len() && self.bytes[self.pos] == b'=' {
+                    self.pos += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Symbol('>')
+                }
+            }
+            b'\'' => {
+                self.pos += 1;
+                let s = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.bytes.len() {
+                    return Err(self.error("unterminated string literal"));
+                }
+                let lit = self.src[s..self.pos].to_string();
+                self.pos += 1;
+                Tok::Str(lit)
+            }
+            b'-' | b'0'..=b'9' => {
+                let s = self.pos;
+                self.pos += 1;
+                while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+                let text = &self.src[s..self.pos];
+                Tok::Int(
+                    text.parse::<i64>()
+                        .map_err(|_| self.error(&format!("bad integer '{text}'")))?,
+                )
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let s = self.pos;
+                while self.pos < self.bytes.len()
+                    && (self.bytes[self.pos].is_ascii_alphanumeric()
+                        || self.bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Tok::Ident(self.src[s..self.pos].to_string())
+            }
+            other => return Err(self.error(&format!("unexpected character '{}'", other as char))),
+        };
+        Ok((tok, start))
+    }
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    idx: usize,
+    src: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self> {
+        let mut lex = Lexer::new(src);
+        let mut toks = Vec::new();
+        loop {
+            let t = lex.next_tok()?;
+            let eof = t.0 == Tok::Eof;
+            toks.push(t);
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser { toks, idx: 0, src })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.idx].0.clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        let pos = self.toks[self.idx].1;
+        Error::Parse(format!("{msg} at byte {pos} of {:?}", self.src))
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.bump() {
+            Tok::Ident(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.error(&format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(w) => Ok(w),
+            other => Err(self.error(&format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// `rel.col`
+    fn qualified(&mut self) -> Result<(String, String)> {
+        let rel = self.ident()?;
+        if self.bump() != Tok::Dot {
+            return Err(self.error("expected '.' in qualified column"));
+        }
+        let col = self.ident()?;
+        Ok((rel, col))
+    }
+
+    fn int(&mut self) -> Result<i64> {
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            other => Err(self.error(&format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses one SPJ query against `catalog`.
+pub fn parse(catalog: &Catalog, sql: &str) -> Result<SpjQuery> {
+    let mut p = Parser::new(sql)?;
+    p.keyword("select")?;
+
+    // Projection list.
+    let mut projections: Vec<(String, String)> = Vec::new();
+    if *p.peek() == Tok::Star {
+        p.bump();
+    } else if p.is_keyword("count") {
+        p.bump();
+        if p.bump() != Tok::LParen || p.bump() != Tok::Star || p.bump() != Tok::RParen {
+            return Err(p.error("expected COUNT(*)"));
+        }
+    } else {
+        loop {
+            projections.push(p.qualified()?);
+            if *p.peek() == Tok::Comma {
+                p.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    p.keyword("from")?;
+    let mut relations = Vec::new();
+    loop {
+        relations.push(p.ident()?);
+        if *p.peek() == Tok::Comma {
+            p.bump();
+        } else {
+            break;
+        }
+    }
+
+    let mut joins: Vec<JoinPred> = Vec::new();
+    let mut predicates: Vec<RangePred> = Vec::new();
+
+    if p.is_keyword("where") {
+        p.bump();
+        loop {
+            let (lrel, lcol) = p.qualified()?;
+            let lhs = resolve(catalog, &lrel, &lcol)?;
+            match p.bump() {
+                Tok::Symbol('=') => {
+                    // Join (col on the right) or equality selection.
+                    match p.peek().clone() {
+                        Tok::Ident(_) => {
+                            let (rrel, rcol) = p.qualified()?;
+                            let rhs = resolve(catalog, &rrel, &rcol)?;
+                            joins.push(JoinPred { left: lhs, right: rhs }.canonical());
+                        }
+                        Tok::Int(v) => {
+                            p.bump();
+                            predicates.push(RangePred { rel: lhs.0, col: lhs.1, lo: v, hi: v });
+                        }
+                        Tok::Str(s) => {
+                            p.bump();
+                            let code = catalog
+                                .relation(lhs.0)
+                                .column(lhs.1)
+                                .code_of(&s)
+                                .ok_or_else(|| {
+                                    Error::Parse(format!(
+                                        "string '{s}' not found in {lrel}.{lcol} dictionary"
+                                    ))
+                                })?;
+                            predicates.push(RangePred {
+                                rel: lhs.0,
+                                col: lhs.1,
+                                lo: code,
+                                hi: code,
+                            });
+                        }
+                        other => return Err(p.error(&format!("unexpected {other:?} after '='"))),
+                    }
+                }
+                Tok::Symbol('<') => {
+                    let v = p.int()?;
+                    let hi = v.checked_sub(1).ok_or_else(|| {
+                        Error::Parse(format!("'< {v}' can never match (below i64::MIN)"))
+                    })?;
+                    predicates.push(RangePred { rel: lhs.0, col: lhs.1, lo: i64::MIN, hi });
+                }
+                Tok::Le => {
+                    let v = p.int()?;
+                    predicates.push(RangePred { rel: lhs.0, col: lhs.1, lo: i64::MIN, hi: v });
+                }
+                Tok::Symbol('>') => {
+                    let v = p.int()?;
+                    let lo = v.checked_add(1).ok_or_else(|| {
+                        Error::Parse(format!("'> {v}' can never match (above i64::MAX)"))
+                    })?;
+                    predicates.push(RangePred { rel: lhs.0, col: lhs.1, lo, hi: i64::MAX });
+                }
+                Tok::Ge => {
+                    let v = p.int()?;
+                    predicates.push(RangePred { rel: lhs.0, col: lhs.1, lo: v, hi: i64::MAX });
+                }
+                Tok::Ident(w) if w.eq_ignore_ascii_case("between") => {
+                    let lo = p.int()?;
+                    p.keyword("and")?;
+                    let hi = p.int()?;
+                    predicates.push(RangePred { rel: lhs.0, col: lhs.1, lo, hi });
+                }
+                other => return Err(p.error(&format!("expected comparison, found {other:?}"))),
+            }
+            if p.is_keyword("and") {
+                p.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    if *p.peek() != Tok::Eof {
+        return Err(p.error("trailing input after query"));
+    }
+
+    let mut relset = roulette_core::RelSet::EMPTY;
+    for name in &relations {
+        relset.insert(catalog.relation_id(name)?);
+    }
+    let projections = projections
+        .iter()
+        .map(|(r, c)| resolve(catalog, r, c))
+        .collect::<Result<Vec<_>>>()?;
+
+    let q = SpjQuery { relations: relset, joins, predicates, projections };
+    q.validate(catalog)?;
+    Ok(q)
+}
+
+fn resolve(
+    catalog: &Catalog,
+    rel: &str,
+    col: &str,
+) -> Result<(roulette_core::RelId, roulette_core::ColId)> {
+    let r = catalog.relation_id(rel)?;
+    let c = catalog.relation(r).column_id(col)?;
+    Ok((r, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_storage::RelationBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut r = RelationBuilder::new("r");
+        r.int64("a", vec![1, 2]);
+        r.int64("b", vec![1, 2]);
+        r.int64("d", vec![1, 2]);
+        c.add(r.build()).unwrap();
+        let mut s = RelationBuilder::new("s");
+        s.int64("a", vec![1]);
+        s.int64("g", vec![5]);
+        s.strings("name", ["alice"]);
+        c.add(s.build()).unwrap();
+        let mut t = RelationBuilder::new("t");
+        t.int64("b", vec![1]);
+        c.add(t.build()).unwrap();
+        c
+    }
+
+    #[test]
+    fn parses_paper_style_query() {
+        let c = catalog();
+        let q = parse(
+            &c,
+            "SELECT count(*) FROM r, s, t \
+             WHERE r.a = s.a AND r.b = t.b \
+             AND r.d BETWEEN -3 AND 3 AND s.g < 7",
+        )
+        .unwrap();
+        assert_eq!(q.relations.len(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.predicates.len(), 2);
+        assert!(q.projections.is_empty());
+        let between = q.predicates.iter().find(|p| p.lo == -3).unwrap();
+        assert_eq!(between.hi, 3);
+        let lt = q.predicates.iter().find(|p| p.hi == 6).unwrap();
+        assert_eq!(lt.lo, i64::MIN);
+    }
+
+    #[test]
+    fn parses_projections() {
+        let c = catalog();
+        let q = parse(&c, "SELECT r.a, s.g FROM r, s WHERE r.a = s.a").unwrap();
+        assert_eq!(q.projections.len(), 2);
+    }
+
+    #[test]
+    fn select_star_means_no_projection() {
+        let c = catalog();
+        let q = parse(&c, "SELECT * FROM r").unwrap();
+        assert!(q.projections.is_empty());
+    }
+
+    #[test]
+    fn comparison_operators_translate_to_ranges() {
+        let c = catalog();
+        let q = parse(&c, "SELECT * FROM r WHERE r.a >= 2 AND r.b <= 5 AND r.d > 0").unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert!(q.predicates.iter().any(|p| p.lo == 2 && p.hi == i64::MAX));
+        assert!(q.predicates.iter().any(|p| p.lo == i64::MIN && p.hi == 5));
+        assert!(q.predicates.iter().any(|p| p.lo == 1 && p.hi == i64::MAX));
+    }
+
+    #[test]
+    fn string_equality_uses_dictionary() {
+        let c = catalog();
+        let q = parse(&c, "SELECT * FROM s WHERE s.name = 'alice'").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.predicates[0].lo, q.predicates[0].hi);
+        assert!(parse(&c, "SELECT * FROM s WHERE s.name = 'bob'").is_err());
+    }
+
+    #[test]
+    fn errors_carry_position_context() {
+        let c = catalog();
+        let err = parse(&c, "SELECT * FROM r WHERE r.a ??").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+        assert!(parse(&c, "SELEC * FROM r").is_err());
+        assert!(parse(&c, "SELECT * FROM r extra").is_err());
+        assert!(parse(&c, "SELECT * FROM missing").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let c = catalog();
+        assert!(parse(&c, "SELECT * FROM s WHERE s.name = 'alice").is_err());
+    }
+
+    #[test]
+    fn validation_applies_to_parsed_queries() {
+        let c = catalog();
+        // r and s listed but not joined → invalid (needs a tree).
+        assert!(parse(&c, "SELECT * FROM r, s").is_err());
+    }
+
+    #[test]
+    fn comparisons_at_i64_extremes_error_instead_of_wrapping() {
+        let c = catalog();
+        let err =
+            parse(&c, "SELECT * FROM r WHERE r.a < -9223372036854775808").unwrap_err();
+        assert!(err.to_string().contains("can never match"), "{err}");
+        let err =
+            parse(&c, "SELECT * FROM r WHERE r.a > 9223372036854775807").unwrap_err();
+        assert!(err.to_string().contains("can never match"), "{err}");
+    }
+
+    #[test]
+    fn negative_integers_parse() {
+        let c = catalog();
+        let q = parse(&c, "SELECT * FROM r WHERE r.d BETWEEN -10 AND -1").unwrap();
+        assert_eq!((q.predicates[0].lo, q.predicates[0].hi), (-10, -1));
+    }
+}

@@ -1,0 +1,192 @@
+//! Typed in-memory columns.
+//!
+//! The prototype targets in-memory analytics with columnar data and late
+//! materialization (§3): operators carry virtual IDs and *gather*
+//! mini-columns of required attributes on demand. Two physical column
+//! types cover the reproduced workloads: 64-bit integers (keys, measures,
+//! the synthetic `sel` selectivity-control column) and dictionary-encoded
+//! strings (JOB-style categorical attributes). Predicates and join keys
+//! always operate on the `i64` *logical view* — dictionary codes widen to
+//! `i64` — so the execution engine stays monomorphic in its hot loops.
+
+use roulette_core::{Error, Result};
+use std::collections::HashMap;
+
+/// A typed, immutable column of values.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Plain 64-bit integers.
+    Int64(Vec<i64>),
+    /// Dictionary-encoded strings: `codes[i]` indexes into `values`.
+    Dict {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The dictionary, in code order.
+        values: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Builds a dictionary column from raw strings, assigning codes in
+    /// first-appearance order.
+    pub fn dict_from_strings<S: AsRef<str>, I: IntoIterator<Item = S>>(items: I) -> Column {
+        let mut lookup: HashMap<String, u32> = HashMap::new();
+        let mut values: Vec<String> = Vec::new();
+        let mut codes = Vec::new();
+        for s in items {
+            let s = s.as_ref();
+            let code = match lookup.get(s) {
+                Some(&c) => c,
+                None => {
+                    let c = values.len() as u32;
+                    lookup.insert(s.to_string(), c);
+                    values.push(s.to_string());
+                    c
+                }
+            };
+            codes.push(code);
+        }
+        Column::Dict { codes, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Dict { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i64` logical view of row `i` (dictionary code for strings).
+    #[inline]
+    pub fn value(&self, i: usize) -> i64 {
+        match self {
+            Column::Int64(v) => v[i],
+            Column::Dict { codes, .. } => codes[i] as i64,
+        }
+    }
+
+    /// Gathers the logical view of the given rows into `out` (cleared
+    /// first). This is the engine's late-materialization primitive.
+    pub fn gather(&self, rows: &[u32], out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(rows.len());
+        match self {
+            Column::Int64(v) => {
+                for &r in rows {
+                    out.push(v[r as usize]);
+                }
+            }
+            Column::Dict { codes, .. } => {
+                for &r in rows {
+                    out.push(codes[r as usize] as i64);
+                }
+            }
+        }
+    }
+
+    /// Gathers a contiguous row range `[start, end)`.
+    pub fn gather_range(&self, start: usize, end: usize, out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(end - start);
+        match self {
+            Column::Int64(v) => out.extend_from_slice(&v[start..end]),
+            Column::Dict { codes, .. } => out.extend(codes[start..end].iter().map(|&c| c as i64)),
+        }
+    }
+
+    /// Decoded string for row `i` (dict columns only).
+    pub fn string(&self, i: usize) -> Result<&str> {
+        match self {
+            Column::Dict { codes, values } => Ok(&values[codes[i] as usize]),
+            Column::Int64(_) => Err(Error::Schema("string() on an Int64 column".into())),
+        }
+    }
+
+    /// Dictionary code for a string value, if present (dict columns only).
+    pub fn code_of(&self, s: &str) -> Option<i64> {
+        match self {
+            Column::Dict { values, .. } => {
+                values.iter().position(|v| v == s).map(|p| p as i64)
+            }
+            Column::Int64(_) => None,
+        }
+    }
+
+    /// Minimum and maximum of the logical view, or `None` if empty.
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut mn = i64::MAX;
+        let mut mx = i64::MIN;
+        for i in 0..self.len() {
+            let v = self.value(i);
+            mn = mn.min(v);
+            mx = mx.max(v);
+        }
+        Some((mn, mx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int64_basics() {
+        let c = Column::Int64(vec![5, -1, 7]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(1), -1);
+        assert_eq!(c.min_max(), Some((-1, 7)));
+    }
+
+    #[test]
+    fn dict_assigns_codes_in_first_appearance_order() {
+        let c = Column::dict_from_strings(["b", "a", "b", "c"]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.value(0), 0); // "b"
+        assert_eq!(c.value(1), 1); // "a"
+        assert_eq!(c.value(2), 0);
+        assert_eq!(c.value(3), 2);
+        assert_eq!(c.string(3).unwrap(), "c");
+        assert_eq!(c.code_of("a"), Some(1));
+        assert_eq!(c.code_of("zzz"), None);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let c = Column::Int64(vec![10, 20, 30, 40]);
+        let mut out = Vec::new();
+        c.gather(&[3, 0, 0], &mut out);
+        assert_eq!(out, vec![40, 10, 10]);
+        c.gather_range(1, 3, &mut out);
+        assert_eq!(out, vec![20, 30]);
+    }
+
+    #[test]
+    fn gather_on_dict_yields_codes() {
+        let c = Column::dict_from_strings(["x", "y", "x"]);
+        let mut out = Vec::new();
+        c.gather(&[2, 1], &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn string_on_int_column_errors() {
+        let c = Column::Int64(vec![1]);
+        assert!(c.string(0).is_err());
+    }
+
+    #[test]
+    fn min_max_empty_is_none() {
+        assert_eq!(Column::Int64(vec![]).min_max(), None);
+    }
+}

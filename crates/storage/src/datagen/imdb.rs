@@ -1,0 +1,368 @@
+//! JOB-like synthetic dataset (the §6 "Join Order Benchmark" substrate).
+//!
+//! The paper uses JOB because IMDB's *real data violates the uniformity and
+//! independence assumptions that oversimplify optimization*: foreign keys
+//! are heavily skewed and predicates correlate across joins. We synthesize
+//! those properties explicitly instead of shipping IMDB:
+//!
+//! * every title gets latent `popularity` (Zipf) and `region` attributes;
+//! * satellite tables (cast_info, movie_companies, movie_info, …) reference
+//!   titles proportionally to popularity — skewed FK fan-out;
+//! * company countries match their movies' region with high probability —
+//!   a join-crossing correlation between `title.production_year` /
+//!   `company_name.country_code` and the joins that reach them;
+//! * `movie_info.info` depends on region and year, so selections on it
+//!   correlate with selections on joined tables.
+//!
+//! Greedy selectivity-based planners mis-order joins on this data exactly
+//! as they do on real IMDB, which is what Figs. 12–13 measure.
+
+use super::{sample_zipf, sel_column, uniform_fks, zipf_cdf};
+use crate::catalog::{Catalog, FkEdge};
+use crate::relation::RelationBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roulette_core::RelId;
+
+/// Metadata for JOB-style workload generation.
+#[derive(Debug, Clone)]
+pub struct ImdbMeta {
+    /// The hub relation (`title`).
+    pub title: RelId,
+    /// All FK edges (the join graph).
+    pub edges: Vec<FkEdge>,
+    /// Per-relation name of a good predicate column, in catalog id order.
+    pub predicate_cols: Vec<(RelId, &'static str)>,
+    /// Many-to-many link tables (movie_companies, cast_info, …); queries
+    /// must filter these to keep hub-join fan-outs bounded, as real JOB
+    /// queries do.
+    pub link_tables: Vec<RelId>,
+}
+
+/// A generated JOB-like dataset.
+#[derive(Debug)]
+pub struct ImdbDataset {
+    /// The populated catalog.
+    pub catalog: Catalog,
+    /// Join-graph metadata for query generation.
+    pub meta: ImdbMeta,
+}
+
+const N_REGIONS: usize = 6;
+
+/// Generates the dataset at scale `sf` with deterministic `seed`.
+pub fn generate(sf: f64, seed: u64) -> ImdbDataset {
+    assert!(sf > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+    let scaled = |base: f64| -> usize { ((base * sf) as usize).max(16) };
+
+    // --- Entity tables -----------------------------------------------------
+    let n_title = scaled(5_000.0);
+    let n_name = scaled(4_000.0);
+    let n_company = scaled(400.0);
+    let n_keyword = scaled(800.0);
+
+    // Latent structure: popularity (Zipf rank) and region per title;
+    // production year correlates with region (newer movies cluster in the
+    // low-numbered regions).
+    let pop_cdf = zipf_cdf(n_title, 0.9);
+    let regions: Vec<usize> = (0..n_title).map(|_| rng.gen_range(0..N_REGIONS)).collect();
+    let years: Vec<i64> = (0..n_title)
+        .map(|i| {
+            let base = 1920 + (regions[i] as i64) * 15;
+            (base + rng.gen_range(0..30)).min(2020)
+        })
+        .collect();
+
+    let mut t = RelationBuilder::new("kind_type");
+    t.int64("id", (0..7).collect());
+    t.strings("kind", ["movie", "tv series", "video", "episode", "short", "doc", "game"]);
+    t.int64("sel", sel_column(&mut rng, 7));
+    let kind_type = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("title");
+    t.int64("id", (0..n_title as i64).collect());
+    t.int64("kind_id", uniform_fks(&mut rng, n_title, 7));
+    t.int64("production_year", years.clone());
+    t.int64("region", regions.iter().map(|&r| r as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_title));
+    let title = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("company_type");
+    t.int64("id", (0..4).collect());
+    t.strings("kind", ["production", "distribution", "fx", "misc"]);
+    t.int64("sel", sel_column(&mut rng, 4));
+    let company_type = catalog.add(t.build()).unwrap();
+
+    // Companies live in one region each; country_code encodes it.
+    let company_regions: Vec<usize> =
+        (0..n_company).map(|_| rng.gen_range(0..N_REGIONS)).collect();
+    let mut t = RelationBuilder::new("company_name");
+    t.int64("id", (0..n_company as i64).collect());
+    t.int64("country_code", company_regions.iter().map(|&r| r as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_company));
+    let company_name = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("info_type");
+    t.int64("id", (0..20).collect());
+    t.int64("sel", sel_column(&mut rng, 20));
+    let info_type = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("role_type");
+    t.int64("id", (0..12).collect());
+    t.int64("sel", sel_column(&mut rng, 12));
+    let role_type = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("name");
+    t.int64("id", (0..n_name as i64).collect());
+    t.int64("gender", (0..n_name).map(|_| rng.gen_range(0..2)).collect());
+    t.int64("sel", sel_column(&mut rng, n_name));
+    let name = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("keyword");
+    t.int64("id", (0..n_keyword as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_keyword));
+    let keyword = catalog.add(t.build()).unwrap();
+
+    // --- Link tables with skew + correlations -------------------------------
+    // Popular titles attract more satellite rows (Zipf over titles), but
+    // per-table fan-out is capped at ~10x the average: enough skew to
+    // mislead uniformity-assuming optimizers, without real IMDB's
+    // celebrity blow-ups that would need JOB's string-equality predicates
+    // to contain.
+    let make_title_drawer = |n_rows: usize| {
+        let cap = (n_rows * 6 / n_title).max(2) as u32;
+        let mut counts = vec![0u32; n_title];
+        let pop_cdf = pop_cdf.clone();
+        move |rng: &mut StdRng| loop {
+            let t = sample_zipf(rng, &pop_cdf);
+            if counts[t] < cap {
+                counts[t] += 1;
+                return t;
+            }
+        }
+    };
+
+    let n_mc = scaled(8_000.0);
+    let mut mc_movie = Vec::with_capacity(n_mc);
+    let mut mc_company = Vec::with_capacity(n_mc);
+    let mut mc_type = Vec::with_capacity(n_mc);
+    // Group companies by region for correlated assignment.
+    let mut by_region: Vec<Vec<i64>> = vec![Vec::new(); N_REGIONS];
+    for (i, &r) in company_regions.iter().enumerate() {
+        by_region[r].push(i as i64);
+    }
+    let mut draw_mc = make_title_drawer(n_mc);
+    for _ in 0..n_mc {
+        let m = draw_mc(&mut rng);
+        mc_movie.push(m as i64);
+        // 80%: company from the movie's region (join-crossing correlation).
+        let region = if rng.gen_bool(0.8) { regions[m] } else { rng.gen_range(0..N_REGIONS) };
+        let pool = &by_region[region];
+        let cid = if pool.is_empty() {
+            rng.gen_range(0..n_company as i64)
+        } else {
+            pool[rng.gen_range(0..pool.len())]
+        };
+        mc_company.push(cid);
+        mc_type.push(rng.gen_range(0..4));
+    }
+    let mut t = RelationBuilder::new("movie_companies");
+    t.int64("movie_id", mc_movie);
+    t.int64("company_id", mc_company);
+    t.int64("company_type_id", mc_type);
+    t.int64("sel", sel_column(&mut rng, n_mc));
+    let movie_companies = catalog.add(t.build()).unwrap();
+
+    let n_ci = scaled(20_000.0);
+    let person_cdf = zipf_cdf(n_name, 1.0);
+    // Person fan-outs are capped like title fan-outs (same rationale).
+    let make_person_drawer = |n_rows: usize| {
+        let cap = (n_rows * 6 / n_name).max(2) as u32;
+        let mut counts = vec![0u32; n_name];
+        let person_cdf = person_cdf.clone();
+        move |rng: &mut StdRng| loop {
+            let p = sample_zipf(rng, &person_cdf);
+            if counts[p] < cap {
+                counts[p] += 1;
+                return p;
+            }
+        }
+    };
+    let mut ci_movie = Vec::with_capacity(n_ci);
+    let mut ci_person = Vec::with_capacity(n_ci);
+    let mut ci_role = Vec::with_capacity(n_ci);
+    let mut draw_ci = make_title_drawer(n_ci);
+    let mut draw_ci_person = make_person_drawer(n_ci);
+    for _ in 0..n_ci {
+        ci_movie.push(draw_ci(&mut rng) as i64);
+        ci_person.push(draw_ci_person(&mut rng) as i64);
+        ci_role.push(rng.gen_range(0..12));
+    }
+    let mut t = RelationBuilder::new("cast_info");
+    t.int64("movie_id", ci_movie);
+    t.int64("person_id", ci_person);
+    t.int64("role_id", ci_role);
+    t.int64("sel", sel_column(&mut rng, n_ci));
+    let cast_info = catalog.add(t.build()).unwrap();
+
+    let n_mi = scaled(15_000.0);
+    let mut mi_movie = Vec::with_capacity(n_mi);
+    let mut mi_type = Vec::with_capacity(n_mi);
+    let mut mi_info = Vec::with_capacity(n_mi);
+    let mut draw_mi = make_title_drawer(n_mi);
+    for _ in 0..n_mi {
+        let m = draw_mi(&mut rng);
+        mi_movie.push(m as i64);
+        mi_type.push(rng.gen_range(0..20));
+        // info correlates with region and year bucket — selections on it
+        // co-vary with predicates on title and company_name.
+        let bucket = (years[m] - 1900) / 10;
+        mi_info.push((regions[m] as i64) * 100 + bucket * 7 + rng.gen_range(0..7));
+    }
+    let mut t = RelationBuilder::new("movie_info");
+    t.int64("movie_id", mi_movie);
+    t.int64("info_type_id", mi_type);
+    t.int64("info", mi_info);
+    t.int64("sel", sel_column(&mut rng, n_mi));
+    let movie_info = catalog.add(t.build()).unwrap();
+
+    let n_mii = scaled(5_000.0);
+    let mut t = RelationBuilder::new("movie_info_idx");
+    let mut draw_mii = make_title_drawer(n_mii);
+    t.int64("movie_id", (0..n_mii).map(|_| draw_mii(&mut rng) as i64).collect());
+    t.int64("info_type_id", uniform_fks(&mut rng, n_mii, 20));
+    t.int64("info", (0..n_mii).map(|_| rng.gen_range(0..1000)).collect());
+    t.int64("sel", sel_column(&mut rng, n_mii));
+    let movie_info_idx = catalog.add(t.build()).unwrap();
+
+    let n_mk = scaled(10_000.0);
+    let mut t = RelationBuilder::new("movie_keyword");
+    let mut draw_mk = make_title_drawer(n_mk);
+    t.int64("movie_id", (0..n_mk).map(|_| draw_mk(&mut rng) as i64).collect());
+    t.int64("keyword_id", uniform_fks(&mut rng, n_mk, n_keyword));
+    t.int64("sel", sel_column(&mut rng, n_mk));
+    let movie_keyword = catalog.add(t.build()).unwrap();
+
+    let n_an = scaled(2_000.0);
+    let mut t = RelationBuilder::new("aka_name");
+    let mut draw_an_person = make_person_drawer(n_an);
+    t.int64("person_id", (0..n_an).map(|_| draw_an_person(&mut rng) as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_an));
+    let aka_name = catalog.add(t.build()).unwrap();
+
+    // --- Join graph ----------------------------------------------------------
+    type Fk<'a> = ((&'a str, &'a str), (&'a str, &'a str));
+    let fks: [Fk; 13] = [
+        (("title", "kind_id"), ("kind_type", "id")),
+        (("movie_companies", "movie_id"), ("title", "id")),
+        (("movie_companies", "company_id"), ("company_name", "id")),
+        (("movie_companies", "company_type_id"), ("company_type", "id")),
+        (("cast_info", "movie_id"), ("title", "id")),
+        (("cast_info", "person_id"), ("name", "id")),
+        (("cast_info", "role_id"), ("role_type", "id")),
+        (("movie_info", "movie_id"), ("title", "id")),
+        (("movie_info", "info_type_id"), ("info_type", "id")),
+        (("movie_info_idx", "movie_id"), ("title", "id")),
+        (("movie_info_idx", "info_type_id"), ("info_type", "id")),
+        (("movie_keyword", "movie_id"), ("title", "id")),
+        (("movie_keyword", "keyword_id"), ("keyword", "id")),
+    ];
+    for (from, to) in fks {
+        catalog.add_fk(from, to).expect("imdb FK must resolve");
+    }
+    catalog.add_fk(("aka_name", "person_id"), ("name", "id")).unwrap();
+    let edges = catalog.edges().to_vec();
+
+    let predicate_cols = vec![
+        (kind_type, "sel"),
+        (title, "production_year"),
+        (company_type, "sel"),
+        (company_name, "country_code"),
+        (info_type, "sel"),
+        (role_type, "sel"),
+        (name, "gender"),
+        (keyword, "sel"),
+        (movie_companies, "sel"),
+        (cast_info, "sel"),
+        (movie_info, "info"),
+        (movie_info_idx, "info"),
+        (movie_keyword, "sel"),
+        (aka_name, "sel"),
+    ];
+
+    let link_tables =
+        vec![movie_companies, cast_info, movie_info, movie_info_idx, movie_keyword, aka_name];
+    ImdbDataset { catalog, meta: ImdbMeta { title, edges, predicate_cols, link_tables } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let ds = generate(0.2, 11);
+        assert_eq!(ds.catalog.len(), 14);
+        assert_eq!(ds.meta.edges.len(), 14);
+        assert_eq!(ds.catalog.relation(ds.meta.title).name(), "title");
+    }
+
+    #[test]
+    fn fk_skew_is_present() {
+        let ds = generate(0.5, 11);
+        let ci = ds.catalog.relation_id("cast_info").unwrap();
+        let rel = ds.catalog.relation(ci);
+        let mid = rel.column_id("movie_id").unwrap();
+        let col = rel.column(mid);
+        // Count references to title 0 (the Zipf head) vs a mid-rank title.
+        let mut head = 0usize;
+        let mut tail = 0usize;
+        let probe_tail = ds.catalog.relation(ds.meta.title).rows() as i64 / 2;
+        for i in 0..rel.rows() {
+            let v = col.value(i);
+            if v == 0 {
+                head += 1;
+            } else if v == probe_tail {
+                tail += 1;
+            }
+        }
+        assert!(head > tail.max(1) * 5, "head={head} tail={tail}");
+    }
+
+    #[test]
+    fn join_crossing_correlation_exists() {
+        // Movies' companies should usually share the movie's region.
+        let ds = generate(0.5, 13);
+        let mc = ds.catalog.relation_id("movie_companies").unwrap();
+        let rel = ds.catalog.relation(mc);
+        let m = rel.column_id("movie_id").unwrap();
+        let c = rel.column_id("company_id").unwrap();
+        let title = ds.catalog.relation(ds.meta.title);
+        let t_region = title.column_id("region").unwrap();
+        let cn = ds.catalog.relation(ds.catalog.relation_id("company_name").unwrap()).clone();
+        let cc = cn.column_id("country_code").unwrap();
+        let mut matches = 0usize;
+        for i in 0..rel.rows() {
+            let movie = rel.column(m).value(i) as usize;
+            let comp = rel.column(c).value(i) as usize;
+            if title.column(t_region).value(movie) == cn.column(cc).value(comp) {
+                matches += 1;
+            }
+        }
+        let frac = matches as f64 / rel.rows() as f64;
+        assert!(frac > 0.5, "correlated fraction {frac}");
+    }
+
+    #[test]
+    fn fks_reference_valid_rows() {
+        let ds = generate(0.2, 17);
+        for e in ds.catalog.edges() {
+            let parent_rows = ds.catalog.relation(e.to_rel).rows() as i64;
+            let (mn, mx) =
+                ds.catalog.relation(e.from_rel).column(e.from_col).min_max().unwrap();
+            assert!(mn >= 0 && mx < parent_rows);
+        }
+    }
+}

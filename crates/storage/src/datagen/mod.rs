@@ -1,0 +1,103 @@
+//! Synthetic dataset generators for the paper's three workload families.
+//!
+//! The paper evaluates on TPC-DS SF10, the Join Order Benchmark (IMDB), and
+//! a synthetic "chains" schema (Fig. 15). None of those datasets ship with
+//! this repository, so each generator synthesizes a dataset that preserves
+//! the properties the experiments depend on:
+//!
+//! * [`tpcds`] — the TPC-DS *join topology* (snowflake/snowstorm channels
+//!   around shared dimensions) plus the paper's uniform 0..999 `sel` column
+//!   used to generate BETWEEN predicates of precise selectivity;
+//! * [`imdb`] — a JOB-like schema with skewed foreign keys and
+//!   *join-crossing correlations*, the property that makes greedy
+//!   selectivity-based planning mis-order joins;
+//! * [`chains`] — the Fig. 15 hub-and-chains schema with controlled
+//!   per-join expansion/contraction rates, used for the learning-rate
+//!   convergence study (Fig. 16).
+
+pub mod chains;
+pub mod imdb;
+pub mod tpcds;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples `n` values uniformly from `0..domain` (FK column helper).
+pub(crate) fn uniform_fks(rng: &mut StdRng, n: usize, domain: usize) -> Vec<i64> {
+    let d = domain.max(1) as i64;
+    (0..n).map(|_| rng.gen_range(0..d)).collect()
+}
+
+/// The paper's uniform selectivity-control column: values in `0..=999`.
+pub(crate) fn sel_column(rng: &mut StdRng, n: usize) -> Vec<i64> {
+    (0..n).map(|_| rng.gen_range(0..1000)).collect()
+}
+
+/// Precomputed CDF for a Zipf distribution over `0..n` with exponent `s`.
+pub(crate) fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for k in 1..=n {
+        acc += 1.0 / (k as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    for v in &mut cdf {
+        *v /= total;
+    }
+    cdf
+}
+
+/// Draws one index from a precomputed Zipf CDF.
+pub(crate) fn sample_zipf(rng: &mut StdRng, cdf: &[f64]) -> usize {
+    let u: f64 = rng.gen();
+    match cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        Ok(i) => i,
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let cdf = zipf_cdf(100, 1.1);
+        assert_eq!(cdf.len(), 100);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf[99] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_sampling_is_head_heavy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cdf = zipf_cdf(1000, 1.2);
+        let mut head = 0;
+        for _ in 0..2000 {
+            if sample_zipf(&mut rng, &cdf) < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 the top-10 of 1000 should hold a large share.
+        assert!(head > 400, "head draws: {head}");
+    }
+
+    #[test]
+    fn sel_column_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let col = sel_column(&mut rng, 5000);
+        assert!(col.iter().all(|&v| (0..1000).contains(&v)));
+        // Roughly uniform: mean near 499.5.
+        let mean: f64 = col.iter().map(|&v| v as f64).sum::<f64>() / col.len() as f64;
+        assert!((mean - 499.5).abs() < 25.0);
+    }
+
+    #[test]
+    fn uniform_fks_respect_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fks = uniform_fks(&mut rng, 1000, 37);
+        assert!(fks.iter().all(|&v| (0..37).contains(&v)));
+    }
+}

@@ -1,0 +1,418 @@
+//! TPC-DS-like synthetic dataset (§6.1's sensitivity-analysis substrate).
+//!
+//! The sensitivity experiments depend on the TPC-DS *schema shape* — three
+//! sales channels (store, web, catalog) whose fact tables share dimensions
+//! (snowstorm), each channel also forming a snowflake through the customer
+//! satellites — and on precise selectivity control, which the paper obtains
+//! by extending every table with a uniformly distributed 0..999 column and
+//! generating BETWEEN predicates on it. This generator reproduces both.
+//! Row counts scale linearly with the `sf` parameter (`sf = 1.0` ≈ 30k-row
+//! store_sales, laptop-sized; raise for larger runs).
+
+use super::{sel_column, uniform_fks};
+use crate::catalog::{Catalog, FkEdge};
+use crate::relation::RelationBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use roulette_core::RelId;
+
+/// One sales channel: its fact table and its edge subsets.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Channel name ("store", "web", "catalog").
+    pub name: String,
+    /// The channel's fact table.
+    pub fact: RelId,
+    /// Snowflake edges: fact → direct dimensions, plus dimension →
+    /// sub-dimension edges (a tree rooted at the fact).
+    pub snowflake: Vec<FkEdge>,
+    /// Snowstorm edges: the snowflake plus the fact's *direct* edges to the
+    /// customer satellites, forming diamonds (graph, not tree).
+    pub snowstorm: Vec<FkEdge>,
+}
+
+/// Schema metadata accompanying the generated catalog.
+#[derive(Debug, Clone)]
+pub struct TpcdsMeta {
+    /// The three channels in order store, web, catalog.
+    pub channels: Vec<Channel>,
+    /// The fixed 4-join "template" join set of Fig. 11d:
+    /// `store_sales ⋈ date_dim ⋈ household_demographics ⋈ item ⋈ customer`.
+    pub template: Vec<FkEdge>,
+    /// Name of the uniform 0..999 selectivity-control column present on
+    /// every table.
+    pub sel_col: &'static str,
+}
+
+impl TpcdsMeta {
+    /// Union of all channels' snowflake edges ("snowflake-all").
+    pub fn snowflake_all(&self) -> Vec<FkEdge> {
+        let mut v: Vec<FkEdge> = Vec::new();
+        for ch in &self.channels {
+            for &e in &ch.snowflake {
+                if !v.contains(&e) {
+                    v.push(e);
+                }
+            }
+        }
+        v
+    }
+
+    /// Union of all channels' snowstorm edges ("snowstorm-all").
+    pub fn snowstorm_all(&self) -> Vec<FkEdge> {
+        let mut v: Vec<FkEdge> = Vec::new();
+        for ch in &self.channels {
+            for &e in &ch.snowstorm {
+                if !v.contains(&e) {
+                    v.push(e);
+                }
+            }
+        }
+        v
+    }
+
+    /// The store channel.
+    pub fn store(&self) -> &Channel {
+        &self.channels[0]
+    }
+}
+
+/// A generated TPC-DS-like dataset.
+#[derive(Debug)]
+pub struct TpcdsDataset {
+    /// The populated catalog (facts, dimensions, FK edges).
+    pub catalog: Catalog,
+    /// Channel/edge metadata for workload generation.
+    pub meta: TpcdsMeta,
+}
+
+/// Generates the dataset at scale `sf` with deterministic `seed`.
+pub fn generate(sf: f64, seed: u64) -> TpcdsDataset {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = Catalog::new();
+
+    let scaled = |base: f64| -> usize { ((base * sf) as usize).max(8) };
+
+    // --- Shared dimensions -------------------------------------------------
+    let n_date = 1461usize; // four years of days, like TPC-DS
+    let n_time = 720usize;
+    let n_item = scaled(1500.0).min(20_000);
+    let n_customer = scaled(2500.0);
+    let n_cdemo = 1920usize;
+    let n_hdemo = 720usize;
+    let n_income = 20usize;
+    let n_addr = scaled(1250.0);
+    let n_promo = 100usize;
+
+    let mut t = RelationBuilder::new("date_dim");
+    t.int64("d_date_sk", (0..n_date as i64).collect());
+    t.int64("d_year", (0..n_date).map(|i| 1998 + (i / 365) as i64).collect());
+    t.int64("d_moy", (0..n_date).map(|i| 1 + ((i / 30) % 12) as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_date));
+    let date_dim = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("time_dim");
+    t.int64("t_time_sk", (0..n_time as i64).collect());
+    t.int64("t_hour", (0..n_time).map(|i| (i % 24) as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_time));
+    let time_dim = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("item");
+    t.int64("i_item_sk", (0..n_item as i64).collect());
+    t.strings(
+        "i_category",
+        (0..n_item).map(|i| ["Books", "Music", "Sports", "Home", "Electronics"][i % 5]),
+    );
+    t.int64("i_price", (0..n_item).map(|_| rng.gen_range(1..500)).collect());
+    t.int64("sel", sel_column(&mut rng, n_item));
+    let item = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("customer_demographics");
+    t.int64("cd_demo_sk", (0..n_cdemo as i64).collect());
+    t.int64("cd_dep_count", (0..n_cdemo).map(|i| (i % 7) as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_cdemo));
+    let cdemo = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("income_band");
+    t.int64("ib_income_band_sk", (0..n_income as i64).collect());
+    t.int64("ib_lower_bound", (0..n_income).map(|i| (i as i64) * 10_000).collect());
+    t.int64("sel", sel_column(&mut rng, n_income));
+    let income_band = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("household_demographics");
+    t.int64("hd_demo_sk", (0..n_hdemo as i64).collect());
+    t.int64("hd_income_band_sk", uniform_fks(&mut rng, n_hdemo, n_income));
+    t.int64("hd_dep_count", (0..n_hdemo).map(|i| (i % 10) as i64).collect());
+    t.int64("sel", sel_column(&mut rng, n_hdemo));
+    let hdemo = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("customer_address");
+    t.int64("ca_address_sk", (0..n_addr as i64).collect());
+    t.strings("ca_state", (0..n_addr).map(|i| ["CA", "NY", "TX", "WA", "IL"][i % 5]));
+    t.int64("sel", sel_column(&mut rng, n_addr));
+    let addr = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("customer");
+    t.int64("c_customer_sk", (0..n_customer as i64).collect());
+    t.int64("c_current_cdemo_sk", uniform_fks(&mut rng, n_customer, n_cdemo));
+    t.int64("c_current_hdemo_sk", uniform_fks(&mut rng, n_customer, n_hdemo));
+    t.int64("c_current_addr_sk", uniform_fks(&mut rng, n_customer, n_addr));
+    t.int64("c_first_sales_date_sk", uniform_fks(&mut rng, n_customer, n_date));
+    t.int64("sel", sel_column(&mut rng, n_customer));
+    let customer = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("promotion");
+    t.int64("p_promo_sk", (0..n_promo as i64).collect());
+    t.strings("p_channel", (0..n_promo).map(|i| ["mail", "tv", "radio", "web"][i % 4]));
+    t.int64("sel", sel_column(&mut rng, n_promo));
+    let promotion = catalog.add(t.build()).unwrap();
+
+    // --- Channel dimensions ------------------------------------------------
+    let mut t = RelationBuilder::new("store");
+    t.int64("s_store_sk", (0..20).collect());
+    t.strings("s_state", (0..20).map(|i| ["CA", "NY", "TX", "WA"][i % 4]));
+    t.int64("sel", sel_column(&mut rng, 20));
+    let store = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("web_site");
+    t.int64("web_site_sk", (0..12).collect());
+    t.int64("sel", sel_column(&mut rng, 12));
+    let web_site = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("web_page");
+    t.int64("wp_web_page_sk", (0..60).collect());
+    t.int64("sel", sel_column(&mut rng, 60));
+    let web_page = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("call_center");
+    t.int64("cc_call_center_sk", (0..8).collect());
+    t.int64("sel", sel_column(&mut rng, 8));
+    let call_center = catalog.add(t.build()).unwrap();
+
+    let mut t = RelationBuilder::new("catalog_page");
+    t.int64("cp_catalog_page_sk", (0..120).collect());
+    t.int64("sel", sel_column(&mut rng, 120));
+    let catalog_page = catalog.add(t.build()).unwrap();
+
+    // --- Fact tables --------------------------------------------------------
+    let n_ss = scaled(30_000.0);
+    let mut t = RelationBuilder::new("store_sales");
+    t.int64("ss_sold_date_sk", uniform_fks(&mut rng, n_ss, n_date));
+    t.int64("ss_sold_time_sk", uniform_fks(&mut rng, n_ss, n_time));
+    t.int64("ss_item_sk", uniform_fks(&mut rng, n_ss, n_item));
+    t.int64("ss_customer_sk", uniform_fks(&mut rng, n_ss, n_customer));
+    t.int64("ss_store_sk", uniform_fks(&mut rng, n_ss, 20));
+    t.int64("ss_promo_sk", uniform_fks(&mut rng, n_ss, n_promo));
+    t.int64("ss_cdemo_sk", uniform_fks(&mut rng, n_ss, n_cdemo));
+    t.int64("ss_hdemo_sk", uniform_fks(&mut rng, n_ss, n_hdemo));
+    t.int64("ss_addr_sk", uniform_fks(&mut rng, n_ss, n_addr));
+    t.int64("ss_quantity", (0..n_ss).map(|_| rng.gen_range(1..100)).collect());
+    t.int64("ss_net_paid", (0..n_ss).map(|_| rng.gen_range(0..10_000)).collect());
+    t.int64("sel", sel_column(&mut rng, n_ss));
+    let store_sales = catalog.add(t.build()).unwrap();
+
+    let n_ws = scaled(15_000.0);
+    let mut t = RelationBuilder::new("web_sales");
+    t.int64("ws_sold_date_sk", uniform_fks(&mut rng, n_ws, n_date));
+    t.int64("ws_item_sk", uniform_fks(&mut rng, n_ws, n_item));
+    t.int64("ws_bill_customer_sk", uniform_fks(&mut rng, n_ws, n_customer));
+    t.int64("ws_web_site_sk", uniform_fks(&mut rng, n_ws, 12));
+    t.int64("ws_web_page_sk", uniform_fks(&mut rng, n_ws, 60));
+    t.int64("ws_promo_sk", uniform_fks(&mut rng, n_ws, n_promo));
+    t.int64("ws_cdemo_sk", uniform_fks(&mut rng, n_ws, n_cdemo));
+    t.int64("ws_hdemo_sk", uniform_fks(&mut rng, n_ws, n_hdemo));
+    t.int64("ws_addr_sk", uniform_fks(&mut rng, n_ws, n_addr));
+    t.int64("ws_quantity", (0..n_ws).map(|_| rng.gen_range(1..100)).collect());
+    t.int64("sel", sel_column(&mut rng, n_ws));
+    let web_sales = catalog.add(t.build()).unwrap();
+
+    let n_cs = scaled(15_000.0);
+    let mut t = RelationBuilder::new("catalog_sales");
+    t.int64("cs_sold_date_sk", uniform_fks(&mut rng, n_cs, n_date));
+    t.int64("cs_item_sk", uniform_fks(&mut rng, n_cs, n_item));
+    t.int64("cs_bill_customer_sk", uniform_fks(&mut rng, n_cs, n_customer));
+    t.int64("cs_call_center_sk", uniform_fks(&mut rng, n_cs, 8));
+    t.int64("cs_catalog_page_sk", uniform_fks(&mut rng, n_cs, 120));
+    t.int64("cs_promo_sk", uniform_fks(&mut rng, n_cs, n_promo));
+    t.int64("cs_cdemo_sk", uniform_fks(&mut rng, n_cs, n_cdemo));
+    t.int64("cs_hdemo_sk", uniform_fks(&mut rng, n_cs, n_hdemo));
+    t.int64("cs_addr_sk", uniform_fks(&mut rng, n_cs, n_addr));
+    t.int64("cs_quantity", (0..n_cs).map(|_| rng.gen_range(1..100)).collect());
+    t.int64("sel", sel_column(&mut rng, n_cs));
+    let catalog_sales = catalog.add(t.build()).unwrap();
+
+    // --- FK edges -----------------------------------------------------------
+    let fk = |catalog: &mut Catalog, from: (&str, &str), to: (&str, &str)| {
+        catalog.add_fk(from, to).expect("datagen FK must resolve");
+        *catalog.edges().last().unwrap()
+    };
+
+    // Customer satellites (shared by all channels' snowflakes).
+    let e_c_cdemo = fk(&mut catalog, ("customer", "c_current_cdemo_sk"), ("customer_demographics", "cd_demo_sk"));
+    let e_c_hdemo = fk(&mut catalog, ("customer", "c_current_hdemo_sk"), ("household_demographics", "hd_demo_sk"));
+    let e_c_addr = fk(&mut catalog, ("customer", "c_current_addr_sk"), ("customer_address", "ca_address_sk"));
+    let e_c_date = fk(&mut catalog, ("customer", "c_first_sales_date_sk"), ("date_dim", "d_date_sk"));
+    let e_hd_ib = fk(&mut catalog, ("household_demographics", "hd_income_band_sk"), ("income_band", "ib_income_band_sk"));
+    let satellites = [e_c_cdemo, e_c_hdemo, e_c_addr, e_c_date, e_hd_ib];
+
+    // Store channel.
+    let e_ss_date = fk(&mut catalog, ("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"));
+    let e_ss_time = fk(&mut catalog, ("store_sales", "ss_sold_time_sk"), ("time_dim", "t_time_sk"));
+    let e_ss_item = fk(&mut catalog, ("store_sales", "ss_item_sk"), ("item", "i_item_sk"));
+    let e_ss_cust = fk(&mut catalog, ("store_sales", "ss_customer_sk"), ("customer", "c_customer_sk"));
+    let e_ss_store = fk(&mut catalog, ("store_sales", "ss_store_sk"), ("store", "s_store_sk"));
+    let e_ss_promo = fk(&mut catalog, ("store_sales", "ss_promo_sk"), ("promotion", "p_promo_sk"));
+    let e_ss_cdemo = fk(&mut catalog, ("store_sales", "ss_cdemo_sk"), ("customer_demographics", "cd_demo_sk"));
+    let e_ss_hdemo = fk(&mut catalog, ("store_sales", "ss_hdemo_sk"), ("household_demographics", "hd_demo_sk"));
+    let e_ss_addr = fk(&mut catalog, ("store_sales", "ss_addr_sk"), ("customer_address", "ca_address_sk"));
+
+    let mut store_snowflake =
+        vec![e_ss_date, e_ss_time, e_ss_item, e_ss_cust, e_ss_store, e_ss_promo];
+    store_snowflake.extend_from_slice(&satellites);
+    let mut store_snowstorm = store_snowflake.clone();
+    store_snowstorm.extend_from_slice(&[e_ss_cdemo, e_ss_hdemo, e_ss_addr]);
+
+    // Web channel.
+    let e_ws_date = fk(&mut catalog, ("web_sales", "ws_sold_date_sk"), ("date_dim", "d_date_sk"));
+    let e_ws_item = fk(&mut catalog, ("web_sales", "ws_item_sk"), ("item", "i_item_sk"));
+    let e_ws_cust = fk(&mut catalog, ("web_sales", "ws_bill_customer_sk"), ("customer", "c_customer_sk"));
+    let e_ws_site = fk(&mut catalog, ("web_sales", "ws_web_site_sk"), ("web_site", "web_site_sk"));
+    let e_ws_page = fk(&mut catalog, ("web_sales", "ws_web_page_sk"), ("web_page", "wp_web_page_sk"));
+    let e_ws_promo = fk(&mut catalog, ("web_sales", "ws_promo_sk"), ("promotion", "p_promo_sk"));
+    let e_ws_cdemo = fk(&mut catalog, ("web_sales", "ws_cdemo_sk"), ("customer_demographics", "cd_demo_sk"));
+    let e_ws_hdemo = fk(&mut catalog, ("web_sales", "ws_hdemo_sk"), ("household_demographics", "hd_demo_sk"));
+    let e_ws_addr = fk(&mut catalog, ("web_sales", "ws_addr_sk"), ("customer_address", "ca_address_sk"));
+
+    let mut web_snowflake = vec![e_ws_date, e_ws_item, e_ws_cust, e_ws_site, e_ws_page, e_ws_promo];
+    web_snowflake.extend_from_slice(&satellites);
+    let mut web_snowstorm = web_snowflake.clone();
+    web_snowstorm.extend_from_slice(&[e_ws_cdemo, e_ws_hdemo, e_ws_addr]);
+
+    // Catalog channel.
+    let e_cs_date = fk(&mut catalog, ("catalog_sales", "cs_sold_date_sk"), ("date_dim", "d_date_sk"));
+    let e_cs_item = fk(&mut catalog, ("catalog_sales", "cs_item_sk"), ("item", "i_item_sk"));
+    let e_cs_cust = fk(&mut catalog, ("catalog_sales", "cs_bill_customer_sk"), ("customer", "c_customer_sk"));
+    let e_cs_cc = fk(&mut catalog, ("catalog_sales", "cs_call_center_sk"), ("call_center", "cc_call_center_sk"));
+    let e_cs_page = fk(&mut catalog, ("catalog_sales", "cs_catalog_page_sk"), ("catalog_page", "cp_catalog_page_sk"));
+    let e_cs_promo = fk(&mut catalog, ("catalog_sales", "cs_promo_sk"), ("promotion", "p_promo_sk"));
+    let e_cs_cdemo = fk(&mut catalog, ("catalog_sales", "cs_cdemo_sk"), ("customer_demographics", "cd_demo_sk"));
+    let e_cs_hdemo = fk(&mut catalog, ("catalog_sales", "cs_hdemo_sk"), ("household_demographics", "hd_demo_sk"));
+    let e_cs_addr = fk(&mut catalog, ("catalog_sales", "cs_addr_sk"), ("customer_address", "ca_address_sk"));
+
+    let mut cat_snowflake = vec![e_cs_date, e_cs_item, e_cs_cust, e_cs_cc, e_cs_page, e_cs_promo];
+    cat_snowflake.extend_from_slice(&satellites);
+    let mut cat_snowstorm = cat_snowflake.clone();
+    cat_snowstorm.extend_from_slice(&[e_cs_cdemo, e_cs_hdemo, e_cs_addr]);
+
+    let meta = TpcdsMeta {
+        channels: vec![
+            Channel {
+                name: "store".into(),
+                fact: store_sales,
+                snowflake: store_snowflake,
+                snowstorm: store_snowstorm,
+            },
+            Channel {
+                name: "web".into(),
+                fact: web_sales,
+                snowflake: web_snowflake,
+                snowstorm: web_snowstorm,
+            },
+            Channel {
+                name: "catalog".into(),
+                fact: catalog_sales,
+                snowflake: cat_snowflake,
+                snowstorm: cat_snowstorm,
+            },
+        ],
+        template: vec![e_ss_date, e_ss_hdemo, e_ss_item, e_ss_cust],
+        sel_col: "sel",
+    };
+
+    // Suppress unused-variable lints for ids kept only for documentation.
+    let _ = (date_dim, time_dim, item, cdemo, income_band, hdemo, addr, customer, promotion);
+    let _ = (store, web_site, web_page, call_center, catalog_page);
+
+    TpcdsDataset { catalog, meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_full_schema() {
+        let ds = generate(0.2, 42);
+        assert_eq!(ds.catalog.len(), 17);
+        assert_eq!(ds.meta.channels.len(), 3);
+        let ss = ds.catalog.relation_id("store_sales").unwrap();
+        assert_eq!(ds.meta.store().fact, ss);
+        assert!(ds.catalog.relation(ss).rows() >= 8);
+    }
+
+    #[test]
+    fn every_table_has_sel_column() {
+        let ds = generate(0.1, 1);
+        for (_, rel) in ds.catalog.relations() {
+            let sel = rel.column_id("sel").expect("sel column present");
+            let (mn, mx) = rel.column(sel).min_max().unwrap();
+            assert!(mn >= 0 && mx <= 999, "{}: sel out of range", rel.name());
+        }
+    }
+
+    #[test]
+    fn fks_reference_valid_rows() {
+        let ds = generate(0.1, 7);
+        for e in ds.catalog.edges() {
+            let parent_rows = ds.catalog.relation(e.to_rel).rows() as i64;
+            let col = ds.catalog.relation(e.from_rel).column(e.from_col);
+            let (mn, mx) = col.min_max().unwrap();
+            assert!(mn >= 0 && mx < parent_rows, "dangling FK on edge {:?}", e);
+        }
+    }
+
+    #[test]
+    fn snowstorm_extends_snowflake() {
+        let ds = generate(0.1, 3);
+        for ch in &ds.meta.channels {
+            assert!(ch.snowstorm.len() > ch.snowflake.len());
+            for e in &ch.snowflake {
+                assert!(ch.snowstorm.contains(e));
+            }
+        }
+    }
+
+    #[test]
+    fn template_is_four_joins_on_store_sales() {
+        let ds = generate(0.1, 3);
+        assert_eq!(ds.meta.template.len(), 4);
+        let ss = ds.catalog.relation_id("store_sales").unwrap();
+        assert!(ds.meta.template.iter().all(|e| e.from_rel == ss));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(0.1, 99);
+        let b = generate(0.1, 99);
+        let ss = a.catalog.relation_id("store_sales").unwrap();
+        let ca = a.catalog.relation(ss);
+        let cb = b.catalog.relation(ss);
+        let col = ca.column_id("ss_item_sk").unwrap();
+        for i in (0..ca.rows()).step_by(997) {
+            assert_eq!(ca.column(col).value(i), cb.column(col).value(i));
+        }
+        let _ = cb;
+    }
+
+    #[test]
+    fn scale_factor_scales_facts() {
+        let small = generate(0.1, 5);
+        let large = generate(0.4, 5);
+        let rows = |ds: &TpcdsDataset| {
+            let id = ds.catalog.relation_id("store_sales").unwrap();
+            ds.catalog.relation(id).rows()
+        };
+        assert!(rows(&large) > 3 * rows(&small));
+    }
+}

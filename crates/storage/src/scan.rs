@@ -1,0 +1,343 @@
+//! Ingestion: circular scans with active-query tracking (§3).
+//!
+//! Ingestion provides RouLette with vectors from storage, designed for two
+//! properties: (i) all ongoing queries make progress — relations are scanned
+//! in round-robin order; (ii) incoming queries share ongoing scans — scans
+//! are *circular*, so a query scheduled mid-scan consumes the remainder and
+//! wraps around, and every `(row, query)` pair is produced exactly once.
+//!
+//! Each produced vector is annotated with the bitset of *active* queries on
+//! its relation (queries whose circular scan has not yet completed),
+//! translating the input into the Data-Query model.
+//!
+//! Scan *initiation order* is rank-gated (§5.2): a relation's scan only
+//! starts once every lower-ranked relation is fully ingested, which is what
+//! makes symmetric join pruning applicable to the large, late-scanned
+//! relations.
+
+use roulette_core::{QueryId, QuerySet, RelId, RelSet};
+
+/// One ingested vector: a contiguous row range of a relation plus the
+/// active-query annotation.
+#[derive(Debug, Clone)]
+pub struct IngestVector {
+    /// Scanned relation.
+    pub rel: RelId,
+    /// First row (inclusive).
+    pub start: usize,
+    /// Last row (exclusive).
+    pub end: usize,
+    /// Queries whose scans cover this vector.
+    pub queries: QuerySet,
+}
+
+#[derive(Debug)]
+struct RelScan {
+    rows: usize,
+    n_vectors: usize,
+    /// Next vector index to produce.
+    cursor: usize,
+    /// Per active query: (id, vectors still to produce for it).
+    active: Vec<(QueryId, usize)>,
+    /// Rank controlling initiation order (lower starts earlier).
+    rank: usize,
+    /// Whether any query was ever scheduled on this relation.
+    scheduled: bool,
+}
+
+impl RelScan {
+    fn new(rows: usize, vector_size: usize) -> Self {
+        RelScan {
+            rows,
+            n_vectors: rows.div_ceil(vector_size).max(1),
+            cursor: 0,
+            active: Vec::new(),
+            rank: 0,
+            scheduled: false,
+        }
+    }
+}
+
+/// Circular-scan ingestion state over a set of relations.
+#[derive(Debug)]
+pub struct Ingestion {
+    vector_size: usize,
+    n_queries: usize,
+    rels: Vec<RelScan>,
+    /// Round-robin pointer over relation ids.
+    rr: usize,
+    /// Per query: number of relation scans still running.
+    pending_scans: Vec<usize>,
+    /// Per query: (total vectors scheduled, vectors still to produce).
+    progress: Vec<(usize, usize)>,
+}
+
+impl Ingestion {
+    /// Creates ingestion state for relations with the given row counts.
+    ///
+    /// `n_queries` is the batch's query-id capacity (bitset width).
+    pub fn new(rel_rows: &[usize], vector_size: usize, n_queries: usize) -> Self {
+        assert!(vector_size > 0);
+        Ingestion {
+            vector_size,
+            n_queries: n_queries.max(1),
+            rels: rel_rows.iter().map(|&r| RelScan::new(r, vector_size)).collect(),
+            rr: 0,
+            pending_scans: vec![0; n_queries.max(1)],
+            progress: vec![(0, 0); n_queries.max(1)],
+        }
+    }
+
+    /// Assigns initiation ranks (same length as relations; lower = earlier).
+    pub fn set_ranks(&mut self, ranks: &[usize]) {
+        assert_eq!(ranks.len(), self.rels.len());
+        for (r, &rank) in self.rels.iter_mut().zip(ranks) {
+            r.rank = rank;
+        }
+    }
+
+    /// Schedules query `q` on the given relations: each relation's circular
+    /// scan will produce exactly one pass over its rows for `q`, starting
+    /// from the scan's current position.
+    pub fn schedule(&mut self, q: QueryId, rels: RelSet) {
+        for rel in rels.iter() {
+            let scan = &mut self.rels[rel.index()];
+            debug_assert!(
+                !scan.active.iter().any(|&(aq, _)| aq == q),
+                "query scheduled twice on {rel}"
+            );
+            scan.active.push((q, scan.n_vectors));
+            scan.scheduled = true;
+            self.pending_scans[q.index()] += 1;
+            self.progress[q.index()].0 += scan.n_vectors;
+            self.progress[q.index()].1 += scan.n_vectors;
+        }
+    }
+
+    /// Whether query `q` still has unread input.
+    pub fn query_active(&self, q: QueryId) -> bool {
+        self.pending_scans[q.index()] > 0
+    }
+
+    /// Fraction of query `q`'s scheduled input already produced, in
+    /// `[0, 1]` (1 for unscheduled queries).
+    pub fn progress(&self, q: QueryId) -> f64 {
+        let (total, remaining) = self.progress[q.index()];
+        if total == 0 {
+            1.0
+        } else {
+            (total - remaining) as f64 / total as f64
+        }
+    }
+
+    /// Whether every scheduled scan of `rel` has completed (no active
+    /// queries). Pruning uses this as the "fully ingested" condition.
+    pub fn scan_complete(&self, rel: RelId) -> bool {
+        let s = &self.rels[rel.index()];
+        s.scheduled && s.active.is_empty()
+    }
+
+    /// Whether any relation still has active queries.
+    pub fn has_work(&self) -> bool {
+        self.rels.iter().any(|r| !r.active.is_empty())
+    }
+
+    /// A relation may start producing only when all lower-ranked scheduled
+    /// relations have completed their scans.
+    fn initiated(&self, idx: usize) -> bool {
+        let my_rank = self.rels[idx].rank;
+        self.rels.iter().enumerate().all(|(j, r)| {
+            j == idx || r.rank >= my_rank || !r.scheduled || r.active.is_empty()
+        })
+    }
+
+    /// Produces the next vector: chooses a relation round-robin among
+    /// initiated relations with active queries, then that relation's next
+    /// circular vector. Returns `None` when no query has unread input.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<IngestVector> {
+        let n = self.rels.len();
+        if n == 0 {
+            return None;
+        }
+        for step in 0..n {
+            let idx = (self.rr + step) % n;
+            if self.rels[idx].active.is_empty() || !self.initiated(idx) {
+                continue;
+            }
+            self.rr = (idx + 1) % n;
+            return Some(self.produce(idx));
+        }
+        None
+    }
+
+    fn produce(&mut self, idx: usize) -> IngestVector {
+        let vector_size = self.vector_size;
+        let scan = &mut self.rels[idx];
+        let v = scan.cursor;
+        scan.cursor = (scan.cursor + 1) % scan.n_vectors;
+        let start = (v * vector_size).min(scan.rows);
+        let end = ((v + 1) * vector_size).min(scan.rows);
+
+        let mut queries = QuerySet::empty(self.n_queries);
+        let mut finished: Vec<QueryId> = Vec::new();
+        let progress = &mut self.progress;
+        scan.active.retain_mut(|(q, remaining)| {
+            queries.insert(*q);
+            *remaining -= 1;
+            progress[q.index()].1 -= 1;
+            if *remaining == 0 {
+                finished.push(*q);
+                false
+            } else {
+                true
+            }
+        });
+        for q in finished {
+            self.pending_scans[q.index()] -= 1;
+        }
+        IngestVector { rel: RelId(idx as u16), start, end, queries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_all(ing: &mut Ingestion) -> Vec<IngestVector> {
+        let mut out = Vec::new();
+        while let Some(v) = ing.next() {
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn single_relation_single_query_covers_all_rows_once() {
+        let mut ing = Ingestion::new(&[10], 4, 1);
+        ing.schedule(QueryId(0), RelSet::singleton(RelId(0)));
+        let vs = collect_all(&mut ing);
+        assert_eq!(vs.len(), 3); // ceil(10/4)
+        let ranges: Vec<_> = vs.iter().map(|v| (v.start, v.end)).collect();
+        assert_eq!(ranges, vec![(0, 4), (4, 8), (8, 10)]);
+        assert!(vs.iter().all(|v| v.queries.contains(QueryId(0))));
+        assert!(!ing.query_active(QueryId(0)));
+        assert!(ing.scan_complete(RelId(0)));
+    }
+
+    #[test]
+    fn round_robin_alternates_relations() {
+        let mut ing = Ingestion::new(&[8, 8], 4, 1);
+        ing.schedule(QueryId(0), RelSet::from_iter([RelId(0), RelId(1)]));
+        let vs = collect_all(&mut ing);
+        let rels: Vec<_> = vs.iter().map(|v| v.rel.0).collect();
+        assert_eq!(rels, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn late_query_shares_ongoing_scan_and_wraps() {
+        // One relation of 3 vectors; q0 starts, then q1 is scheduled after
+        // the first vector. Every (vector, query) pair must appear once.
+        let mut ing = Ingestion::new(&[12], 4, 2);
+        ing.schedule(QueryId(0), RelSet::singleton(RelId(0)));
+        let v0 = ing.next().unwrap();
+        assert_eq!((v0.start, v0.end), (0, 4));
+        assert!(v0.queries.contains(QueryId(0)) && !v0.queries.contains(QueryId(1)));
+
+        ing.schedule(QueryId(1), RelSet::singleton(RelId(0)));
+        let rest = collect_all(&mut ing);
+        // q0 needs 2 more vectors (8..12 range), q1 needs 3 (wrapping).
+        assert_eq!(rest.len(), 3);
+        assert_eq!((rest[0].start, rest[0].end), (4, 8));
+        assert!(rest[0].queries.contains(QueryId(0)) && rest[0].queries.contains(QueryId(1)));
+        assert_eq!((rest[1].start, rest[1].end), (8, 12));
+        assert!(rest[1].queries.contains(QueryId(0)));
+        // q0 done after this; the wrap-around vector only carries q1.
+        assert_eq!((rest[2].start, rest[2].end), (0, 4));
+        assert!(!rest[2].queries.contains(QueryId(0)));
+        assert!(rest[2].queries.contains(QueryId(1)));
+    }
+
+    #[test]
+    fn each_row_query_pair_produced_exactly_once_under_churn() {
+        let mut ing = Ingestion::new(&[32], 8, 4);
+        let mut seen: Vec<Vec<(usize, usize)>> = vec![Vec::new(); 4];
+        ing.schedule(QueryId(0), RelSet::singleton(RelId(0)));
+        let mut scheduled = 1;
+        let mut step = 0;
+        loop {
+            // Admit a new query every two vectors.
+            if step % 2 == 1 && scheduled < 4 {
+                ing.schedule(QueryId(scheduled as u32), RelSet::singleton(RelId(0)));
+                scheduled += 1;
+            }
+            let Some(v) = ing.next() else { break };
+            for q in v.queries.iter() {
+                seen[q.index()].push((v.start, v.end));
+            }
+            step += 1;
+        }
+        for (q, ranges) in seen.iter().enumerate() {
+            let mut rows: Vec<usize> =
+                ranges.iter().flat_map(|&(s, e)| s..e).collect();
+            rows.sort_unstable();
+            assert_eq!(rows, (0..32).collect::<Vec<_>>(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn rank_gates_initiation() {
+        let mut ing = Ingestion::new(&[4, 4], 4, 1);
+        ing.set_ranks(&[1, 0]); // relation 1 must be ingested first
+        ing.schedule(QueryId(0), RelSet::from_iter([RelId(0), RelId(1)]));
+        let vs = collect_all(&mut ing);
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].rel, RelId(1));
+        assert_eq!(vs[1].rel, RelId(0));
+    }
+
+    #[test]
+    fn unscheduled_relations_do_not_block_ranks() {
+        let mut ing = Ingestion::new(&[4, 4, 4], 4, 1);
+        ing.set_ranks(&[2, 1, 0]);
+        // Only relation 0 (highest rank) is scheduled; it must still run.
+        ing.schedule(QueryId(0), RelSet::singleton(RelId(0)));
+        let vs = collect_all(&mut ing);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rel, RelId(0));
+    }
+
+    #[test]
+    fn empty_relation_completes_immediately_after_one_vector() {
+        let mut ing = Ingestion::new(&[0], 4, 1);
+        ing.schedule(QueryId(0), RelSet::singleton(RelId(0)));
+        let vs = collect_all(&mut ing);
+        assert_eq!(vs.len(), 1);
+        assert_eq!((vs[0].start, vs[0].end), (0, 0));
+        assert!(!ing.query_active(QueryId(0)));
+    }
+
+    #[test]
+    fn progress_tracks_produced_fraction() {
+        let mut ing = Ingestion::new(&[16], 4, 2);
+        assert_eq!(ing.progress(QueryId(0)), 1.0); // unscheduled
+        ing.schedule(QueryId(0), RelSet::singleton(RelId(0)));
+        assert_eq!(ing.progress(QueryId(0)), 0.0);
+        ing.next();
+        assert!((ing.progress(QueryId(0)) - 0.25).abs() < 1e-12);
+        ing.next();
+        ing.next();
+        ing.next();
+        assert_eq!(ing.progress(QueryId(0)), 1.0);
+    }
+
+    #[test]
+    fn has_work_reflects_active_queries() {
+        let mut ing = Ingestion::new(&[4], 4, 1);
+        assert!(!ing.has_work());
+        ing.schedule(QueryId(0), RelSet::singleton(RelId(0)));
+        assert!(ing.has_work());
+        let _ = collect_all(&mut ing);
+        assert!(!ing.has_work());
+    }
+}

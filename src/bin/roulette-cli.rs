@@ -1,0 +1,371 @@
+//! `roulette-cli` — an interactive shell around the RouLette engine.
+//!
+//! Load CSVs (or generate the synthetic evaluation datasets), queue SPJ
+//! queries, and execute the queue as one shared adaptive batch:
+//!
+//! ```text
+//! $ cargo run --release --bin roulette-cli
+//! > \load data/orders.csv
+//! > \load data/customer.csv
+//! > SELECT count(*) FROM orders, customer WHERE orders.custkey = customer.custkey
+//! > SELECT orders.total FROM orders, customer WHERE orders.custkey = customer.custkey AND customer.age < 30
+//! > \go
+//! Q0: 15230 rows ...
+//! ```
+//!
+//! Commands: `\load FILE [NAME]`, `\gen tpcds|imdb [SF]`, `\tables`,
+//! `\schema REL`, `\batch` (show queue), `\save FILE` / `\open FILE`
+//! (queue as JSON), `\clear`, `\go`, `\explain` (the learned plan of the
+//! last run), `\quit`. Any other line is parsed as SQL and queued.
+
+use roulette::core::{EngineConfig, QueryId};
+use roulette::exec::RouletteEngine;
+use roulette::query::{parse, to_sql, SpjQuery};
+use roulette::storage::datagen::{imdb, tpcds};
+use roulette::storage::{relation_from_csv_path, Catalog};
+use std::io::{BufRead, Write};
+
+struct Shell {
+    catalog: Catalog,
+    pending: Vec<SpjQuery>,
+    config: EngineConfig,
+    last_plan: Option<String>,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell {
+            catalog: Catalog::new(),
+            pending: Vec::new(),
+            config: EngineConfig::default(),
+            last_plan: None,
+        }
+    }
+
+    fn handle(&mut self, line: &str, out: &mut impl Write) -> std::io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(true);
+        }
+        if let Some(cmd) = line.strip_prefix('\\') {
+            let mut parts = cmd.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "quit" | "q" => return Ok(false),
+                "load" => match parts.next() {
+                    Some(path) => {
+                        let name = parts.next();
+                        match relation_from_csv_path(std::path::Path::new(path), name)
+                            .and_then(|rel| self.catalog.add(rel))
+                        {
+                            Ok(id) => {
+                                let rel = self.catalog.relation(id);
+                                writeln!(out, "loaded {} ({} rows)", rel.name(), rel.rows())?;
+                            }
+                            Err(e) => writeln!(out, "error: {e}")?,
+                        }
+                    }
+                    None => writeln!(out, "usage: \\load FILE [NAME]")?,
+                },
+                "gen" => {
+                    let which = parts.next().unwrap_or("tpcds");
+                    let sf: f64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(0.1);
+                    if !self.catalog.is_empty() {
+                        writeln!(out, "error: \\gen needs an empty catalog")?;
+                        return Ok(true);
+                    }
+                    match which {
+                        "tpcds" => {
+                            self.catalog = tpcds::generate(sf, 42).catalog;
+                            writeln!(out, "generated TPC-DS-like dataset (sf {sf})")?;
+                        }
+                        "imdb" => {
+                            self.catalog = imdb::generate(sf, 42).catalog;
+                            writeln!(out, "generated JOB-like dataset (sf {sf})")?;
+                        }
+                        other => writeln!(out, "error: unknown dataset '{other}'")?,
+                    }
+                }
+                "tables" => {
+                    for (_, rel) in self.catalog.relations() {
+                        writeln!(out, "{} ({} rows, {} columns)", rel.name(), rel.rows(), rel.width())?;
+                    }
+                }
+                "schema" => match parts.next() {
+                    Some(name) => match self.catalog.relation_id(name) {
+                        Ok(id) => {
+                            for (col, _) in self.catalog.relation(id).columns() {
+                                writeln!(out, "{name}.{col}")?;
+                            }
+                        }
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    },
+                    None => writeln!(out, "usage: \\schema REL")?,
+                },
+                "batch" => {
+                    for (i, q) in self.pending.iter().enumerate() {
+                        writeln!(out, "Q{i}: {}", to_sql(&self.catalog, q))?;
+                    }
+                    writeln!(out, "{} queued", self.pending.len())?;
+                }
+                "clear" => {
+                    self.pending.clear();
+                    writeln!(out, "queue cleared")?;
+                }
+                "save" => match parts.next() {
+                    Some(path) => {
+                        match serde_json::to_string_pretty(&self.pending)
+                            .map_err(std::io::Error::other)
+                            .and_then(|json| std::fs::write(path, json))
+                        {
+                            Ok(()) => writeln!(out, "saved {} queries", self.pending.len())?,
+                            Err(e) => writeln!(out, "error: {e}")?,
+                        }
+                    }
+                    None => writeln!(out, "usage: \\save FILE")?,
+                },
+                "open" => match parts.next() {
+                    Some(path) => {
+                        let loaded: Result<Vec<SpjQuery>, String> = std::fs::read_to_string(path)
+                            .map_err(|e| e.to_string())
+                            .and_then(|json| {
+                                serde_json::from_str(&json).map_err(|e| e.to_string())
+                            });
+                        match loaded {
+                            Ok(queries) => {
+                                // Re-validate against the current catalog.
+                                let mut kept = 0;
+                                for q in queries {
+                                    match q.validate(&self.catalog) {
+                                        Ok(()) => {
+                                            self.pending.push(q);
+                                            kept += 1;
+                                        }
+                                        Err(e) => writeln!(out, "skipped: {e}")?,
+                                    }
+                                }
+                                writeln!(out, "opened {kept} queries")?;
+                            }
+                            Err(e) => writeln!(out, "error: {e}")?,
+                        }
+                    }
+                    None => writeln!(out, "usage: \\open FILE")?,
+                },
+                "explain" => match &self.last_plan {
+                    Some(plan) => write!(out, "{plan}")?,
+                    None => writeln!(out, "nothing executed yet; run \\go first")?,
+                },
+                "go" => self.execute(out)?,
+                other => writeln!(out, "error: unknown command '\\{other}'")?,
+            }
+            return Ok(true);
+        }
+        // SQL line: parse and queue.
+        match parse(&self.catalog, line) {
+            Ok(q) => {
+                writeln!(out, "queued as Q{}", self.pending.len())?;
+                self.pending.push(q);
+            }
+            Err(e) => writeln!(out, "error: {e}")?,
+        }
+        Ok(true)
+    }
+
+    fn execute(&mut self, out: &mut impl Write) -> std::io::Result<()> {
+        if self.pending.is_empty() {
+            writeln!(out, "nothing queued")?;
+            return Ok(());
+        }
+        let queries = std::mem::take(&mut self.pending);
+        let engine = RouletteEngine::new(&self.catalog, self.config.clone());
+        let collect = queries.iter().any(|q| !q.projections.is_empty());
+        let t0 = std::time::Instant::now();
+        let mut session = engine.session(queries.len());
+        if collect {
+            session.collect_rows();
+        }
+        for q in &queries {
+            if let Err(e) = session.admit(q.clone()) {
+                writeln!(out, "error: {e}")?;
+                return Ok(());
+            }
+        }
+        session.run();
+        let elapsed = t0.elapsed();
+        // Capture the learned plan for \explain: a greedy decode rooted at
+        // the largest scanned relation.
+        self.last_plan = {
+            let batch = session.batch();
+            let root = batch
+                .scanned_relations()
+                .iter()
+                .max_by_key(|&r| self.catalog.relation(r).rows());
+            root.map(|root| {
+                let space = roulette::exec::JoinSpace::new(batch);
+                let full = roulette::core::QuerySet::full(batch.capacity());
+                let plan = session.with_policy(|policy| {
+                    roulette::exec::planner::plan_join_phase(batch, &space, policy, root, &full)
+                });
+                format!(
+                    "learned join-phase plan from {}:\n{}",
+                    self.catalog.relation(root).name(),
+                    plan.explain(&self.catalog)
+                )
+            })
+        };
+        for (i, q) in queries.iter().enumerate() {
+            let r = session.result(QueryId(i as u32));
+            if q.projections.is_empty() {
+                writeln!(out, "Q{i}: {} rows", r.rows)?;
+            } else {
+                let rows = session.take_collected(QueryId(i as u32));
+                writeln!(out, "Q{i}: {} rows", r.rows)?;
+                for row in rows.iter().take(10) {
+                    writeln!(out, "  {row:?}")?;
+                }
+                if rows.len() > 10 {
+                    writeln!(out, "  … {} more", rows.len() - 10)?;
+                }
+            }
+        }
+        let stats = session.stats();
+        writeln!(
+            out,
+            "({} queries in {elapsed:.2?}; {} episodes, {} join tuples, {} pruned)",
+            queries.len(),
+            stats.episodes,
+            stats.join_tuples,
+            stats.pruned_tuples
+        )?;
+        Ok(())
+    }
+}
+
+/// Runs the shell over arbitrary input/output (unit-testable core).
+fn run<R: BufRead, W: Write>(input: R, mut output: W) -> std::io::Result<()> {
+    let mut shell = Shell::new();
+    for line in input.lines() {
+        let line = line?;
+        if !shell.handle(&line, &mut output)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    println!("RouLette shell — \\gen tpcds 0.1, SQL lines, \\go. \\quit to exit.");
+    run(stdin.lock(), stdout.lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(script: &str) -> String {
+        let mut out = Vec::new();
+        run(script.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn generate_query_and_execute() {
+        let out = drive(
+            "\\gen tpcds 0.05\n\
+             SELECT count(*) FROM store_sales, date_dim WHERE store_sales.ss_sold_date_sk = date_dim.d_date_sk\n\
+             \\go\n",
+        );
+        assert!(out.contains("generated TPC-DS-like dataset"));
+        assert!(out.contains("queued as Q0"));
+        assert!(out.contains("Q0:"), "{out}");
+        assert!(out.contains("episodes"));
+    }
+
+    #[test]
+    fn load_csv_and_project() {
+        let dir = std::env::temp_dir().join("roulette_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("orders.csv");
+        std::fs::write(&path, "custkey,total\n1,100\n2,250\n1,50\n").unwrap();
+        let script = format!(
+            "\\load {}\n\
+             \\tables\n\
+             SELECT orders.total FROM orders WHERE orders.total > 60\n\
+             \\go\n",
+            path.display()
+        );
+        let out = drive(&script);
+        assert!(out.contains("loaded orders (3 rows)"), "{out}");
+        assert!(out.contains("Q0: 2 rows"), "{out}");
+        assert!(out.contains("[100]"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let out = drive(
+            "\\load /nonexistent/file.csv\n\
+             SELECT nonsense\n\
+             \\nosuch\n\
+             \\schema missing\n\
+             \\go\n",
+        );
+        assert!(out.contains("error:"));
+        assert!(out.contains("unknown command"));
+        assert!(out.contains("nothing queued"));
+    }
+
+    #[test]
+    fn batch_and_clear() {
+        let out = drive(
+            "\\gen tpcds 0.05\n\
+             SELECT count(*) FROM item\n\
+             \\batch\n\
+             \\clear\n\
+             \\batch\n",
+        );
+        assert!(out.contains("1 queued"));
+        assert!(out.contains("queue cleared"));
+        assert!(out.contains("0 queued"));
+    }
+
+    #[test]
+    fn save_open_round_trip() {
+        let dir = std::env::temp_dir().join("roulette_cli_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("workload.json");
+        let script = format!(
+            "\\gen tpcds 0.05
+             SELECT count(*) FROM store_sales, item WHERE store_sales.ss_item_sk = item.i_item_sk
+             \\save {p}
+             \\clear
+             \\open {p}
+             \\batch
+",
+            p = path.display()
+        );
+        let out = drive(&script);
+        assert!(out.contains("saved 1 queries"), "{out}");
+        assert!(out.contains("opened 1 queries"), "{out}");
+        assert!(out.contains("1 queued"), "{out}");
+    }
+
+    #[test]
+    fn explain_after_go_shows_learned_plan() {
+        let out = drive(
+            "\\gen tpcds 0.05
+             SELECT count(*) FROM store_sales, item WHERE store_sales.ss_item_sk = item.i_item_sk
+             \\go
+             \\explain
+",
+        );
+        assert!(out.contains("learned join-phase plan from store_sales"), "{out}");
+        assert!(out.contains("Probe STeM("), "{out}");
+    }
+
+    #[test]
+    fn quit_stops_processing() {
+        let out = drive("\\quit\n\\gen tpcds 0.05\n");
+        assert!(!out.contains("generated"));
+    }
+}

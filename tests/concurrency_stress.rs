@@ -1,0 +1,72 @@
+//! Multi-worker determinism stress tests.
+//!
+//! Results must be bit-identical across worker counts and repeated runs:
+//! the symmetric join's versioning discipline guarantees each match is
+//! produced exactly once, and pruning must only consult STeMs that are
+//! final (scan complete AND every racing insert retired) — the regression
+//! this file guards hit exactly that window.
+
+use roulette::baselines::{ExecMode, QatEngine};
+use roulette::core::EngineConfig;
+use roulette::exec::RouletteEngine;
+use roulette::query::generator::{chains_queries, tpcds_pool, SensitivityParams};
+use roulette::storage::datagen::chains::{self, ChainsParams};
+use roulette::storage::datagen::tpcds;
+
+#[test]
+fn chains_multi_worker_matches_qat_across_seeds() {
+    // The chains schema maximizes insert/probe interleaving (every relation
+    // shares one key domain), which is where the pruning-vs-insert race
+    // lived. Hammer it across seeds and worker counts.
+    for seed in 0..6 {
+        let ds = chains::generate(
+            ChainsParams { chains: 4, relations: 9, domain: 300, hub_rows: 1200 },
+            seed,
+        );
+        let queries = chains_queries(&ds, 6, seed * 31 + 1);
+        let expected = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1)
+            .execute_serial(&queries);
+        for workers in [2, 4, 8] {
+            let out = RouletteEngine::new(
+                &ds.catalog,
+                EngineConfig::default().with_vector_size(128).with_workers(workers),
+            )
+            .execute_batch(&queries)
+            .unwrap();
+            assert_eq!(
+                out.per_query, expected,
+                "seed {seed}, {workers} workers diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn tpcds_multi_worker_repeated_runs_are_identical() {
+    let ds = tpcds::generate(0.05, 3);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), 10, 77);
+    let expected =
+        QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1).execute_serial(&queries);
+    for run in 0..4 {
+        let out = RouletteEngine::new(
+            &ds.catalog,
+            EngineConfig::default().with_vector_size(256).with_workers(6),
+        )
+        .execute_batch(&queries)
+        .unwrap();
+        assert_eq!(out.per_query, expected, "run {run} diverged");
+    }
+}
+
+#[test]
+fn multi_worker_without_pruning_also_agrees() {
+    // Isolate the versioning discipline from pruning.
+    let ds = tpcds::generate(0.05, 5);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), 8, 13);
+    let expected =
+        QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1).execute_serial(&queries);
+    let mut cfg = EngineConfig::default().with_vector_size(128).with_workers(8);
+    cfg.pruning = false;
+    let out = RouletteEngine::new(&ds.catalog, cfg).execute_batch(&queries).unwrap();
+    assert_eq!(out.per_query, expected);
+}

@@ -1,0 +1,162 @@
+//! Cross-engine result equivalence.
+//!
+//! Every engine in the workspace — RouLette (all optimization configs,
+//! single- and multi-worker), the vectorized and materialized
+//! query-at-a-time engines, and both online-sharing prototypes — must
+//! produce identical per-query `(rows, checksum)` results on the same
+//! workloads. This is the repository's strongest end-to-end correctness
+//! check: the engines share no execution code beyond the sinks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use roulette::baselines::{
+    execute_global, match_share_plan, stitch_plan, ExecMode, QatEngine,
+};
+use roulette::core::EngineConfig;
+use roulette::exec::RouletteEngine;
+use roulette::query::generator::{sample_batch, tpcds_pool, SchemaMode, SensitivityParams};
+use roulette::query::{QueryBatch, SpjQuery};
+use roulette::storage::datagen::tpcds;
+use roulette::storage::{Catalog, Stats};
+
+fn workload(seed: u64, n: usize, schema: SchemaMode) -> (tpcds::TpcdsDataset, Vec<SpjQuery>) {
+    let ds = tpcds::generate(0.05, seed);
+    let params = SensitivityParams { schema, ..Default::default() };
+    let pool = tpcds_pool(&ds, params, n * 2, seed ^ 0xABCD);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+    let batch = sample_batch(&pool, n, &mut rng);
+    (ds, batch)
+}
+
+fn assert_engines_agree(catalog: &Catalog, queries: &[SpjQuery], label: &str) {
+    let qat = QatEngine::new(catalog, ExecMode::Vectorized, 7);
+    let expected: Vec<_> = qat.execute_serial(queries);
+
+    // MonetDB-style.
+    let monet = QatEngine::new(catalog, ExecMode::Materialized, 7);
+    assert_eq!(monet.execute_serial(queries), expected, "{label}: monet vs qat");
+
+    // RouLette, default config.
+    let rl = RouletteEngine::new(catalog, EngineConfig::default().with_vector_size(256))
+        .execute_batch(queries)
+        .unwrap();
+    assert_eq!(rl.per_query, expected, "{label}: roulette vs qat");
+
+    // RouLette, all §5 optimizations off.
+    let rl_plain = RouletteEngine::new(
+        catalog,
+        EngineConfig::default().plain().with_vector_size(256),
+    )
+    .execute_batch(queries)
+    .unwrap();
+    assert_eq!(rl_plain.per_query, expected, "{label}: roulette-plain vs qat");
+
+    // RouLette, multi-worker.
+    let rl_mt = RouletteEngine::new(
+        catalog,
+        EngineConfig::default().with_vector_size(256).with_workers(4),
+    )
+    .execute_batch(queries)
+    .unwrap();
+    assert_eq!(rl_mt.per_query, expected, "{label}: roulette-mt vs qat");
+
+    // Online sharing prototypes.
+    let stats = Stats::sample(catalog, 1024, 7);
+    let batch = QueryBatch::from_queries(catalog.len(), queries).unwrap();
+    let stitched = stitch_plan(catalog, &stats, queries);
+    let run = execute_global(catalog, &batch, &stitched);
+    assert_eq!(run.per_query, expected, "{label}: stitch&share vs qat");
+
+    let matched = match_share_plan(catalog, &stats, queries);
+    let run = execute_global(catalog, &batch, &matched);
+    assert_eq!(run.per_query, expected, "{label}: match&share vs qat");
+}
+
+#[test]
+fn snowflake_store_batch_agrees_across_engines() {
+    let (ds, queries) = workload(11, 12, SchemaMode::SnowflakeStore);
+    assert_engines_agree(&ds.catalog, &queries, "snowflake-store");
+}
+
+#[test]
+fn snowstorm_all_batch_agrees_across_engines() {
+    let (ds, queries) = workload(23, 12, SchemaMode::SnowstormAll);
+    assert_engines_agree(&ds.catalog, &queries, "snowstorm-all");
+}
+
+#[test]
+fn template_batch_agrees_across_engines() {
+    let (ds, queries) = workload(37, 8, SchemaMode::Template);
+    assert_engines_agree(&ds.catalog, &queries, "template");
+}
+
+#[test]
+fn job_style_batch_agrees_across_engines() {
+    use roulette::query::generator::job_pool;
+    use roulette::storage::datagen::imdb;
+    let ds = imdb::generate(0.05, 3);
+    let pool = job_pool(&ds, 20, 5);
+    let mut rng = StdRng::seed_from_u64(9);
+    let queries = sample_batch(&pool, 8, &mut rng);
+    assert_engines_agree(&ds.catalog, &queries, "job");
+}
+
+#[test]
+fn chains_batch_agrees_across_engines() {
+    use roulette::query::generator::chains_queries;
+    use roulette::storage::datagen::chains::{self, ChainsParams};
+    let ds = chains::generate(
+        ChainsParams { chains: 4, relations: 9, domain: 300, hub_rows: 1200 },
+        17,
+    );
+    let queries = chains_queries(&ds, 6, 21);
+    assert_engines_agree(&ds.catalog, &queries, "chains");
+}
+
+#[test]
+fn wide_batches_use_multiword_query_sets_correctly() {
+    // 80 queries → two u64 words per query-set: exercises every word-wise
+    // path (filters, probes, routing, divergence masks) beyond word 0.
+    let (ds, queries) = workload(53, 80, SchemaMode::SnowflakeStore);
+    assert!(queries.len() >= 65, "need a multi-word batch");
+    let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 7);
+    let expected: Vec<_> = qat.execute_serial(&queries);
+    let out = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(256))
+        .execute_batch(&queries)
+        .unwrap();
+    assert_eq!(out.per_query, expected);
+    let stats = Stats::sample(&ds.catalog, 1024, 7);
+    let batch = QueryBatch::from_queries(ds.catalog.len(), &queries).unwrap();
+    let run = execute_global(&ds.catalog, &batch, &stitch_plan(&ds.catalog, &stats, &queries));
+    assert_eq!(run.per_query, expected);
+}
+
+#[test]
+fn degenerate_vector_sizes_still_agree() {
+    let (ds, queries) = workload(61, 4, SchemaMode::SnowflakeStore);
+    let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 7);
+    let expected: Vec<_> = qat.execute_serial(&queries);
+    for vs in [1usize, 7, 1024, 1 << 20] {
+        let out = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(vs))
+            .execute_batch(&queries)
+            .unwrap();
+        assert_eq!(out.per_query, expected, "vector size {vs}");
+    }
+}
+
+#[test]
+fn projecting_queries_agree_across_engines() {
+    let ds = tpcds::generate(0.05, 41);
+    let q = SpjQuery::builder(&ds.catalog)
+        .relation("store_sales")
+        .relation("date_dim")
+        .relation("item")
+        .join(("store_sales", "ss_sold_date_sk"), ("date_dim", "d_date_sk"))
+        .join(("store_sales", "ss_item_sk"), ("item", "i_item_sk"))
+        .range("date_dim", "d_year", 1999, 1999)
+        .project("item", "i_price")
+        .project("store_sales", "ss_quantity")
+        .build()
+        .unwrap();
+    assert_engines_agree(&ds.catalog, &[q], "projections");
+}

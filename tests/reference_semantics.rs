@@ -1,0 +1,234 @@
+//! Property-based correctness against a brute-force reference evaluator.
+//!
+//! A nested-loop evaluator computes the exact SPJ semantics for random
+//! small catalogs and random tree queries; RouLette and the baselines must
+//! match it row-for-row (rows + order-independent checksum).
+
+use proptest::prelude::*;
+use roulette::baselines::{ExecMode, QatEngine};
+use roulette::core::{EngineConfig, QueryId, RelId};
+use roulette::exec::{row_hash, QueryResult, RouletteEngine};
+use roulette::query::SpjQuery;
+use roulette::storage::{Catalog, RelationBuilder};
+
+/// Exact SPJ evaluation by recursive nested loops over the join tree.
+fn reference_eval(catalog: &Catalog, q: &SpjQuery) -> QueryResult {
+    let rels: Vec<RelId> = q.relations.iter().collect();
+    // Row indices currently bound, per relation (usize::MAX = unbound).
+    let mut binding: Vec<Option<usize>> = vec![None; catalog.len()];
+    let mut result = QueryResult::default();
+    eval_rec(catalog, q, &rels, 0, &mut binding, &mut result);
+    result
+}
+
+fn eval_rec(
+    catalog: &Catalog,
+    q: &SpjQuery,
+    rels: &[RelId],
+    depth: usize,
+    binding: &mut Vec<Option<usize>>,
+    result: &mut QueryResult,
+) {
+    if depth == rels.len() {
+        let values: Vec<i64> = q
+            .projections
+            .iter()
+            .map(|&(rel, col)| {
+                catalog.relation(rel).column(col).value(binding[rel.index()].unwrap())
+            })
+            .collect();
+        result.rows += 1;
+        result.checksum = result.checksum.wrapping_add(row_hash(&values));
+        return;
+    }
+    let rel = rels[depth];
+    let relation = catalog.relation(rel);
+    'rows: for row in 0..relation.rows() {
+        for p in q.predicates_on(rel) {
+            let v = relation.column(p.col).value(row);
+            if v < p.lo || v > p.hi {
+                continue 'rows;
+            }
+        }
+        // Join predicates where both sides are bound must hold.
+        for j in &q.joins {
+            let (a, b) = (j.left, j.right);
+            let (other, this) = if a.0 == rel {
+                (b, a)
+            } else if b.0 == rel {
+                (a, b)
+            } else {
+                continue;
+            };
+            if let Some(other_row) = binding[other.0.index()] {
+                let lv = relation.column(this.1).value(row);
+                let rv = catalog.relation(other.0).column(other.1).value(other_row);
+                if lv != rv {
+                    continue 'rows;
+                }
+            }
+        }
+        binding[rel.index()] = Some(row);
+        eval_rec(catalog, q, rels, depth + 1, binding, result);
+        binding[rel.index()] = None;
+    }
+}
+
+/// A random 3-relation star catalog + query, generated from proptest input.
+#[derive(Debug, Clone)]
+struct Case {
+    fact_fk1: Vec<i64>,
+    fact_fk2: Vec<i64>,
+    fact_v: Vec<i64>,
+    d1_rows: usize,
+    d2_rows: usize,
+    pred: Option<(i64, i64)>,
+    d1_pred: Option<(i64, i64)>,
+    project: bool,
+    joins: usize,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        prop::collection::vec(0i64..8, 1..60),
+        prop::collection::vec(0i64..5, 60),
+        prop::collection::vec(0i64..20, 60),
+        2usize..9,
+        1usize..6,
+        prop::option::of((0i64..20, 0i64..20)),
+        prop::option::of((0i64..9, 0i64..9)),
+        any::<bool>(),
+        1usize..3,
+    )
+        .prop_map(
+            |(fk1, fk2, v, d1_rows, d2_rows, pred, d1_pred, project, joins)| {
+                let n = fk1.len();
+                Case {
+                    fact_fk1: fk1,
+                    fact_fk2: fk2[..n].to_vec(),
+                    fact_v: v[..n].to_vec(),
+                    d1_rows,
+                    d2_rows,
+                    pred: pred.map(|(a, b)| (a.min(b), a.max(b))),
+                    d1_pred: d1_pred.map(|(a, b)| (a.min(b), a.max(b))),
+                    project,
+                    joins,
+                }
+            },
+        )
+}
+
+fn build_case(case: &Case) -> (Catalog, SpjQuery) {
+    let mut c = Catalog::new();
+    let mut f = RelationBuilder::new("fact");
+    f.int64("fk1", case.fact_fk1.clone());
+    f.int64("fk2", case.fact_fk2.clone());
+    f.int64("v", case.fact_v.clone());
+    c.add(f.build()).unwrap();
+    let mut d1 = RelationBuilder::new("d1");
+    // Deliberately includes keys beyond the fact's fk domain and duplicate
+    // keys (d1 is not necessarily a PK side).
+    d1.int64("pk", (0..case.d1_rows as i64).map(|i| i % 6).collect());
+    d1.int64("w", (0..case.d1_rows as i64).collect());
+    c.add(d1.build()).unwrap();
+    let mut d2 = RelationBuilder::new("d2");
+    d2.int64("pk", (0..case.d2_rows as i64).collect());
+    c.add(d2.build()).unwrap();
+
+    let mut b = SpjQuery::builder(&c)
+        .relation("fact")
+        .relation("d1")
+        .join(("fact", "fk1"), ("d1", "pk"));
+    if case.joins == 2 {
+        b = b.relation("d2").join(("fact", "fk2"), ("d2", "pk"));
+    }
+    if let Some((lo, hi)) = case.pred {
+        b = b.range("fact", "v", lo, hi);
+    }
+    if let Some((lo, hi)) = case.d1_pred {
+        b = b.range("d1", "w", lo, hi);
+    }
+    if case.project {
+        b = b.project("d1", "w").project("fact", "v");
+    }
+    let q = b.build().unwrap();
+    (c, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roulette_matches_reference(case in case_strategy()) {
+        let (c, q) = build_case(&case);
+        let expected = reference_eval(&c, &q);
+        let got = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(16))
+            .execute_batch(std::slice::from_ref(&q))
+            .unwrap();
+        prop_assert_eq!(got.per_query[0], expected);
+    }
+
+    #[test]
+    fn roulette_plain_matches_reference(case in case_strategy()) {
+        let (c, q) = build_case(&case);
+        let expected = reference_eval(&c, &q);
+        let got = RouletteEngine::new(&c, EngineConfig::default().plain().with_vector_size(8))
+            .execute_batch(std::slice::from_ref(&q))
+            .unwrap();
+        prop_assert_eq!(got.per_query[0], expected);
+    }
+
+    #[test]
+    fn qat_matches_reference(case in case_strategy()) {
+        let (c, q) = build_case(&case);
+        let expected = reference_eval(&c, &q);
+        let got = QatEngine::new(&c, ExecMode::Vectorized, 3).execute(&q);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn shared_batch_of_two_matches_reference(a in case_strategy(), flip in any::<bool>()) {
+        // Two different queries over one catalog, executed as one shared
+        // batch: per-query results must equal independent reference runs.
+        let (c, q1) = build_case(&a);
+        let mut b = a.clone();
+        b.pred = if flip { None } else { Some((0, 10)) };
+        b.joins = 3 - a.joins.clamp(1, 2); // the other join count
+        let (_, q2) = build_case(&Case { d1_rows: a.d1_rows, ..b });
+        let e1 = reference_eval(&c, &q1);
+        let e2 = reference_eval(&c, &q2);
+        let got = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(16))
+            .execute_batch(&[q1, q2])
+            .unwrap();
+        prop_assert_eq!(got.per_query[0], e1);
+        prop_assert_eq!(got.per_query[1], e2);
+    }
+}
+
+#[test]
+fn collected_rows_match_reference_multiset() {
+    // Beyond checksums: the actual projected rows must match as multisets.
+    let case = Case {
+        fact_fk1: vec![0, 1, 2, 3, 4, 0, 1, 2],
+        fact_fk2: vec![0, 1, 2, 3, 0, 1, 2, 3],
+        fact_v: vec![5, 6, 7, 8, 9, 10, 11, 12],
+        d1_rows: 8,
+        d2_rows: 4,
+        pred: Some((5, 10)),
+        d1_pred: None,
+        project: true,
+        joins: 2,
+    };
+    let (c, q) = build_case(&case);
+    let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(4));
+    let mut session = engine.session(1);
+    session.collect_rows();
+    session.admit(q.clone()).unwrap();
+    session.run();
+    let mut got = session.take_collected(QueryId(0));
+    let (_, mut expected) = QatEngine::new(&c, ExecMode::Vectorized, 1).execute_collect(&q);
+    got.sort();
+    expected.sort();
+    assert_eq!(got, expected);
+    assert!(!got.is_empty());
+}

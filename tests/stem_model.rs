@@ -1,0 +1,64 @@
+//! Property test: the STeM behaves like a model multimap with version
+//! visibility — for any interleaving of vector inserts and probes, a probe
+//! at version v sees exactly the model's entries inserted at versions < v.
+
+use proptest::prelude::*;
+use roulette::core::{ColId, QueryId, QuerySet, QuerySetColumn, RelId};
+use roulette::exec::{Stem, VERSION_ALL};
+use std::sync::atomic::AtomicU32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stem_matches_model_multimap(
+        vectors in prop::collection::vec(
+            prop::collection::vec((0i64..12, 0u32..8), 1..20),
+            1..12,
+        ),
+        probes in prop::collection::vec((0i64..14, 0usize..12), 0..30),
+    ) {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 1);
+        let global = AtomicU32::new(0);
+        // Model: (key, vid, version, qset-word).
+        let mut model: Vec<(i64, u32, u32, u64)> = Vec::new();
+        let mut versions = Vec::new();
+        let mut next_vid = 0u32;
+        for vec in &vectors {
+            let mut vids = Vec::new();
+            let mut keys = Vec::new();
+            let mut qsets = QuerySetColumn::new(1);
+            let mut rows = Vec::new();
+            for &(key, q) in vec {
+                let vid = next_vid;
+                next_vid += 1;
+                vids.push(vid);
+                keys.push(key);
+                let qs = QuerySet::singleton(QueryId(q), 8);
+                qsets.push(qs.words());
+                rows.push((key, vid, qs.words()[0]));
+            }
+            let v = stem.insert_vector(&vids, &qsets, &[keys], &global);
+            versions.push(v);
+            for (key, vid, w) in rows {
+                model.push((key, vid, v, w));
+            }
+        }
+        for &(key, version_idx) in &probes {
+            // Probe either at one of the assigned versions or at ALL.
+            let version = versions.get(version_idx).copied().unwrap_or(VERSION_ALL);
+            let mut got: Vec<(u32, u64)> = Vec::new();
+            let reader = stem.read();
+            reader.probe(0, key, version, |qwords, vid| got.push((vid, qwords[0])));
+            drop(reader);
+            let mut expected: Vec<(u32, u64)> = model
+                .iter()
+                .filter(|&&(k, _, v, _)| k == key && v < version)
+                .map(|&(_, vid, _, w)| (vid, w))
+                .collect();
+            got.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected, "key {} at version {}", key, version);
+        }
+    }
+}
