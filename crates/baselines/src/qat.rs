@@ -94,6 +94,7 @@ impl<'a> QatEngine<'a> {
         parts.into_iter().fold(QueryResult::default(), |acc, r| QueryResult {
             rows: acc.rows + r.rows,
             checksum: acc.checksum.wrapping_add(r.checksum),
+            ..QueryResult::default()
         })
     }
 
@@ -221,7 +222,7 @@ impl<'a> QatEngine<'a> {
                 }
             }
         }
-        QueryResult { rows, checksum }
+        QueryResult { rows, checksum, ..QueryResult::default() }
     }
 }
 
@@ -287,7 +288,7 @@ mod tests {
         let c = catalog();
         let q = two_join_query(&c);
         let qat = QatEngine::new(&c, ExecMode::Vectorized, 1).execute(&q);
-        let rl = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(64))
+        let rl = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(64).unwrap())
             .execute_batch(&[q])
             .unwrap();
         assert_eq!(qat, rl.per_query[0]);

@@ -19,7 +19,7 @@ fn main() {
         let pool = job_pool(&ds, 64, 42);
         let mut rng = StdRng::seed_from_u64(99);
         let queries = sample_batch(&pool, 16, &mut rng);
-        let config = EngineConfig::default().with_vector_size(vs);
+        let config = EngineConfig::default().with_vector_size(vs).unwrap();
         let engine = RouletteEngine::new(&ds.catalog, config.clone());
         let learned = engine
             .execute_batch_with_policy(

@@ -111,7 +111,7 @@ pub fn fig13(scale: Scale) {
     // Small vectors give the policy enough episodes to learn within one
     // batch (the paper's SF10 runs see thousands of episodes; this
     // dataset would otherwise finish in a handful).
-    let config = EngineConfig::default().with_vector_size(64);
+    let config = EngineConfig::default().with_vector_size(64).unwrap();
     let engine = RouletteEngine::new(&ds.catalog, config.clone());
 
     let mut rows = Vec::new();

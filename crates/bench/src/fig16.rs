@@ -33,7 +33,7 @@ pub fn fig16(scale: Scale) {
         // Pruning is off so rank-gating doesn't reorder scans: episode
         // composition stays stationary and the cost series is comparable
         // across the sequence.
-        let mut config = EngineConfig::default().with_vector_size(64);
+        let mut config = EngineConfig::default().with_vector_size(64).unwrap();
         config.pruning = false;
         let engine = RouletteEngine::new(&ds.catalog, config.clone());
 

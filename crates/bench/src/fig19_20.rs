@@ -41,7 +41,7 @@ pub fn fig19(scale: Scale) {
         for &w in &worker_counts {
             let engine = RouletteEngine::new(
                 &ds.catalog,
-                EngineConfig::default().with_workers(w),
+                EngineConfig::default().with_workers(w).unwrap(),
             );
             let (elapsed, _) =
                 crate::harness::time(|| engine.execute_batch(&queries).expect("batch"));
@@ -88,7 +88,7 @@ pub fn fig20(scale: Scale) {
         // RouLette: one batch with a query per client, all cores.
         let engine = RouletteEngine::new(
             &ds.catalog,
-            EngineConfig::default().with_workers(cores().min(12)),
+            EngineConfig::default().with_workers(cores().min(12)).unwrap(),
         );
         let (rl_time, _) =
             crate::harness::time(|| engine.execute_batch(queries).expect("batch"));

@@ -4,11 +4,16 @@
 //! published defaults: 1024-tuple vectors (§3, "Episodes … map 1-1 to
 //! vectors (1024 input tuples in our prototype)"), and the grid-searched
 //! Q-learning hyper-parameters `μ = 0.21`, `ε = 0.014`, `γ = 1` (§6).
+//!
+//! Robustness knobs (`memory_budget_bytes`, the episode budgets) extend the
+//! paper's design with fault isolation: they bound what one query or one
+//! episode can cost the shared session. See DESIGN.md, "Failure semantics &
+//! degradation ladder".
 
-use serde::{Deserialize, Serialize};
+use crate::error::{Error, Result};
 
 /// Tuning knobs for the RouLette engine and its learned policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Tuples per ingested vector; episodes map 1-1 to vectors.
     pub vector_size: usize,
@@ -35,6 +40,19 @@ pub struct EngineConfig {
     pub locality_router: bool,
     /// Seed for the policy's exploration randomness and any tie-breaking.
     pub seed: u64,
+    /// Upper bound on STeM memory for a session, in bytes. `None` means
+    /// unbounded (the seed behaviour). When set, the engine degrades in
+    /// stages as pressure rises — force pruning on, refuse new admissions,
+    /// finally quarantine the heaviest query — rather than aborting.
+    pub memory_budget_bytes: Option<usize>,
+    /// Watchdog: maximum join tuples one episode may produce before its
+    /// join phase is replanned with the greedy fallback policy. `None`
+    /// disables the tuple watchdog.
+    pub episode_tuple_budget: Option<u64>,
+    /// Watchdog: maximum wall-clock milliseconds for one episode's join
+    /// phase before it is replanned with the greedy fallback policy.
+    /// `None` disables the time watchdog.
+    pub episode_time_budget_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -50,34 +68,67 @@ impl Default for EngineConfig {
             grouped_filters: true,
             locality_router: true,
             seed: 0x5EED_0001,
+            memory_budget_bytes: None,
+            episode_tuple_budget: None,
+            episode_time_budget_ms: None,
         }
     }
 }
 
 impl EngineConfig {
     /// Builder-style override of the vector size.
-    pub fn with_vector_size(mut self, v: usize) -> Self {
-        assert!(v > 0, "vector size must be positive");
+    pub fn with_vector_size(mut self, v: usize) -> Result<Self> {
+        if v == 0 {
+            return Err(Error::InvalidQuery("vector size must be positive".into()));
+        }
         self.vector_size = v;
-        self
+        Ok(self)
     }
 
     /// Builder-style override of the worker count.
-    pub fn with_workers(mut self, w: usize) -> Self {
-        assert!(w > 0, "worker count must be positive");
+    pub fn with_workers(mut self, w: usize) -> Result<Self> {
+        if w == 0 {
+            return Err(Error::InvalidQuery("worker count must be positive".into()));
+        }
         self.workers = w;
-        self
+        Ok(self)
     }
 
     /// Builder-style override of the learning hyper-parameters.
-    pub fn with_learning(mut self, mu: f64, epsilon: f64, gamma: f64) -> Self {
-        assert!((0.0..=1.0).contains(&mu), "μ must be in [0,1]");
-        assert!((0.0..=1.0).contains(&epsilon), "ε must be in [0,1]");
-        assert!((0.0..=1.0).contains(&gamma), "γ must be in [0,1]");
+    pub fn with_learning(mut self, mu: f64, epsilon: f64, gamma: f64) -> Result<Self> {
+        for (name, v) in [("μ", mu), ("ε", epsilon), ("γ", gamma)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(Error::InvalidQuery(format!("{name} must be in [0,1], got {v}")));
+            }
+        }
         self.mu = mu;
         self.epsilon = epsilon;
         self.gamma = gamma;
-        self
+        Ok(self)
+    }
+
+    /// Builder-style override of the session memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Result<Self> {
+        if bytes == 0 {
+            return Err(Error::InvalidQuery("memory budget must be positive".into()));
+        }
+        self.memory_budget_bytes = Some(bytes);
+        Ok(self)
+    }
+
+    /// Builder-style override of the episode watchdog budgets. Either
+    /// budget may be `None` to disable that trigger.
+    pub fn with_episode_budget(
+        mut self,
+        tuples: Option<u64>,
+        time_ms: Option<u64>,
+    ) -> Result<Self> {
+        if tuples == Some(0) || time_ms == Some(0) {
+            return Err(Error::InvalidQuery("episode budgets must be positive".into()));
+        }
+        self.episode_tuple_budget = tuples;
+        self.episode_time_budget_ms = time_ms;
+        Ok(self)
     }
 
     /// Builder-style override of the RNG seed.
@@ -124,24 +175,38 @@ mod tests {
     fn builders_apply() {
         let c = EngineConfig::default()
             .with_vector_size(256)
+            .unwrap()
             .with_workers(4)
+            .unwrap()
             .with_learning(0.5, 0.1, 0.9)
+            .unwrap()
+            .with_memory_budget(1 << 20)
+            .unwrap()
+            .with_episode_budget(Some(10_000), None)
+            .unwrap()
             .with_seed(7);
         assert_eq!(c.vector_size, 256);
         assert_eq!(c.workers, 4);
         assert_eq!((c.mu, c.epsilon, c.gamma), (0.5, 0.1, 0.9));
         assert_eq!(c.seed, 7);
+        assert_eq!(c.memory_budget_bytes, Some(1 << 20));
+        assert_eq!(c.episode_tuple_budget, Some(10_000));
+        assert_eq!(c.episode_time_budget_ms, None);
     }
 
     #[test]
-    #[should_panic(expected = "vector size")]
-    fn zero_vector_size_rejected() {
-        let _ = EngineConfig::default().with_vector_size(0);
-    }
-
-    #[test]
-    #[should_panic(expected = "μ must be")]
-    fn out_of_range_mu_rejected() {
-        let _ = EngineConfig::default().with_learning(1.5, 0.1, 1.0);
+    fn invalid_knobs_are_errors_not_panics() {
+        assert!(matches!(
+            EngineConfig::default().with_vector_size(0),
+            Err(Error::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            EngineConfig::default().with_workers(0),
+            Err(Error::InvalidQuery(_))
+        ));
+        let e = EngineConfig::default().with_learning(1.5, 0.1, 1.0).unwrap_err();
+        assert!(e.to_string().contains("μ"), "{e}");
+        assert!(EngineConfig::default().with_memory_budget(0).is_err());
+        assert!(EngineConfig::default().with_episode_budget(Some(0), None).is_err());
     }
 }

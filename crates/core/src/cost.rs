@@ -7,10 +7,9 @@
 //! published constants are the defaults here and [`calibrate`] reproduces
 //! the fitting procedure for re-calibration on new hardware.
 
-use serde::{Deserialize, Serialize};
 
 /// Operator kinds distinguished by the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Selection-phase shared selection (grouped filter evaluation).
     Selection,
@@ -42,7 +41,7 @@ impl OpKind {
 }
 
 /// Per-kind `κ·n_in + λ·n_out` cost model (units: nanoseconds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     kappa: [f64; 5],
     lambda: [f64; 5],
@@ -104,7 +103,7 @@ impl CostModel {
 
 /// One calibration observation: an operator execution timed at a given
 /// input and output size.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostSample {
     /// Input cardinality.
     pub n_in: u64,

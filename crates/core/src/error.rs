@@ -1,5 +1,6 @@
 //! Shared error type for the workspace.
 
+use crate::ids::QueryId;
 use std::fmt;
 
 /// Convenience alias used across all RouLette crates.
@@ -21,6 +22,31 @@ pub enum Error {
     Calibration(String),
     /// Engine capacity exceeded (e.g. more than 64 relations in a batch).
     Capacity(String),
+    /// A resource budget was exhausted (e.g. the session memory budget);
+    /// the operation was refused rather than degrading other queries.
+    ResourceExhausted(String),
+    /// An internal invariant was violated (e.g. a panic caught at an
+    /// isolation boundary). Unlike `Plan`, this signals a defect, not a
+    /// user error.
+    Internal(String),
+    /// A specific query faulted during shared execution and was
+    /// quarantined; the rest of the session is unaffected.
+    QueryFault {
+        /// The query evicted from the shared plan.
+        query: QueryId,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Error {
+    /// The query a fault is attributed to, if the error carries one.
+    pub fn query(&self) -> Option<QueryId> {
+        match self {
+            Error::QueryFault { query, .. } => Some(*query),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -32,6 +58,11 @@ impl fmt::Display for Error {
             Error::Plan(m) => write!(f, "plan error: {m}"),
             Error::Calibration(m) => write!(f, "calibration error: {m}"),
             Error::Capacity(m) => write!(f, "capacity error: {m}"),
+            Error::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+            Error::QueryFault { query, message } => {
+                write!(f, "query Q{} faulted: {message}", query.0)
+            }
         }
     }
 }
@@ -48,6 +79,15 @@ mod tests {
         assert_eq!(e.to_string(), "parse error: unexpected token at 12");
         let e = Error::Capacity("65 relations".into());
         assert!(e.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn fault_variants_render_and_attribute() {
+        let e = Error::QueryFault { query: QueryId(3), message: "io fault".into() };
+        assert_eq!(e.to_string(), "query Q3 faulted: io fault");
+        assert_eq!(e.query(), Some(QueryId(3)));
+        assert_eq!(Error::ResourceExhausted("budget".into()).query(), None);
+        assert!(Error::Internal("panic".into()).to_string().contains("internal"));
     }
 
     #[test]

@@ -3,7 +3,6 @@
 //! Newtypes keep relation, column, and query indices from being mixed up in
 //! the executor's hot loops while compiling down to plain integers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a query within a scheduled batch.
@@ -11,7 +10,7 @@ use std::fmt;
 /// RouLette annotates every tuple with the set of queries it belongs to;
 /// query ids index bits in those [`crate::QuerySet`]s. Batches of up to
 /// 4096 queries (the paper's largest configuration) fit comfortably.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueryId(pub u32);
 
 /// Identifier of a base relation in the catalog.
@@ -19,11 +18,11 @@ pub struct QueryId(pub u32);
 /// Lineages ([`crate::RelSet`]) are 64-bit bitsets, so at most 64 relations
 /// may participate in one scheduled batch — far beyond TPC-DS (24 tables)
 /// and the Join Order Benchmark (21 tables).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RelId(pub u16);
 
 /// Identifier of a column within a relation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ColId(pub u16);
 
 impl QueryId {

@@ -6,11 +6,10 @@
 //! bitset suffices and makes lineage manipulation branch-free.
 
 use crate::ids::RelId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A set of base relations, packed into a 64-bit bitset.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct RelSet(pub u64);
 
 impl RelSet {

@@ -8,6 +8,7 @@
 //! queries.
 
 use crate::episode::{run_episode, EngineShared, FilterPair, SharedStats, TraceEntry};
+use crate::fault::{FaultInjector, LiveSet};
 use crate::filter::{group_queries, GroupedFilter, PlainFilter};
 use crate::output::{Outputs, QueryResult};
 use crate::profile::Profile;
@@ -15,12 +16,13 @@ use crate::pruning::rank_relations;
 use crate::stem::Stem;
 use parking_lot::Mutex;
 use roulette_core::{
-    ColId, CostModel, EngineConfig, QueryId, QuerySet, RelId, RelSet, Result,
+    ColId, CostModel, EngineConfig, Error, QueryId, QuerySet, RelId, RelSet, Result,
 };
-use roulette_policy::{ExecutionLog, Policy, QLearningPolicy};
+use roulette_policy::{ExecutionLog, GreedyPolicy, Policy, QLearningPolicy};
 use roulette_query::{QueryBatch, SpjQuery};
-use roulette_storage::{Catalog, Ingestion};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use roulette_storage::{Catalog, IngestVector, Ingestion};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// Aggregate execution statistics of one batch/session.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -46,6 +48,16 @@ pub struct EngineStats {
     /// Approximate resident STeM bytes (the in-memory state that bounds
     /// the processable dataset size, §3).
     pub stem_bytes: u64,
+    /// Queries evicted from the shared plan (faults, panics, memory
+    /// pressure).
+    pub quarantined: u64,
+    /// Episodes whose join phase was aborted and replanned with the greedy
+    /// fallback by the watchdog.
+    pub watchdog_trips: u64,
+    /// Memory-pressure level under the budget ladder (0 = below 80% of the
+    /// budget, 1 = pruning forced on, 2 = admissions refused). Always 0
+    /// without a budget.
+    pub memory_pressure: u8,
 }
 
 /// The result of executing a batch.
@@ -135,6 +147,11 @@ impl<'a> RouletteEngine<'a> {
             pending_episodes: (0..self.catalog.len()).map(|_| AtomicU64::new(0)).collect(),
             trace: false,
             traces: Mutex::new(Vec::new()),
+            live: LiveSet::new(capacity),
+            fallback: Mutex::new(GreedyPolicy::with_defaults(self.config.seed)),
+            injector: None,
+            pressure: AtomicU8::new(0),
+            closed: false,
         }
     }
 }
@@ -165,18 +182,68 @@ pub struct Session<'a> {
     pending_episodes: Vec<AtomicU64>,
     trace: bool,
     traces: Mutex<Vec<TraceEntry>>,
+    /// Non-quarantined queries; bits set at admission, cleared at eviction.
+    live: LiveSet,
+    /// Greedy fallback policy the episode watchdog replans with.
+    fallback: Mutex<GreedyPolicy>,
+    /// Deterministic fault injector (testing only).
+    injector: Option<FaultInjector>,
+    /// Memory-pressure level under the budget ladder (see `EngineStats`).
+    pressure: AtomicU8,
+    /// Whether the session refuses further admissions.
+    closed: bool,
 }
 
 impl<'a> Session<'a> {
     /// Enables collecting projected output rows (tests / small workloads).
     /// Must be called before any output is produced.
-    pub fn collect_rows(&mut self) {
-        assert_eq!(
-            self.stats.episodes.load(Ordering::Relaxed),
-            0,
-            "collect_rows must precede execution"
-        );
+    pub fn collect_rows(&mut self) -> Result<()> {
+        if self.stats.episodes.load(Ordering::Relaxed) != 0 {
+            return Err(Error::InvalidQuery(
+                "collect_rows must be enabled before execution starts".into(),
+            ));
+        }
         self.outputs = Outputs::new(self.batch.capacity(), true);
+        Ok(())
+    }
+
+    /// Installs a deterministic fault injector (testing). Faults fire
+    /// during subsequent episodes; see [`FaultInjector`].
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// The installed fault injector, if any (lets tests assert all
+    /// configured faults fired).
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Closes the session to further admissions; already-admitted queries
+    /// run to completion. [`admit`](Self::admit) afterwards is an error.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Evicts `q` from the shared plan: future vectors stop carrying its
+    /// bit, its circular scans are descheduled, staged outputs stop being
+    /// committed for it, and its result is marked
+    /// [`Quarantined`](crate::output::CompletionStatus::Quarantined) with
+    /// the attributed error. Idempotent — the first eviction wins; every
+    /// other admitted query's results are unchanged (history independence).
+    pub fn quarantine(&self, q: QueryId, err: Error) {
+        if !self.live.deactivate(q) {
+            return;
+        }
+        self.outputs.quarantine(q, err);
+        self.ingestion.lock().unschedule(q);
+        self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The error a quarantined query was evicted with (None for healthy
+    /// queries).
+    pub fn query_error(&self, q: QueryId) -> Option<Error> {
+        self.outputs.error(q)
     }
 
     /// Enables Fig. 16 cost tracing.
@@ -193,8 +260,23 @@ impl<'a> Session<'a> {
     /// join/predicate structures, and (re)builds the affected filters and
     /// STeM indices. Processing may already be under way.
     pub fn admit(&mut self, q: SpjQuery) -> Result<QueryId> {
+        if self.closed {
+            return Err(Error::Capacity("session is closed to new admissions".into()));
+        }
+        if let Some(budget) = self.config.memory_budget_bytes {
+            // Second rung of the degradation ladder: at ≥90% of the budget
+            // the session stops taking on new work rather than letting a
+            // new query push resident queries into eviction.
+            let used: usize = self.stems.iter().flatten().map(|s| s.memory_bytes()).sum();
+            if used * 10 >= budget * 9 {
+                return Err(Error::ResourceExhausted(format!(
+                    "STeM memory {used} of budget {budget} bytes; admissions paused"
+                )));
+            }
+        }
         q.validate(self.catalog)?;
         let id = self.batch.add(q)?;
+        self.live.activate(id);
         let query = self.batch.query(id).clone();
 
         // STeMs + indices for the query's relations and join keys.
@@ -259,7 +341,10 @@ impl<'a> Session<'a> {
         Ok(id)
     }
 
-    fn shared_view(&self) -> EngineShared<'_> {
+    fn shared_view<'s>(
+        &'s self,
+        quarantine: &'s (dyn Fn(QueryId, Error) + Sync),
+    ) -> EngineShared<'s> {
         EngineShared {
             catalog: self.catalog,
             config: &self.config,
@@ -275,6 +360,11 @@ impl<'a> Session<'a> {
             stats: &self.stats,
             global_version: &self.global_version,
             cost: &self.cost,
+            live: &self.live,
+            injector: self.injector.as_ref(),
+            fallback: &self.fallback,
+            quarantine,
+            pressure: &self.pressure,
         }
     }
 
@@ -300,12 +390,40 @@ impl<'a> Session<'a> {
         self.pending_episodes[rel.index()].fetch_sub(1, Ordering::Release);
     }
 
+    /// Runs one episode inside the panic-isolation boundary. A panic
+    /// anywhere in the episode (a defect, or an injected panic fault) is
+    /// contained here: the episode's staged outputs died with its sink
+    /// (nothing partial was committed), and every live query the vector
+    /// carried is quarantined with an internal error. Other queries — and
+    /// other episodes — proceed normally.
+    fn run_episode_guarded(
+        &self,
+        shared: &EngineShared<'_>,
+        iv: &IngestVector,
+        complete: RelSet,
+        log: &mut ExecutionLog,
+    ) -> Option<TraceEntry> {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_episode(shared, iv, complete, &self.policy, log, self.trace)
+        }));
+        match outcome {
+            Ok(trace) => trace,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                for q in iv.queries.intersection(&self.live.snapshot()).iter() {
+                    self.quarantine(q, Error::Internal(format!("episode panicked: {msg}")));
+                }
+                None
+            }
+        }
+    }
+
     fn worker_loop(&self) {
         let mut log = ExecutionLog::new();
-        let shared = self.shared_view();
+        let quarantine = |q: QueryId, e: Error| self.quarantine(q, e);
+        let shared = self.shared_view(&quarantine);
         while let Some((iv, complete)) = self.next_work() {
-            let trace =
-                run_episode(&shared, &iv, complete, &self.policy, &mut log, self.trace);
+            let trace = self.run_episode_guarded(&shared, &iv, complete, &mut log);
             self.finish_episode(iv.rel);
             if let Some(t) = trace {
                 self.traces.lock().push(t);
@@ -317,8 +435,9 @@ impl<'a> Session<'a> {
     pub fn step(&mut self) -> bool {
         let Some((iv, complete)) = self.next_work() else { return false };
         let mut log = ExecutionLog::new();
-        let shared = self.shared_view();
-        let trace = run_episode(&shared, &iv, complete, &self.policy, &mut log, self.trace);
+        let quarantine = |q: QueryId, e: Error| self.quarantine(q, e);
+        let shared = self.shared_view(&quarantine);
+        let trace = self.run_episode_guarded(&shared, &iv, complete, &mut log);
         self.finish_episode(iv.rel);
         if let Some(t) = trace {
             self.traces.lock().push(t);
@@ -406,6 +525,9 @@ impl<'a> Session<'a> {
                 .flatten()
                 .map(|s| s.memory_bytes() as u64)
                 .sum(),
+            quarantined: self.stats.quarantined.load(Ordering::Relaxed),
+            watchdog_trips: self.stats.watchdog_trips.load(Ordering::Relaxed),
+            memory_pressure: self.pressure.load(Ordering::Relaxed),
         }
     }
 
@@ -417,6 +539,17 @@ impl<'a> Session<'a> {
             stats,
             trace: self.traces.into_inner(),
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -451,7 +584,7 @@ mod tests {
     #[test]
     fn single_join_counts_match_ground_truth() {
         let c = tiny_catalog();
-        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3));
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3).unwrap());
         let out = engine.execute_batch(&[join_query(&c)]).unwrap();
         // fk values 0,1,2,0,1,2 match (6 rows); the two 9s don't.
         assert_eq!(out.per_query[0].rows, 6);
@@ -469,7 +602,7 @@ mod tests {
             .range("fact", "v", 0, 2)
             .build()
             .unwrap();
-        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(4));
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(4).unwrap());
         let out = engine.execute_batch(&[q]).unwrap();
         // Rows v ∈ {0,1,2}: fks 0,1,2 all match → 3.
         assert_eq!(out.per_query[0].rows, 3);
@@ -486,7 +619,7 @@ mod tests {
             .range("dim", "w", 10, 10)
             .build()
             .unwrap();
-        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3));
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3).unwrap());
         let out = engine.execute_batch(&[q_all, q_sel]).unwrap();
         assert_eq!(out.per_query[0].rows, 6);
         // dim.w == 10 → pk 0 → fact rows with fk 0: two.
@@ -507,7 +640,7 @@ mod tests {
             .unwrap();
         let engine = RouletteEngine::new(&c, EngineConfig::default());
         let mut session = engine.session(1);
-        session.collect_rows();
+        session.collect_rows().unwrap();
         session.admit(q).unwrap();
         session.run();
         let rows = session.take_collected(QueryId(0));
@@ -518,10 +651,10 @@ mod tests {
     fn plain_configuration_matches_optimized_results() {
         let c = tiny_catalog();
         let q = join_query(&c);
-        let optimized = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3))
+        let optimized = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3).unwrap())
             .execute_batch(std::slice::from_ref(&q))
             .unwrap();
-        let plain = RouletteEngine::new(&c, EngineConfig::default().plain().with_vector_size(3))
+        let plain = RouletteEngine::new(&c, EngineConfig::default().plain().with_vector_size(3).unwrap())
             .execute_batch(&[q])
             .unwrap();
         assert_eq!(optimized.per_query[0], plain.per_query[0]);
@@ -530,7 +663,7 @@ mod tests {
     #[test]
     fn dynamic_admission_mid_run_completes_both_queries() {
         let c = tiny_catalog();
-        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2));
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2).unwrap());
         let mut session = engine.session(2);
         let q0 = session.admit(join_query(&c)).unwrap();
         // Process a couple of episodes, then admit a second instance.
@@ -550,12 +683,12 @@ mod tests {
     fn multi_worker_run_matches_single_worker() {
         let c = tiny_catalog();
         let q = join_query(&c);
-        let single = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2))
+        let single = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2).unwrap())
             .execute_batch(&[q.clone(), q.clone()])
             .unwrap();
         let multi = RouletteEngine::new(
             &c,
-            EngineConfig::default().with_vector_size(2).with_workers(4),
+            EngineConfig::default().with_vector_size(2).unwrap().with_workers(4).unwrap(),
         )
         .execute_batch(&[q.clone(), q])
         .unwrap();
@@ -565,7 +698,7 @@ mod tests {
     #[test]
     fn trace_collects_episode_costs() {
         let c = tiny_catalog();
-        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2));
+        let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2).unwrap());
         let mut session = engine.session(1);
         session.enable_trace();
         session.admit(join_query(&c)).unwrap();
@@ -648,7 +781,7 @@ mod tests {
             .range("fact", "v", 2, 5)
             .build()
             .unwrap();
-        let out = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3))
+        let out = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3).unwrap())
             .execute_batch(&[q])
             .unwrap();
         assert_eq!(out.per_query[0].rows, 4);
@@ -661,10 +794,10 @@ mod tests {
         // on, those rows are dropped before insertion.
         let c = tiny_catalog();
         let q = join_query(&c);
-        let with = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2))
+        let with = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(2).unwrap())
             .execute_batch(std::slice::from_ref(&q))
             .unwrap();
-        let mut cfg = EngineConfig::default().with_vector_size(2);
+        let mut cfg = EngineConfig::default().with_vector_size(2).unwrap();
         cfg.pruning = false;
         let without = RouletteEngine::new(&c, cfg).execute_batch(&[q]).unwrap();
         assert_eq!(with.per_query, without.per_query);

@@ -10,6 +10,7 @@
 //! SPJ results to the per-query sinks; (v) the execution log is fed back
 //! to the learned policy.
 
+use crate::fault::{FaultInjector, FaultSite, LiveSet};
 use crate::output::{row_hash, Outputs};
 use crate::planner::{
     assign_projections, plan_join_phase, plan_selection_phase, JoinNode, ProbeNode,
@@ -19,13 +20,13 @@ use crate::spaces::{JoinSpace, SelectionSpace};
 use crate::stem::Stem;
 use crate::vector::DataVector;
 use roulette_core::{
-    queryset::and_into, ColId, EngineConfig, QueryId, QuerySet, RelId, RelSet,
+    queryset::and_into, ColId, EngineConfig, Error, QueryId, QuerySet, RelId, RelSet,
 };
-use roulette_policy::{ExecutionLog, LogEntry, Scope};
+use roulette_policy::{ExecutionLog, GreedyPolicy, LogEntry, Policy, Scope};
 use roulette_query::QueryBatch;
 use roulette_storage::{Catalog, IngestVector};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
 
 /// Grouped + plain evaluation strategies for one selection group.
 #[derive(Debug, Clone)]
@@ -50,6 +51,10 @@ pub struct SharedStats {
     /// Intermediate vID cells materialized by probe outputs (adaptive-
     /// projection ablation metric).
     pub materialized_cells: AtomicU64,
+    /// Queries evicted from the shared plan (faults, memory pressure).
+    pub quarantined: AtomicU64,
+    /// Episodes whose join phase was aborted and replanned by the watchdog.
+    pub watchdog_trips: AtomicU64,
 }
 
 /// One Fig. 16 trace point: the episode's measured cost vs the policy's
@@ -94,6 +99,168 @@ pub struct EngineShared<'a> {
     pub global_version: &'a AtomicU32,
     /// Cost model (for traces).
     pub cost: &'a roulette_core::CostModel,
+    /// Live (non-quarantined) queries; episodes mask their vectors against
+    /// it at start and their outputs against it at flush.
+    pub live: &'a LiveSet,
+    /// Deterministic fault injector (tests only; `None` in production).
+    pub injector: Option<&'a FaultInjector>,
+    /// Greedy fallback policy the watchdog replans with. Kept warm with the
+    /// same observations as the learned policy (when a watchdog is armed).
+    pub fallback: &'a parking_lot::Mutex<GreedyPolicy>,
+    /// Session quarantine hook: evicts a query from the shared plan and
+    /// records the attributed error.
+    pub quarantine: &'a (dyn Fn(QueryId, Error) + Sync),
+    /// Memory-pressure level under the budget ladder: 0 below 80% of
+    /// budget, 1 at ≥80% (pruning forced on), 2 at ≥90% (admissions
+    /// refused).
+    pub pressure: &'a AtomicU8,
+}
+
+/// Episode-local staging of routed outputs.
+///
+/// The join phase routes into this sink instead of the shared [`Outputs`];
+/// the episode commits it exactly once at the end, masked by the live set.
+/// This makes episode output atomic: a quarantined query never publishes
+/// partial rows, a watchdog-aborted join phase is discarded wholesale, and
+/// a panic unwinding through the episode drops the sink before anything
+/// reaches a consumer.
+#[derive(Debug)]
+pub struct EpisodeSink {
+    collecting: bool,
+    acc: Vec<(QueryId, u64, u64, Vec<Vec<i64>>)>,
+}
+
+impl EpisodeSink {
+    /// An empty sink; `collecting` mirrors [`Outputs::collecting`].
+    pub fn new(collecting: bool) -> Self {
+        EpisodeSink { collecting, acc: Vec::new() }
+    }
+
+    fn entry(&mut self, q: QueryId) -> &mut (QueryId, u64, u64, Vec<Vec<i64>>) {
+        // Linear scan: an episode touches few distinct queries.
+        match self.acc.iter().position(|e| e.0 == q) {
+            Some(i) => &mut self.acc[i],
+            None => {
+                self.acc.push((q, 0, 0, Vec::new()));
+                self.acc.last_mut().unwrap()
+            }
+        }
+    }
+
+    fn push(&mut self, q: QueryId, values: &[i64]) {
+        let collecting = self.collecting;
+        let e = self.entry(q);
+        e.1 += 1;
+        e.2 = e.2.wrapping_add(row_hash(values));
+        if collecting {
+            e.3.push(values.to_vec());
+        }
+    }
+
+    fn push_batch(&mut self, q: QueryId, rows: u64, checksum: u64, collected: Vec<Vec<i64>>) {
+        let e = self.entry(q);
+        e.1 += rows;
+        e.2 = e.2.wrapping_add(checksum);
+        e.3.extend(collected);
+    }
+
+    /// Discards everything staged so far (watchdog abort).
+    pub fn reset(&mut self) {
+        self.acc.clear();
+    }
+
+    /// Commits staged outputs for queries still live at flush time.
+    pub fn flush(&mut self, outputs: &Outputs, live: &LiveSet) {
+        for (q, rows, checksum, collected) in self.acc.drain(..) {
+            if rows == 0 || !live.contains(q) {
+                continue;
+            }
+            outputs.push_batch(q, rows, checksum);
+            if !collected.is_empty() {
+                outputs.extend_collected(q, &collected);
+            }
+        }
+    }
+}
+
+/// Watchdog over one episode's join phase: trips once the phase exceeds its
+/// tuple or wall-clock budget, after which the episode discards the phase's
+/// staged outputs and log and replans with the greedy fallback policy.
+struct JoinGuard {
+    tuples_left: Option<u64>,
+    deadline: Option<Instant>,
+    tripped: bool,
+}
+
+impl JoinGuard {
+    fn from_config(config: &EngineConfig) -> Self {
+        JoinGuard {
+            tuples_left: config.episode_tuple_budget,
+            deadline: config
+                .episode_time_budget_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            tripped: false,
+        }
+    }
+
+    fn unbounded() -> Self {
+        JoinGuard { tuples_left: None, deadline: None, tripped: false }
+    }
+
+    /// Charges `n` produced tuples; returns whether the guard is tripped.
+    fn charge(&mut self, n: u64) -> bool {
+        if !self.tripped {
+            if let Some(left) = &mut self.tuples_left {
+                if *left < n {
+                    self.tripped = true;
+                } else {
+                    *left -= n;
+                }
+            }
+        }
+        if !self.tripped {
+            if let Some(deadline) = self.deadline {
+                self.tripped = Instant::now() >= deadline;
+            }
+        }
+        self.tripped
+    }
+}
+
+/// Clears `q`'s bit from every tuple of `vec`, dropping tuples whose
+/// query-set empties. Query-bit independence makes this result-safe for the
+/// surviving queries.
+fn scrub_query(vec: &mut DataVector, q: QueryId, keep: &mut Vec<bool>) {
+    let (w, b) = (q.index() / 64, q.index() % 64);
+    keep.clear();
+    keep.resize(vec.len(), false);
+    for (i, k) in keep.iter_mut().enumerate() {
+        let row = vec.qsets.row_mut(i);
+        row[w] &= !(1u64 << b);
+        *k = row.iter().any(|&x| x != 0);
+    }
+    vec.retain(keep);
+}
+
+/// The memory governor's eviction choice: the candidate with the largest
+/// per-query STeM footprint share, `Σ_{r ∈ q.relations} bytes(r) / live
+/// sharers of r`. Ties resolve to the lowest id (iteration order), keeping
+/// eviction deterministic.
+fn heaviest_query(shared: &EngineShared<'_>, candidates: &QuerySet) -> Option<QueryId> {
+    let live = shared.live.snapshot();
+    let mut best: Option<(f64, QueryId)> = None;
+    for q in candidates.iter() {
+        let mut score = 0.0;
+        for r in shared.batch.query(q).relations.iter() {
+            let Some(stem) = shared.stems[r.index()].as_ref() else { continue };
+            let sharers = shared.batch.rel_queries(r).intersection(&live).len().max(1);
+            score += stem.memory_bytes() as f64 / sharers as f64;
+        }
+        if best.is_none_or(|(s, _)| score > s) {
+            best = Some((score, q));
+        }
+    }
+    best.map(|(_, q)| q)
 }
 
 /// Runs one episode. `complete` is the set of relations whose scans have
@@ -110,16 +277,33 @@ pub fn run_episode(
     log.clear();
     let rel = iv.rel;
     let batch = shared.batch;
+
+    // --- Quarantine masking + ingestion fault site -----------------------
+    // Vectors are annotated at schedule time; queries quarantined since then
+    // are masked out here, so an evicted query stops consuming shared work
+    // within one episode.
+    let mut queries = iv.queries.intersection(&shared.live.snapshot());
+    if let Some(inj) = shared.injector {
+        if let Some((q, e)) = inj.check(FaultSite::Ingestion, &queries) {
+            (shared.quarantine)(q, e);
+            queries.remove(q);
+        }
+    }
+    if queries.is_empty() {
+        shared.stats.episodes.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+
     let jspace = JoinSpace::new(batch);
     let sspace = SelectionSpace::new(batch, rel, shared.sel_owners, shared.full_set);
 
     // --- Planning (policy latch held across the episode's decisions) ----
     let (sel_order, mut join_plan, estimate) = {
         let mut p = policy.lock();
-        let sel_order = plan_selection_phase(&sspace, &mut **p, rel, &iv.queries);
-        let plan = plan_join_phase(batch, &jspace, &mut **p, rel, &iv.queries);
+        let sel_order = plan_selection_phase(&sspace, &mut **p, rel, &queries);
+        let plan = plan_join_phase(batch, &jspace, &mut **p, rel, &queries);
         let est = if trace {
-            -p.estimate(Scope::JOIN, RelSet::singleton(rel).0, &iv.queries, &jspace)
+            -p.estimate(Scope::JOIN, RelSet::singleton(rel).0, &queries, &jspace)
         } else {
             0.0
         };
@@ -131,16 +315,26 @@ pub fn run_episode(
         shared.config.adaptive_projections,
     );
 
-    let mut vec = DataVector::from_scan(rel, iv.start, iv.end, &iv.queries);
+    let mut vec = DataVector::from_scan(rel, iv.start, iv.end, &queries);
 
     // --- Selection phase -------------------------------------------------
     let t0 = Instant::now();
     let mut values: Vec<i64> = Vec::new();
     let mut keep: Vec<bool> = Vec::new();
+    if let Some(inj) = shared.injector {
+        if let Some((q, e)) = inj.check(FaultSite::Filter, &queries) {
+            (shared.quarantine)(q, e);
+            queries.remove(q);
+            scrub_query(&mut vec, q, &mut keep);
+        }
+    }
     let mut lineage = 0u64;
     let relation = shared.catalog.relation(rel);
     let groups = batch.selections_of(rel);
     for &op in &sel_order {
+        if vec.is_empty() {
+            break;
+        }
         let gid = groups[op as usize] as usize;
         let group = &batch.selection_groups()[gid];
         let filter = &shared.filters[gid];
@@ -164,7 +358,7 @@ pub fn run_episode(
         log.push(LogEntry {
             scope: Scope::selection(rel),
             lineage,
-            queries: iv.queries.clone(),
+            queries: queries.clone(),
             op,
             n_in: n_in as u64,
             n_out: vec.len() as u64,
@@ -177,13 +371,61 @@ pub fn run_episode(
     }
 
     // --- Symmetric join pruning ------------------------------------------
-    if shared.config.pruning && !vec.is_empty() {
+    // Pruning is forced on at memory-pressure level ≥ 1: it is result-safe
+    // (drops only tuples that can never produce output) and shrinks STeM
+    // growth, the first rung of the degradation ladder.
+    let pruning = shared.config.pruning
+        || (shared.config.memory_budget_bytes.is_some()
+            && shared.pressure.load(Ordering::Relaxed) >= 1);
+    if pruning && !vec.is_empty() {
         prune_vector(shared, rel, complete, &mut vec, &mut values, &mut keep);
     }
     shared.profile.add(Category::Filter, t0.elapsed().as_nanos() as u64);
 
+    if let Some(inj) = shared.injector {
+        if let Some((q, e)) = inj.check(FaultSite::StemInsert, &queries) {
+            (shared.quarantine)(q, e);
+            queries.remove(q);
+            scrub_query(&mut vec, q, &mut keep);
+        }
+    }
+
+    // --- Memory-budget governance ----------------------------------------
+    if let Some(budget) = shared.config.memory_budget_bytes {
+        let used: usize = shared.stems.iter().flatten().map(|s| s.memory_bytes()).sum();
+        let level = if used * 10 >= budget * 9 {
+            2
+        } else if used * 5 >= budget * 4 {
+            1
+        } else {
+            0
+        };
+        shared.pressure.store(level, Ordering::Relaxed);
+        if let Some(stem) = shared.stems[rel.index()].as_ref() {
+            // Final rung: gate the insert itself. Evict the heaviest
+            // queries until the projected footprint fits the budget; an
+            // emptied vector skips insert and join entirely, so resident
+            // STeM bytes never overshoot by more than one vector's growth.
+            while !vec.is_empty() && used + stem.projected_insert_bytes(vec.len()) > budget {
+                let Some(victim) = heaviest_query(shared, &queries) else { break };
+                (shared.quarantine)(
+                    victim,
+                    Error::QueryFault {
+                        query: victim,
+                        message: format!(
+                            "evicted under memory pressure (budget {budget} bytes)"
+                        ),
+                    },
+                );
+                queries.remove(victim);
+                scrub_query(&mut vec, victim, &mut keep);
+            }
+        }
+    }
+
     // --- Insert (build side of the symmetric join) ------------------------
     let mut measured_insert = 0u64;
+    let mut sink = EpisodeSink::new(shared.outputs.collecting());
     if !vec.is_empty() {
         if let Some(stem) = shared.stems[rel.index()].as_ref() {
             let t_build = Instant::now();
@@ -203,9 +445,35 @@ pub fn run_episode(
             measured_insert = vec.len() as u64;
 
             // --- Join phase ------------------------------------------------
-            exec_join(shared, &join_plan, &vec, version, log);
+            let log_mark = log.len();
+            let mut guard = JoinGuard::from_config(shared.config);
+            exec_join(shared, &join_plan, &vec, version, log, &mut sink, &mut guard);
+            if guard.tripped {
+                // Watchdog: the learned plan blew its budget. Discard the
+                // phase's staged outputs and log, replan with the greedy
+                // fallback, and re-run unbudgeted. The insert kept its
+                // version, so the re-run sees the exact same STeM state
+                // and produces the same result set.
+                shared.stats.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                sink.reset();
+                log.truncate(log_mark);
+                let mut fb_plan = {
+                    let mut fb = shared.fallback.lock();
+                    plan_join_phase(batch, &jspace, &mut *fb, rel, &queries)
+                };
+                assign_projections(
+                    &mut fb_plan,
+                    &|q: QueryId| shared.proj_rels[q.index()],
+                    shared.config.adaptive_projections,
+                );
+                let mut unbounded = JoinGuard::unbounded();
+                exec_join(shared, &fb_plan, &vec, version, log, &mut sink, &mut unbounded);
+            }
         }
     }
+    // Atomic commit point for the episode's outputs, masked by the queries
+    // still live now.
+    sink.flush(shared.outputs, shared.live);
 
     // --- Learning ----------------------------------------------------------
     let episode = shared.stats.episodes.fetch_add(1, Ordering::Relaxed);
@@ -225,6 +493,20 @@ pub fn run_episode(
                 p.observe(entry, &jspace);
             } else {
                 p.observe(entry, &sspace);
+            }
+        }
+    }
+    if shared.config.episode_tuple_budget.is_some()
+        || shared.config.episode_time_budget_ms.is_some()
+    {
+        // Keep the watchdog's fallback warm on the same observations, so a
+        // replan after a trip has real selectivity estimates to work with.
+        let mut fb = shared.fallback.lock();
+        for entry in log.entries().iter().rev() {
+            if entry.scope == Scope::JOIN {
+                fb.observe(entry, &jspace);
+            } else {
+                fb.observe(entry, &sspace);
             }
         }
     }
@@ -309,8 +591,10 @@ fn exec_join(
     vec: &DataVector,
     version: u32,
     log: &mut ExecutionLog,
+    sink: &mut EpisodeSink,
+    guard: &mut JoinGuard,
 ) {
-    if vec.is_empty() {
+    if vec.is_empty() || guard.tripped {
         return;
     }
     if vec.len() > MAX_PENDING_VECTOR {
@@ -318,18 +602,24 @@ fn exec_join(
         while start < vec.len() {
             let end = (start + MAX_PENDING_VECTOR).min(vec.len());
             let chunk = vec.slice(start, end);
-            exec_join(shared, node, &chunk, version, log);
+            exec_join(shared, node, &chunk, version, log, sink, guard);
+            if guard.tripped {
+                return;
+            }
             start = end;
         }
         return;
     }
     match node {
-        JoinNode::Output { queries } => route(shared, vec, queries),
+        JoinNode::Output { queries } => route(shared, vec, queries, sink),
         JoinNode::Probe(p) => {
-            let (main_vec, div_vec) = exec_probe(shared, p, vec, version, log);
-            exec_join(shared, &p.main, &main_vec, version, log);
+            let (main_vec, div_vec) = exec_probe(shared, p, vec, version, log, guard);
+            if guard.tripped {
+                return;
+            }
+            exec_join(shared, &p.main, &main_vec, version, log, sink, guard);
             if let (Some(div_plan), Some(dv)) = (&p.div, div_vec) {
-                exec_join(shared, div_plan, &dv, version, log);
+                exec_join(shared, div_plan, &dv, version, log, sink, guard);
             }
         }
     }
@@ -341,8 +631,17 @@ fn exec_probe(
     vec: &DataVector,
     version: u32,
     log: &mut ExecutionLog,
+    guard: &mut JoinGuard,
 ) -> (DataVector, Option<DataVector>) {
     let t0 = Instant::now();
+    if let Some(inj) = shared.injector {
+        // Quarantine only: the in-flight vector keeps its bits (scrubbing
+        // mid-join is wasted work), and the flush-time live mask suppresses
+        // the dead query's outputs.
+        if let Some((q, e)) = inj.check(FaultSite::StemProbe, &p.queries) {
+            (shared.quarantine)(q, e);
+        }
+    }
     let stem = shared.stems[p.target_rel.index()]
         .as_ref()
         .expect("probed relation has a STeM");
@@ -442,6 +741,7 @@ fn exec_probe(
         n_out: main_out.len() as u64,
         n_div: div_vec.as_ref().map(|d| d.len() as u64),
     });
+    guard.charge(main_out.len() as u64);
 
     (main_out, div_vec)
 }
@@ -450,8 +750,13 @@ fn exec_probe(
 /// router (§5.1) works query-at-a-time in two passes — count, then gather —
 /// issuing one sink update per query per vector; the direct router
 /// multicasts tuple-by-tuple.
-fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet) {
+fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet, sink: &mut EpisodeSink) {
     let t0 = Instant::now();
+    if let Some(inj) = shared.injector {
+        if let Some((q, e)) = inj.check(FaultSite::Route, queries) {
+            (shared.quarantine)(q, e);
+        }
+    }
     let mut values: Vec<i64> = Vec::new();
     if shared.config.locality_router {
         // Pass 1: per-query counts.
@@ -475,15 +780,12 @@ fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet) {
                 if (vec.qsets.row(i)[w] >> b) & 1 == 1 {
                     project_row(shared, vec, q, i, &mut values);
                     checksum = checksum.wrapping_add(row_hash(&values));
-                    if shared.outputs.collecting() {
+                    if sink.collecting {
                         collected.push(values.clone());
                     }
                 }
             }
-            shared.outputs.push_batch(q, n, checksum);
-            if shared.outputs.collecting() {
-                shared.outputs.extend_collected(q, &collected);
-            }
+            sink.push_batch(q, n, checksum, collected);
         }
     } else {
         // Direct multicast: iterate set bits straight off the row words
@@ -498,7 +800,7 @@ fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet) {
                     bits &= bits - 1;
                     let q = QueryId((w * 64 + b) as u32);
                     project_row(shared, vec, q, i, &mut values);
-                    shared.outputs.push(q, &values);
+                    sink.push(q, &values);
                 }
             }
         }

@@ -1,0 +1,302 @@
+//! Fault-isolation primitives: the session's atomic live-query set and a
+//! deterministic fault injector for testing quarantine behaviour.
+//!
+//! RouLette's shared execution makes fault isolation unusually clean: a
+//! tuple's query-set bits are independent, so evicting a query is a
+//! *monotone* operation — clearing its bit everywhere it appears can only
+//! remove that query's outputs, never change another query's. The engine
+//! exploits this: a faulting query is removed from the [`LiveSet`], masked
+//! out of subsequent episode vectors, and suppressed at output-flush time,
+//! while every other query's results are bit-for-bit what they would have
+//! been without the fault (history independence, §2.2).
+//!
+//! The [`FaultInjector`] drives the `tests/fault_injection.rs` harness: it
+//! deterministically raises an error (or a panic, to exercise the
+//! catch-unwind boundary) at a chosen execution site on a chosen occurrence,
+//! attributed to a chosen query.
+
+use roulette_core::{Error, QueryId, QuerySet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The session's shared set of non-quarantined queries.
+///
+/// Bits are set at admission and cleared (exactly once) at quarantine;
+/// clearing is monotone, so readers may use relaxed snapshots — a stale
+/// "live" read only delays suppression to the next masking point.
+#[derive(Debug)]
+pub struct LiveSet {
+    words: Vec<AtomicU64>,
+}
+
+impl LiveSet {
+    /// An all-dead set with room for `capacity` queries.
+    pub fn new(capacity: usize) -> Self {
+        let words = roulette_core::queryset::words_for(capacity.max(1));
+        LiveSet { words: (0..words).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Marks `q` live (at admission).
+    pub fn activate(&self, q: QueryId) {
+        let (w, b) = (q.index() / 64, q.index() % 64);
+        self.words[w].fetch_or(1 << b, Ordering::Release);
+    }
+
+    /// Marks `q` dead; returns `true` iff it was live (the caller that wins
+    /// this race owns the quarantine side effects).
+    pub fn deactivate(&self, q: QueryId) -> bool {
+        let (w, b) = (q.index() / 64, q.index() % 64);
+        let prev = self.words[w].fetch_and(!(1u64 << b), Ordering::AcqRel);
+        prev & (1 << b) != 0
+    }
+
+    /// Whether `q` is live.
+    pub fn contains(&self, q: QueryId) -> bool {
+        let (w, b) = (q.index() / 64, q.index() % 64);
+        (self.words[w].load(Ordering::Acquire) >> b) & 1 == 1
+    }
+
+    /// An owned snapshot of the current live set.
+    pub fn snapshot(&self) -> QuerySet {
+        let words: Vec<u64> =
+            self.words.iter().map(|w| w.load(Ordering::Acquire)).collect();
+        QuerySet::from_words(&words)
+    }
+}
+
+/// Execution sites where faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// After a vector is handed out by ingestion, before any processing.
+    Ingestion,
+    /// Before the selection phase filters the vector.
+    Filter,
+    /// Before the vector is inserted into its relation's STeM.
+    StemInsert,
+    /// At a join-phase probe.
+    StemProbe,
+    /// At output routing.
+    Route,
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultSite::Ingestion => "ingestion",
+            FaultSite::Filter => "filter",
+            FaultSite::StemInsert => "stem-insert",
+            FaultSite::StemProbe => "stem-probe",
+            FaultSite::Route => "route",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Raise a [`Error::QueryFault`] attributed to the target query.
+    Error,
+    /// Panic, exercising the engine's catch-unwind isolation boundary.
+    Panic,
+}
+
+#[derive(Debug)]
+struct FaultSpec {
+    site: FaultSite,
+    /// Target query; `None` targets the first query present at the site.
+    query: Option<QueryId>,
+    /// Number of eligible occurrences to let pass before firing.
+    after: u64,
+    kind: FaultKind,
+    seen: AtomicU64,
+    fired: AtomicBool,
+}
+
+/// A deterministic fault injector.
+///
+/// Each configured fault fires exactly once: at the `(after + 1)`-th check
+/// of its site where its target query is present. Checks at other sites, or
+/// with the target absent, do not advance the occurrence counter, so a
+/// fault's firing point is a deterministic function of the execution
+/// schedule (single-worker runs are fully reproducible).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultInjector {
+    /// An injector with no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an error fault at `site`, attributed to `query` (or the first
+    /// query present when `None`), firing after `after` eligible checks.
+    pub fn fail_at(mut self, site: FaultSite, query: Option<QueryId>, after: u64) -> Self {
+        self.specs.push(FaultSpec {
+            site,
+            query,
+            after,
+            kind: FaultKind::Error,
+            seen: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Adds a panic fault (see [`FaultKind::Panic`]).
+    pub fn panic_at(mut self, site: FaultSite, after: u64) -> Self {
+        self.specs.push(FaultSpec {
+            site,
+            query: None,
+            after,
+            kind: FaultKind::Panic,
+            seen: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Derives a small pseudo-random fault plan from `seed`: one error
+    /// fault at a seed-chosen site/occurrence against a seed-chosen query.
+    /// Same seed, same plan — the property harness sweeps seeds.
+    pub fn seeded(seed: u64, n_queries: usize) -> Self {
+        // SplitMix64 steps; self-contained so the plan never depends on the
+        // workspace RNG's stream.
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        const SITES: [FaultSite; 5] = [
+            FaultSite::Ingestion,
+            FaultSite::Filter,
+            FaultSite::StemInsert,
+            FaultSite::StemProbe,
+            FaultSite::Route,
+        ];
+        let site = SITES[(next() % SITES.len() as u64) as usize];
+        let query = QueryId((next() % n_queries.max(1) as u64) as u32);
+        let after = next() % 4;
+        FaultInjector::new().fail_at(site, Some(query), after)
+    }
+
+    /// Checks for a fault at `site` among `present` queries. Returns the
+    /// fault to apply for error faults; panics for panic faults.
+    ///
+    /// The caller is expected to quarantine the returned query.
+    pub fn check(&self, site: FaultSite, present: &QuerySet) -> Option<(QueryId, Error)> {
+        for spec in &self.specs {
+            if spec.site != site || spec.fired.load(Ordering::Relaxed) {
+                continue;
+            }
+            let target = match spec.query {
+                Some(q) if present.contains(q) => q,
+                Some(_) => continue,
+                None => match present.first() {
+                    Some(q) => q,
+                    None => continue,
+                },
+            };
+            let occurrence = spec.seen.fetch_add(1, Ordering::AcqRel);
+            if occurrence < spec.after {
+                continue;
+            }
+            if spec.fired.swap(true, Ordering::AcqRel) {
+                continue; // another worker claimed this firing
+            }
+            match spec.kind {
+                FaultKind::Panic => panic!("injected panic at {site}"),
+                FaultKind::Error => {
+                    return Some((
+                        target,
+                        Error::QueryFault {
+                            query: target,
+                            message: format!("injected fault at {site}"),
+                        },
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether every configured fault has fired.
+    pub fn exhausted(&self) -> bool {
+        self.specs.iter().all(|s| s.fired.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qs(ids: &[u32]) -> QuerySet {
+        let mut s = QuerySet::empty(8);
+        for &i in ids {
+            s.insert(QueryId(i));
+        }
+        s
+    }
+
+    #[test]
+    fn live_set_activate_deactivate() {
+        let live = LiveSet::new(70);
+        live.activate(QueryId(0));
+        live.activate(QueryId(69));
+        assert!(live.contains(QueryId(0)) && live.contains(QueryId(69)));
+        assert!(!live.contains(QueryId(1)));
+        assert!(live.deactivate(QueryId(69)));
+        assert!(!live.deactivate(QueryId(69)), "second deactivate loses the race");
+        let snap = live.snapshot();
+        assert!(snap.contains(QueryId(0)) && !snap.contains(QueryId(69)));
+    }
+
+    #[test]
+    fn fault_fires_once_at_configured_occurrence() {
+        let inj = FaultInjector::new().fail_at(FaultSite::Filter, Some(QueryId(1)), 2);
+        let present = qs(&[0, 1]);
+        assert!(inj.check(FaultSite::Filter, &present).is_none());
+        assert!(inj.check(FaultSite::StemInsert, &present).is_none(), "other site");
+        assert!(inj.check(FaultSite::Filter, &present).is_none());
+        let (q, e) = inj.check(FaultSite::Filter, &present).unwrap();
+        assert_eq!(q, QueryId(1));
+        assert_eq!(e.query(), Some(QueryId(1)));
+        assert!(inj.check(FaultSite::Filter, &present).is_none(), "fires once");
+        assert!(inj.exhausted());
+    }
+
+    #[test]
+    fn absent_target_does_not_consume_occurrences() {
+        let inj = FaultInjector::new().fail_at(FaultSite::Route, Some(QueryId(3)), 0);
+        assert!(inj.check(FaultSite::Route, &qs(&[0, 1])).is_none());
+        assert!(inj.check(FaultSite::Route, &qs(&[0, 1])).is_none());
+        assert!(inj.check(FaultSite::Route, &qs(&[3])).is_some());
+    }
+
+    #[test]
+    fn wildcard_target_picks_first_present() {
+        let inj = FaultInjector::new().fail_at(FaultSite::Ingestion, None, 0);
+        let (q, _) = inj.check(FaultSite::Ingestion, &qs(&[2, 5])).unwrap();
+        assert_eq!(q, QueryId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic")]
+    fn panic_fault_panics() {
+        let inj = FaultInjector::new().panic_at(FaultSite::StemProbe, 0);
+        let _ = inj.check(FaultSite::StemProbe, &qs(&[0]));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..16 {
+            let a = FaultInjector::seeded(seed, 4);
+            let b = FaultInjector::seeded(seed, 4);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+    }
+}

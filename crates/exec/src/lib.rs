@@ -12,6 +12,7 @@
 
 pub mod engine;
 pub mod episode;
+pub mod fault;
 pub mod filter;
 pub mod host;
 pub mod output;
@@ -24,8 +25,9 @@ pub mod vector;
 
 pub use engine::{BatchOutcome, EngineStats, RouletteEngine, Session};
 pub use episode::{EngineShared, FilterPair, SharedStats, TraceEntry};
+pub use fault::{FaultInjector, FaultKind, FaultSite, LiveSet};
 pub use filter::{GroupedFilter, PlainFilter};
-pub use output::{row_hash, Outputs, QueryResult};
+pub use output::{row_hash, CompletionStatus, Outputs, QueryResult};
 pub use planner::{JoinNode, ProbeNode};
 pub use profile::{Category, Profile};
 pub use spaces::{JoinSpace, SelectionSpace};

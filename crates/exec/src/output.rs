@@ -9,8 +9,8 @@
 //! themselves for small workloads.
 
 use parking_lot::Mutex;
-use roulette_core::QueryId;
-use std::sync::atomic::{AtomicU64, Ordering};
+use roulette_core::{Error, QueryId};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Hashes one projected output row (order-independent accumulation is the
 /// caller's job). An empty projection hashes to a constant, making the
@@ -27,6 +27,19 @@ pub fn row_hash(values: &[i64]) -> u64 {
     h | 1 // never zero, so checksums distinguish "no rows" from "hash 0"
 }
 
+/// How a query's shared execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompletionStatus {
+    /// The query ran to completion; `rows`/`checksum` are its full result.
+    #[default]
+    Complete,
+    /// The query faulted mid-session and was evicted from the shared plan;
+    /// its accumulated outputs are partial and must not be trusted. The
+    /// attributed error is available via [`Outputs::error`] /
+    /// `Session::query_error`.
+    Quarantined,
+}
+
 /// One query's accumulated result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct QueryResult {
@@ -34,6 +47,15 @@ pub struct QueryResult {
     pub rows: u64,
     /// Wrapping sum of [`row_hash`] over all output rows.
     pub checksum: u64,
+    /// Whether the result is complete or the query was quarantined.
+    pub status: CompletionStatus,
+}
+
+impl QueryResult {
+    /// Whether this result is trustworthy (the query was not quarantined).
+    pub fn is_complete(&self) -> bool {
+        self.status == CompletionStatus::Complete
+    }
 }
 
 /// Per-query sinks shared across workers.
@@ -42,6 +64,8 @@ pub struct Outputs {
     rows: Vec<AtomicU64>,
     checksums: Vec<AtomicU64>,
     collected: Option<Vec<Mutex<Vec<Vec<i64>>>>>,
+    statuses: Vec<AtomicU8>,
+    errors: Mutex<Vec<Option<Error>>>,
 }
 
 impl Outputs {
@@ -53,6 +77,29 @@ impl Outputs {
             checksums: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             collected: collect
                 .then(|| (0..capacity).map(|_| Mutex::new(Vec::new())).collect()),
+            statuses: (0..capacity).map(|_| AtomicU8::new(0)).collect(),
+            errors: Mutex::new(vec![None; capacity]),
+        }
+    }
+
+    /// Marks `q` quarantined with the attributed error. First writer wins;
+    /// later errors for the same query are dropped.
+    pub fn quarantine(&self, q: QueryId, err: Error) {
+        self.statuses[q.index()].store(1, Ordering::Release);
+        let mut errors = self.errors.lock();
+        errors[q.index()].get_or_insert(err);
+    }
+
+    /// The error attributed to `q`, if it was quarantined.
+    pub fn error(&self, q: QueryId) -> Option<Error> {
+        self.errors.lock()[q.index()].clone()
+    }
+
+    /// `q`'s completion status.
+    pub fn status(&self, q: QueryId) -> CompletionStatus {
+        match self.statuses[q.index()].load(Ordering::Acquire) {
+            0 => CompletionStatus::Complete,
+            _ => CompletionStatus::Quarantined,
         }
     }
 
@@ -91,6 +138,7 @@ impl Outputs {
         QueryResult {
             rows: self.rows[q.index()].load(Ordering::Relaxed),
             checksum: self.checksums[q.index()].load(Ordering::Relaxed),
+            status: self.status(q),
         }
     }
 
@@ -146,6 +194,20 @@ mod tests {
         }
         b.push_batch(QueryId(0), 10, sum);
         assert_eq!(a.result(QueryId(0)), b.result(QueryId(0)));
+    }
+
+    #[test]
+    fn quarantine_marks_status_and_keeps_first_error() {
+        let o = Outputs::new(2, false);
+        assert!(o.result(QueryId(0)).is_complete());
+        o.quarantine(QueryId(0), Error::Internal("first".into()));
+        o.quarantine(QueryId(0), Error::Internal("second".into()));
+        let r = o.result(QueryId(0));
+        assert_eq!(r.status, CompletionStatus::Quarantined);
+        assert!(!r.is_complete());
+        assert_eq!(o.error(QueryId(0)), Some(Error::Internal("first".into())));
+        assert!(o.result(QueryId(1)).is_complete());
+        assert!(o.error(QueryId(1)).is_none());
     }
 
     #[test]

@@ -230,6 +230,35 @@ impl Stem {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Upper bound on how much [`memory_bytes`](Self::memory_bytes) would
+    /// grow if `n` more tuples were inserted now. Used by the memory
+    /// governor to gate inserts *before* they overshoot the budget.
+    ///
+    /// Models `Vec`'s amortized doubling (`reserve` grows to
+    /// `max(2·cap, len + n)`) for the entry block and index columns, and
+    /// bucket-table doubling past the 3/4 load factor.
+    pub fn projected_insert_bytes(&self, n: usize) -> usize {
+        fn vec_growth(len: usize, cap: usize, n: usize, elem: usize) -> usize {
+            if len + n <= cap { 0 } else { ((cap * 2).max(len + n) - cap) * elem }
+        }
+        let inner = self.inner.read();
+        let len = inner.vids.len();
+        let mut bytes = vec_growth(len, inner.vids.capacity(), n, 4)
+            + vec_growth(len, inner.versions.capacity(), n, 4)
+            // memory_bytes counts the qset block by length, not capacity.
+            + n * inner.qsets.words_per_set() * 8;
+        for idx in &inner.indices {
+            bytes += vec_growth(idx.keys.len(), idx.keys.capacity(), n, 8)
+                + vec_growth(idx.next.len(), idx.next.capacity(), n, 4);
+            let mut buckets = idx.buckets.len();
+            while idx.keys.len() + n > buckets - buckets / 4 {
+                buckets *= 2;
+            }
+            bytes += buckets.saturating_sub(idx.buckets.capacity()) * 4;
+        }
+        bytes
+    }
 }
 
 /// Read access to a STeM for the duration of one probe vector.
@@ -397,6 +426,27 @@ mod tests {
         let full = stem.memory_bytes();
         // At least vids + versions + qsets + keys worth of growth.
         assert!(full > empty + n as usize * (4 + 4 + 16 + 8) - 1, "{empty} → {full}");
+    }
+
+    #[test]
+    fn projected_insert_bytes_bounds_actual_growth() {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 2);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(100);
+        for round in 0..8 {
+            let n = 1024;
+            let before = stem.memory_bytes();
+            let projected = stem.projected_insert_bytes(n);
+            let mut qc = QuerySetColumn::new(2);
+            for _ in 0..n {
+                qc.push(q.words());
+            }
+            let vids: Vec<u32> = (0..n as u32).collect();
+            let keys: Vec<i64> = (0..n as i64).collect();
+            stem.insert_vector(&vids, &qc, &[keys], &global);
+            let actual = stem.memory_bytes() - before;
+            assert!(actual <= projected, "round {round}: actual {actual} > projected {projected}");
+        }
     }
 
     #[test]

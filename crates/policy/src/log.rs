@@ -60,6 +60,14 @@ impl ExecutionLog {
         self.entries.clear();
     }
 
+    /// Drops entries recorded after a mark taken with [`len`](Self::len) —
+    /// used by the episode watchdog to roll the log back to the start of an
+    /// aborted join phase before the phase is replanned.
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.entries.truncate(len);
+    }
+
     /// Number of entries.
     #[inline]
     pub fn len(&self) -> usize {
@@ -107,6 +115,18 @@ mod tests {
         assert_eq!(log.len(), 1);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn truncate_rolls_back_to_mark() {
+        let mut log = ExecutionLog::new();
+        log.push(entry(Scope::JOIN, 1));
+        let mark = log.len();
+        log.push(entry(Scope::JOIN, 2));
+        log.push(entry(Scope::JOIN, 3));
+        log.truncate(mark);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.join_tuples(), 1);
     }
 
     #[test]

@@ -206,7 +206,7 @@ mod tests {
     use crate::space::testing::ToySpace;
 
     fn config() -> EngineConfig {
-        EngineConfig::default().with_learning(0.5, 0.0, 1.0).with_seed(7)
+        EngineConfig::default().with_learning(0.5, 0.0, 1.0).unwrap().with_seed(7)
     }
 
     fn entry(lineage: Lineage, queries: &QuerySet, op: OpId, n_in: u64, n_out: u64) -> LogEntry {
@@ -293,7 +293,7 @@ mod tests {
     #[test]
     fn epsilon_one_is_fully_random() {
         let space = ToySpace::uniform(3, 1);
-        let cfg = EngineConfig::default().with_learning(0.5, 1.0, 1.0).with_seed(1);
+        let cfg = EngineConfig::default().with_learning(0.5, 1.0, 1.0).unwrap().with_seed(1);
         let mut p = QLearningPolicy::new(CostModel::default(), &cfg);
         let qs = QuerySet::full(1);
         let mut seen = std::collections::HashSet::new();
@@ -332,7 +332,7 @@ mod tests {
         let space = ToySpace::uniform(2, 1);
         let mut cost = CostModel::zero();
         cost.set(OpKind::Join, 1.0, 1.0);
-        let cfg = EngineConfig::default().with_learning(0.3, 0.2, 1.0).with_seed(11);
+        let cfg = EngineConfig::default().with_learning(0.3, 0.2, 1.0).unwrap().with_seed(11);
         let mut p = QLearningPolicy::new(cost, &cfg);
         let qs = QuerySet::full(1);
         let n = 1000u64;

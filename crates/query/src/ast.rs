@@ -13,10 +13,9 @@
 
 use roulette_core::{ColId, Error, RelId, RelSet, Result};
 use roulette_storage::Catalog;
-use serde::{Deserialize, Serialize};
 
 /// A conjunctive range selection `lo <= rel.col <= hi`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangePred {
     /// Relation the predicate applies to.
     pub rel: RelId,
@@ -37,7 +36,7 @@ impl RangePred {
 }
 
 /// An equi-join predicate `left.rel.col = right.rel.col`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JoinPred {
     /// One side.
     pub left: (RelId, ColId),
@@ -73,7 +72,7 @@ impl JoinPred {
 }
 
 /// A Select-Project-Join query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpjQuery {
     /// Base relations scanned by the query.
     pub relations: RelSet,

@@ -81,7 +81,7 @@ pub fn relation_from_csv_str(name: &str, text: &str) -> Result<Relation> {
             builder.column(col_name.trim(), Column::dict_from_strings(values));
         }
     }
-    Ok(builder.build())
+    builder.try_build()
 }
 
 /// Loads a relation from a CSV file; the relation is named after the file
@@ -144,6 +144,12 @@ mod tests {
         assert!(relation_from_csv_str("t", "").is_err());
         assert!(relation_from_csv_str("t", "a,\n1,2\n").is_err());
         assert!(relation_from_csv_str("t", "a,b\n\"unterminated,1\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_header_names_rejected_not_panicking() {
+        let err = relation_from_csv_str("t", "a,a\n1,2\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate column"), "{err}");
     }
 
     #[test]

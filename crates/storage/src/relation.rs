@@ -101,32 +101,45 @@ impl RelationBuilder {
         self
     }
 
-    /// Finalizes the relation.
-    ///
-    /// # Panics
-    /// Panics if columns have unequal lengths or duplicate names — these are
-    /// programming errors in data-generation code, not runtime conditions.
-    pub fn build(self) -> Relation {
+    /// Finalizes the relation, rejecting unequal column lengths and
+    /// duplicate column names with a typed [`Error::Schema`]. Use this
+    /// whenever the schema comes from outside the program (files, user
+    /// input); `build` is for statically-known schemas.
+    pub fn try_build(self) -> Result<Relation> {
         let rows = self.columns.first().map_or(0, |(_, c)| c.len());
         let mut by_name = HashMap::with_capacity(self.columns.len());
         let mut columns = Vec::with_capacity(self.columns.len());
         let mut column_names = Vec::with_capacity(self.columns.len());
         for (i, (name, col)) in self.columns.into_iter().enumerate() {
-            assert_eq!(
-                col.len(),
-                rows,
-                "column '{}' of '{}' has {} rows, expected {}",
-                name,
-                self.name,
-                col.len(),
-                rows
-            );
-            let prev = by_name.insert(name.clone(), ColId(i as u16));
-            assert!(prev.is_none(), "duplicate column '{}' in '{}'", name, self.name);
+            if col.len() != rows {
+                return Err(Error::Schema(format!(
+                    "column '{}' of '{}' has {} rows, expected {}",
+                    name,
+                    self.name,
+                    col.len(),
+                    rows
+                )));
+            }
+            if by_name.insert(name.clone(), ColId(i as u16)).is_some() {
+                return Err(Error::Schema(format!(
+                    "duplicate column '{}' in '{}'",
+                    name, self.name
+                )));
+            }
             column_names.push(name);
             columns.push(col);
         }
-        Relation { name: self.name, columns, column_names, by_name, rows }
+        Ok(Relation { name: self.name, columns, column_names, by_name, rows })
+    }
+
+    /// Finalizes the relation.
+    ///
+    /// # Panics
+    /// Panics if columns have unequal lengths or duplicate names — these are
+    /// programming errors in data-generation code, not runtime conditions.
+    /// For externally-sourced schemas, use [`RelationBuilder::try_build`].
+    pub fn build(self) -> Relation {
+        self.try_build().expect("statically-known schema must be valid")
     }
 }
 
@@ -176,6 +189,18 @@ mod tests {
         b.int64("a", vec![1]);
         b.int64("a", vec![2]);
         let _ = b.build();
+    }
+
+    #[test]
+    fn try_build_returns_typed_schema_errors() {
+        let mut b = RelationBuilder::new("t");
+        b.int64("a", vec![1, 2]);
+        b.int64("b", vec![1]);
+        assert!(matches!(b.try_build(), Err(Error::Schema(_))));
+        let mut b = RelationBuilder::new("t");
+        b.int64("a", vec![1]);
+        b.int64("a", vec![2]);
+        assert!(matches!(b.try_build(), Err(Error::Schema(_))));
     }
 
     #[test]

@@ -114,6 +114,19 @@ impl Ingestion {
         }
     }
 
+    /// Removes query `q` from every ongoing scan (quarantine). Rows already
+    /// produced for `q` are unaffected; no further vectors will carry its
+    /// bit. Idempotent: unscheduling an inactive query is a no-op.
+    pub fn unschedule(&mut self, q: QueryId) {
+        for scan in &mut self.rels {
+            if let Some(pos) = scan.active.iter().position(|&(aq, _)| aq == q) {
+                let (_, remaining) = scan.active.swap_remove(pos);
+                self.pending_scans[q.index()] -= 1;
+                self.progress[q.index()].1 -= remaining;
+            }
+        }
+    }
+
     /// Whether query `q` still has unread input.
     pub fn query_active(&self, q: QueryId) -> bool {
         self.pending_scans[q.index()] > 0
@@ -329,6 +342,26 @@ mod tests {
         ing.next();
         ing.next();
         assert_eq!(ing.progress(QueryId(0)), 1.0);
+    }
+
+    #[test]
+    fn unschedule_removes_query_without_disturbing_others() {
+        let mut ing = Ingestion::new(&[16, 8], 4, 2);
+        ing.schedule(QueryId(0), RelSet::from_iter([RelId(0), RelId(1)]));
+        ing.schedule(QueryId(1), RelSet::singleton(RelId(0)));
+        ing.next(); // one vector of relation 0 carries both queries
+        ing.unschedule(QueryId(0));
+        assert!(!ing.query_active(QueryId(0)));
+        assert_eq!(ing.progress(QueryId(0)), 1.0, "no outstanding work after eviction");
+        // Idempotent.
+        ing.unschedule(QueryId(0));
+        // The survivor still gets its full scan.
+        let rest = collect_all(&mut ing);
+        assert!(rest.iter().all(|v| !v.queries.contains(QueryId(0))));
+        let q1_rows: usize =
+            rest.iter().filter(|v| v.queries.contains(QueryId(1))).map(|v| v.end - v.start).sum();
+        assert_eq!(q1_rows + 4, 16, "q1 sees every row of relation 0 exactly once");
+        assert!(!ing.has_work());
     }
 
     #[test]

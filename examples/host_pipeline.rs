@@ -50,7 +50,7 @@ fn main() {
 
     let engine = RouletteEngine::new(&catalog, EngineConfig::default());
     let mut session = engine.session(1);
-    session.collect_rows(); // the RouLette source pipelining to the host
+    session.collect_rows().expect("before execution"); // the RouLette source pipelining to the host
     session.admit(spj).unwrap();
     let t0 = std::time::Instant::now();
     session.run();

@@ -24,7 +24,7 @@ fn main() {
     let queries = chains_queries(&ds, 64, 17);
 
     let engine =
-        RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(512));
+        RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(512).unwrap());
     let mut session = engine.session(queries.len());
     session.enable_trace();
     for q in &queries {

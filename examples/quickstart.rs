@@ -67,7 +67,7 @@ fn main() {
 
     // Collected rows for the projecting query, run through a session.
     let mut session = engine.session(1);
-    session.collect_rows();
+    session.collect_rows().expect("before execution");
     session.admit(queries[2].clone()).unwrap();
     session.run();
     let rows = session.take_collected(QueryId(0));

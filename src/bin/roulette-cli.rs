@@ -15,8 +15,9 @@
 //!
 //! Commands: `\load FILE [NAME]`, `\gen tpcds|imdb [SF]`, `\tables`,
 //! `\schema REL`, `\batch` (show queue), `\save FILE` / `\open FILE`
-//! (queue as JSON), `\clear`, `\go`, `\explain` (the learned plan of the
-//! last run), `\quit`. Any other line is parsed as SQL and queued.
+//! (queue as SQL, one statement per line), `\clear`, `\go`, `\explain`
+//! (the learned plan of the last run), `\quit`. Any other line is parsed
+//! as SQL and queued.
 
 use roulette::core::{EngineConfig, QueryId};
 use roulette::exec::RouletteEngine;
@@ -113,10 +114,13 @@ impl Shell {
                 }
                 "save" => match parts.next() {
                     Some(path) => {
-                        match serde_json::to_string_pretty(&self.pending)
-                            .map_err(std::io::Error::other)
-                            .and_then(|json| std::fs::write(path, json))
-                        {
+                        // One SQL statement per line; re-parsable by \open.
+                        let mut text = String::new();
+                        for q in &self.pending {
+                            text.push_str(&to_sql(&self.catalog, q));
+                            text.push('\n');
+                        }
+                        match std::fs::write(path, text) {
                             Ok(()) => writeln!(out, "saved {} queries", self.pending.len())?,
                             Err(e) => writeln!(out, "error: {e}")?,
                         }
@@ -124,30 +128,27 @@ impl Shell {
                     None => writeln!(out, "usage: \\save FILE")?,
                 },
                 "open" => match parts.next() {
-                    Some(path) => {
-                        let loaded: Result<Vec<SpjQuery>, String> = std::fs::read_to_string(path)
-                            .map_err(|e| e.to_string())
-                            .and_then(|json| {
-                                serde_json::from_str(&json).map_err(|e| e.to_string())
-                            });
-                        match loaded {
-                            Ok(queries) => {
-                                // Re-validate against the current catalog.
-                                let mut kept = 0;
-                                for q in queries {
-                                    match q.validate(&self.catalog) {
-                                        Ok(()) => {
-                                            self.pending.push(q);
-                                            kept += 1;
-                                        }
-                                        Err(e) => writeln!(out, "skipped: {e}")?,
-                                    }
+                    Some(path) => match std::fs::read_to_string(path) {
+                        Ok(text) => {
+                            // Re-parse against the current catalog; skip
+                            // statements that no longer validate.
+                            let mut kept = 0;
+                            for stmt in text.lines().map(str::trim) {
+                                if stmt.is_empty() || stmt.starts_with('#') {
+                                    continue;
                                 }
-                                writeln!(out, "opened {kept} queries")?;
+                                match parse(&self.catalog, stmt) {
+                                    Ok(q) => {
+                                        self.pending.push(q);
+                                        kept += 1;
+                                    }
+                                    Err(e) => writeln!(out, "skipped: {e}")?,
+                                }
                             }
-                            Err(e) => writeln!(out, "error: {e}")?,
+                            writeln!(out, "opened {kept} queries")?;
                         }
-                    }
+                        Err(e) => writeln!(out, "error: {e}")?,
+                    },
                     None => writeln!(out, "usage: \\open FILE")?,
                 },
                 "explain" => match &self.last_plan {
@@ -181,7 +182,7 @@ impl Shell {
         let t0 = std::time::Instant::now();
         let mut session = engine.session(queries.len());
         if collect {
-            session.collect_rows();
+            session.collect_rows().expect("before execution");
         }
         for q in &queries {
             if let Err(e) = session.admit(q.clone()) {
@@ -333,7 +334,7 @@ mod tests {
     fn save_open_round_trip() {
         let dir = std::env::temp_dir().join("roulette_cli_save");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("workload.json");
+        let path = dir.join("workload.sql");
         let script = format!(
             "\\gen tpcds 0.05
              SELECT count(*) FROM store_sales, item WHERE store_sales.ss_item_sk = item.i_item_sk

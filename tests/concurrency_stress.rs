@@ -29,7 +29,7 @@ fn chains_multi_worker_matches_qat_across_seeds() {
         for workers in [2, 4, 8] {
             let out = RouletteEngine::new(
                 &ds.catalog,
-                EngineConfig::default().with_vector_size(128).with_workers(workers),
+                EngineConfig::default().with_vector_size(128).unwrap().with_workers(workers).unwrap(),
             )
             .execute_batch(&queries)
             .unwrap();
@@ -50,7 +50,7 @@ fn tpcds_multi_worker_repeated_runs_are_identical() {
     for run in 0..4 {
         let out = RouletteEngine::new(
             &ds.catalog,
-            EngineConfig::default().with_vector_size(256).with_workers(6),
+            EngineConfig::default().with_vector_size(256).unwrap().with_workers(6).unwrap(),
         )
         .execute_batch(&queries)
         .unwrap();
@@ -65,7 +65,7 @@ fn multi_worker_without_pruning_also_agrees() {
     let queries = tpcds_pool(&ds, SensitivityParams::default(), 8, 13);
     let expected =
         QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1).execute_serial(&queries);
-    let mut cfg = EngineConfig::default().with_vector_size(128).with_workers(8);
+    let mut cfg = EngineConfig::default().with_vector_size(128).unwrap().with_workers(8).unwrap();
     cfg.pruning = false;
     let out = RouletteEngine::new(&ds.catalog, cfg).execute_batch(&queries).unwrap();
     assert_eq!(out.per_query, expected);

@@ -17,7 +17,7 @@ fn staggered_admissions_match_isolated_execution() {
     let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1);
     let expected: Vec<_> = qat.execute_serial(&pool);
 
-    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128));
+    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128).unwrap());
     let mut session = engine.session(pool.len());
     // Admit one query, run a handful of episodes, admit the next, etc.
     for q in &pool {
@@ -42,7 +42,7 @@ fn admission_based_on_scan_progress() {
     let template = tpcds_pool(&ds, params, 1, 3).pop().unwrap();
     let n_instances = 4;
 
-    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(64));
+    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(64).unwrap());
     let mut session = engine.session(n_instances);
     let mut admitted = vec![session.admit(template.clone()).unwrap()];
     while admitted.len() < n_instances {
@@ -74,7 +74,7 @@ fn late_query_shares_ongoing_state() {
     let params = SensitivityParams::default();
     let q = tpcds_pool(&ds, params, 1, 31).pop().unwrap();
 
-    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128));
+    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128).unwrap());
     let solo = engine.execute_batch(std::slice::from_ref(&q)).unwrap();
 
     let both = engine.execute_batch(&[q.clone(), q.clone()]).unwrap();
@@ -89,7 +89,7 @@ fn query_completion_is_tracked_per_query() {
     let ds = tpcds::generate(0.04, 21);
     let params = SensitivityParams::default();
     let pool = tpcds_pool(&ds, params, 2, 51);
-    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128));
+    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128).unwrap());
     let mut session = engine.session(2);
     let q0 = session.admit(pool[0].clone()).unwrap();
     assert!(session.query_active(q0));

@@ -37,7 +37,7 @@ fn assert_engines_agree(catalog: &Catalog, queries: &[SpjQuery], label: &str) {
     assert_eq!(monet.execute_serial(queries), expected, "{label}: monet vs qat");
 
     // RouLette, default config.
-    let rl = RouletteEngine::new(catalog, EngineConfig::default().with_vector_size(256))
+    let rl = RouletteEngine::new(catalog, EngineConfig::default().with_vector_size(256).unwrap())
         .execute_batch(queries)
         .unwrap();
     assert_eq!(rl.per_query, expected, "{label}: roulette vs qat");
@@ -45,7 +45,7 @@ fn assert_engines_agree(catalog: &Catalog, queries: &[SpjQuery], label: &str) {
     // RouLette, all §5 optimizations off.
     let rl_plain = RouletteEngine::new(
         catalog,
-        EngineConfig::default().plain().with_vector_size(256),
+        EngineConfig::default().plain().with_vector_size(256).unwrap(),
     )
     .execute_batch(queries)
     .unwrap();
@@ -54,7 +54,7 @@ fn assert_engines_agree(catalog: &Catalog, queries: &[SpjQuery], label: &str) {
     // RouLette, multi-worker.
     let rl_mt = RouletteEngine::new(
         catalog,
-        EngineConfig::default().with_vector_size(256).with_workers(4),
+        EngineConfig::default().with_vector_size(256).unwrap().with_workers(4).unwrap(),
     )
     .execute_batch(queries)
     .unwrap();
@@ -121,7 +121,7 @@ fn wide_batches_use_multiword_query_sets_correctly() {
     assert!(queries.len() >= 65, "need a multi-word batch");
     let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 7);
     let expected: Vec<_> = qat.execute_serial(&queries);
-    let out = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(256))
+    let out = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(256).unwrap())
         .execute_batch(&queries)
         .unwrap();
     assert_eq!(out.per_query, expected);
@@ -137,7 +137,7 @@ fn degenerate_vector_sizes_still_agree() {
     let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 7);
     let expected: Vec<_> = qat.execute_serial(&queries);
     for vs in [1usize, 7, 1024, 1 << 20] {
-        let out = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(vs))
+        let out = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(vs).unwrap())
             .execute_batch(&queries)
             .unwrap();
         assert_eq!(out.per_query, expected, "vector size {vs}");

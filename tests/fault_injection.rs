@@ -1,0 +1,365 @@
+//! Fault-isolation end-to-end tests.
+//!
+//! The engine's quarantine guarantee follows from history independence
+//! (§2.2) plus query-bit independence: evicting a query only clears its
+//! bits, so every surviving query's `(rows, checksum)` must be *identical*
+//! to a clean run of the same workload — not merely "correct-looking".
+//! These tests drive deterministic faults (errors and panics) into every
+//! execution site and assert exactly that, then exercise the
+//! memory-budget degradation ladder and the episode watchdog.
+//!
+//! All sessions here run single-worker so fault firing points are
+//! reproducible functions of the schedule.
+
+use roulette::core::{EngineConfig, Error, QueryId};
+use roulette::exec::{
+    CompletionStatus, FaultInjector, FaultSite, QueryResult, RouletteEngine,
+};
+use roulette::query::SpjQuery;
+use roulette::storage::{Catalog, RelationBuilder};
+
+/// fact(fk → dim.pk, v) with dangling fks; `scale` repeats the pattern.
+fn catalog(scale: usize) -> Catalog {
+    let mut c = Catalog::new();
+    let pattern_fk = [0i64, 1, 2, 0, 1, 9, 9, 2];
+    let mut fk = Vec::with_capacity(pattern_fk.len() * scale);
+    let mut v = Vec::with_capacity(pattern_fk.len() * scale);
+    for i in 0..scale {
+        for (j, &f) in pattern_fk.iter().enumerate() {
+            fk.push(f);
+            v.push((i * pattern_fk.len() + j) as i64);
+        }
+    }
+    let mut f = RelationBuilder::new("fact");
+    f.int64("fk", fk);
+    f.int64("v", v);
+    c.add(f.build()).unwrap();
+    let mut d = RelationBuilder::new("dim");
+    d.int64("pk", vec![0, 1, 2, 3]);
+    d.int64("w", vec![10, 11, 12, 13]);
+    c.add(d.build()).unwrap();
+    c
+}
+
+fn join_query(c: &Catalog) -> SpjQuery {
+    SpjQuery::builder(c)
+        .relation("fact")
+        .relation("dim")
+        .join(("fact", "fk"), ("dim", "pk"))
+        .build()
+        .unwrap()
+}
+
+fn filtered_query(c: &Catalog, lo: i64, hi: i64) -> SpjQuery {
+    SpjQuery::builder(c)
+        .relation("fact")
+        .relation("dim")
+        .join(("fact", "fk"), ("dim", "pk"))
+        .range("fact", "v", lo, hi)
+        .build()
+        .unwrap()
+}
+
+fn workload(c: &Catalog) -> Vec<SpjQuery> {
+    vec![join_query(c), filtered_query(c, 0, 11), filtered_query(c, 4, 100)]
+}
+
+fn small_config() -> EngineConfig {
+    EngineConfig::default().with_vector_size(3).unwrap()
+}
+
+/// Runs the workload with an optional injector; returns per-query results.
+fn run(c: &Catalog, cfg: &EngineConfig, injector: Option<FaultInjector>) -> Vec<QueryResult> {
+    let engine = RouletteEngine::new(c, cfg.clone());
+    let queries = workload(c);
+    let mut session = engine.session(queries.len());
+    if let Some(inj) = injector {
+        session.set_fault_injector(inj);
+    }
+    for q in queries {
+        session.admit(q).unwrap();
+    }
+    session.run();
+    session.finish().per_query
+}
+
+#[test]
+fn error_fault_at_each_site_quarantines_only_the_target() {
+    let c = catalog(4);
+    let cfg = small_config();
+    let clean = run(&c, &cfg, None);
+    assert!(clean.iter().all(|r| r.is_complete()));
+
+    for site in [
+        FaultSite::Ingestion,
+        FaultSite::Filter,
+        FaultSite::StemInsert,
+        FaultSite::StemProbe,
+        FaultSite::Route,
+    ] {
+        let target = QueryId(1);
+        let inj = FaultInjector::new().fail_at(site, Some(target), 1);
+        let faulted = run(&c, &cfg, Some(inj));
+        assert_eq!(
+            faulted[1].status,
+            CompletionStatus::Quarantined,
+            "{site:?}: target not quarantined"
+        );
+        for (i, (f, cl)) in faulted.iter().zip(&clean).enumerate() {
+            if i == 1 {
+                continue;
+            }
+            assert!(f.is_complete(), "{site:?}: survivor {i} not complete");
+            assert_eq!(
+                (f.rows, f.checksum),
+                (cl.rows, cl.checksum),
+                "{site:?}: survivor {i} diverged from clean run"
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_error_is_attributed_to_the_faulting_query() {
+    let c = catalog(2);
+    let engine = RouletteEngine::new(&c, small_config());
+    let mut session = engine.session(2);
+    session
+        .set_fault_injector(FaultInjector::new().fail_at(FaultSite::StemInsert, Some(QueryId(0)), 0));
+    session.admit(join_query(&c)).unwrap();
+    session.admit(filtered_query(&c, 0, 7)).unwrap();
+    session.run();
+    let err = session.query_error(QueryId(0)).expect("target has an error");
+    match err {
+        Error::QueryFault { query, ref message } => {
+            assert_eq!(query, QueryId(0));
+            assert!(message.contains("stem-insert"), "{message}");
+        }
+        other => panic!("unexpected error kind: {other:?}"),
+    }
+    assert!(session.query_error(QueryId(1)).is_none());
+    assert_eq!(session.stats().quarantined, 1);
+}
+
+#[test]
+fn seeded_fault_sweep_preserves_survivor_results() {
+    let c = catalog(4);
+    let cfg = small_config();
+    let clean = run(&c, &cfg, None);
+    for seed in 0..32u64 {
+        let inj = FaultInjector::seeded(seed, 3);
+        let faulted = run(&c, &cfg, Some(inj));
+        for (i, (f, cl)) in faulted.iter().zip(&clean).enumerate() {
+            match f.status {
+                CompletionStatus::Complete => assert_eq!(
+                    (f.rows, f.checksum),
+                    (cl.rows, cl.checksum),
+                    "seed {seed}: complete query {i} diverged"
+                ),
+                CompletionStatus::Quarantined => {
+                    // The injector only fires against one query per plan.
+                    assert_eq!(
+                        faulted.iter().filter(|r| !r.is_complete()).count(),
+                        1,
+                        "seed {seed}: more than one quarantine"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn panic_fault_is_contained_at_the_episode_boundary() {
+    // Silence the default panic hook for the injected panic; restore after.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(|| {
+        let c = catalog(4);
+        let cfg = small_config();
+        let clean = run(&c, &cfg, None);
+        let inj = FaultInjector::new().panic_at(FaultSite::StemProbe, 2);
+        let engine = RouletteEngine::new(&c, cfg);
+        let mut session = engine.session(3);
+        session.set_fault_injector(inj);
+        for q in workload(&c) {
+            session.admit(q).unwrap();
+        }
+        session.run(); // must NOT propagate the panic
+        let results = session.finish().per_query;
+        let quarantined: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_complete())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!quarantined.is_empty(), "the panic quarantined nobody");
+        for (i, (f, cl)) in results.iter().zip(&clean).enumerate() {
+            if f.is_complete() {
+                assert_eq!(
+                    (f.rows, f.checksum),
+                    (cl.rows, cl.checksum),
+                    "survivor {i} diverged after contained panic"
+                );
+            }
+        }
+        (clean, results)
+    });
+    std::panic::set_hook(prev);
+    let (_, results) = outcome.expect("panic escaped the isolation boundary");
+    assert!(results.iter().any(|r| !r.is_complete()));
+}
+
+#[test]
+fn panic_quarantine_reports_internal_error() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(|| {
+        let c = catalog(2);
+        let engine = RouletteEngine::new(&c, small_config());
+        let mut session = engine.session(1);
+        session.set_fault_injector(FaultInjector::new().panic_at(FaultSite::Ingestion, 0));
+        session.admit(join_query(&c)).unwrap();
+        session.run();
+        session.query_error(QueryId(0))
+    });
+    std::panic::set_hook(prev);
+    match outcome.expect("panic escaped") {
+        Some(Error::Internal(msg)) => assert!(msg.contains("injected panic"), "{msg}"),
+        other => panic!("expected Internal error, got {other:?}"),
+    }
+}
+
+#[test]
+fn host_quarantine_mid_session_leaves_other_results_unchanged() {
+    let c = catalog(4);
+    let cfg = small_config();
+    let clean = run(&c, &cfg, None);
+
+    let engine = RouletteEngine::new(&c, cfg);
+    let mut session = engine.session(3);
+    for q in workload(&c) {
+        session.admit(q).unwrap();
+    }
+    // A few episodes of shared progress, then the host cancels query 2.
+    for _ in 0..3 {
+        assert!(session.step());
+    }
+    session.quarantine(
+        QueryId(2),
+        Error::QueryFault { query: QueryId(2), message: "cancelled by host".into() },
+    );
+    assert!(!session.query_active(QueryId(2)), "scans descheduled on quarantine");
+    session.run();
+    let results = session.finish().per_query;
+    assert_eq!(results[2].status, CompletionStatus::Quarantined);
+    for i in [0usize, 1] {
+        assert!(results[i].is_complete());
+        assert_eq!((results[i].rows, results[i].checksum), (clean[i].rows, clean[i].checksum));
+    }
+}
+
+#[test]
+fn watchdog_trips_and_preserves_results() {
+    let c = catalog(16);
+    let cfg = small_config();
+    let clean = run(&c, &cfg, None);
+
+    // A 1-tuple join budget trips on the very first productive probe.
+    let tight = cfg.clone().with_episode_budget(Some(1), None).unwrap();
+    let engine = RouletteEngine::new(&c, tight);
+    let mut session = engine.session(3);
+    for q in workload(&c) {
+        session.admit(q).unwrap();
+    }
+    session.run();
+    let stats = session.stats();
+    assert!(stats.watchdog_trips > 0, "tight budget never tripped the watchdog");
+    let results = session.finish().per_query;
+    for (i, (r, cl)) in results.iter().zip(&clean).enumerate() {
+        assert!(r.is_complete(), "watchdog must not quarantine query {i}");
+        assert_eq!(
+            (r.rows, r.checksum),
+            (cl.rows, cl.checksum),
+            "query {i}: fallback replan changed results"
+        );
+    }
+}
+
+#[test]
+fn memory_budget_is_never_exceeded() {
+    // Large enough that the unbudgeted STeM footprint far exceeds the
+    // budget; the governor must keep resident bytes under it at every
+    // step by forcing pruning, pausing admissions, and finally evicting.
+    let c = catalog(2000); // 16k fact rows
+    let cfg = EngineConfig::default().with_vector_size(256).unwrap();
+    let unbounded = {
+        let engine = RouletteEngine::new(&c, cfg.clone());
+        let mut s = engine.session(3);
+        for q in workload(&c) {
+            s.admit(q).unwrap();
+        }
+        s.run();
+        s.stats().stem_bytes
+    };
+    let budget = (unbounded / 4).max(64 * 1024) as usize;
+
+    let engine = RouletteEngine::new(&c, cfg.with_memory_budget(budget).unwrap());
+    let mut session = engine.session(3);
+    for q in workload(&c) {
+        session.admit(q).unwrap();
+    }
+    let mut max_pressure = 0u8;
+    while session.step() {
+        let stats = session.stats();
+        max_pressure = max_pressure.max(stats.memory_pressure);
+        assert!(
+            stats.stem_bytes <= budget as u64,
+            "stem bytes {} exceeded budget {budget}",
+            stats.stem_bytes
+        );
+    }
+    let stats = session.stats();
+    assert!(stats.stem_bytes <= budget as u64);
+    assert!(max_pressure >= 1, "pressure ladder never engaged");
+    assert!(stats.quarantined > 0, "budget this tight must evict someone");
+    let results = session.finish().per_query;
+    assert!(results.iter().any(|r| !r.is_complete()));
+}
+
+#[test]
+fn memory_pressure_pauses_admissions() {
+    let c = catalog(2000);
+    // Budget low enough that the first query's ingestion saturates it.
+    let cfg = EngineConfig::default()
+        .with_vector_size(256)
+        .unwrap()
+        .with_memory_budget(48 * 1024)
+        .unwrap();
+    let engine = RouletteEngine::new(&c, cfg);
+    let mut session = engine.session(3);
+    session.admit(join_query(&c)).unwrap();
+    session.run();
+    match session.admit(filtered_query(&c, 0, 100)) {
+        Err(Error::ResourceExhausted(msg)) => assert!(msg.contains("admissions paused"), "{msg}"),
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn closed_session_refuses_admissions() {
+    let c = catalog(2);
+    let engine = RouletteEngine::new(&c, small_config());
+    let mut session = engine.session(2);
+    session.admit(join_query(&c)).unwrap();
+    session.close();
+    match session.admit(join_query(&c)) {
+        Err(Error::Capacity(msg)) => assert!(msg.contains("closed"), "{msg}"),
+        other => panic!("expected Capacity error, got {other:?}"),
+    }
+    // The already-admitted query still runs to completion.
+    session.run();
+    let results = session.finish().per_query;
+    assert_eq!(results[0].rows, 12);
+    assert!(results[0].is_complete());
+}

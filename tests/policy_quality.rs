@@ -23,7 +23,7 @@ fn chains_workload() -> (chains::ChainsDataset, Vec<SpjQuery>) {
 #[test]
 fn batch_execution_shares_work_vs_query_at_a_time() {
     let (ds, queries) = chains_workload();
-    let config = EngineConfig::default().with_vector_size(256);
+    let config = EngineConfig::default().with_vector_size(256).unwrap();
     let engine = RouletteEngine::new(&ds.catalog, config.clone());
 
     let batched = engine.execute_batch(&queries).unwrap();
@@ -54,7 +54,7 @@ fn batch_execution_shares_work_vs_query_at_a_time() {
 #[test]
 fn learned_policy_improves_over_random() {
     let (ds, queries) = chains_workload();
-    let config = EngineConfig::default().with_vector_size(256);
+    let config = EngineConfig::default().with_vector_size(256).unwrap();
     let engine = RouletteEngine::new(&ds.catalog, config.clone());
 
     let learned = engine
@@ -84,7 +84,7 @@ fn learned_policy_stays_near_lottery_greedy_on_chains() {
     // to the paper's lottery-scheduling baseline, and require identical
     // results.
     let (ds, queries) = chains_workload();
-    let config = EngineConfig::default().with_vector_size(128);
+    let config = EngineConfig::default().with_vector_size(128).unwrap();
     let engine = RouletteEngine::new(&ds.catalog, config.clone());
 
     let learned = engine
@@ -107,7 +107,7 @@ fn trace_shows_convergence_on_chains() {
     // dips as the policy's estimate of best-case cost rises from its
     // optimistic zero start.
     let (ds, queries) = chains_workload();
-    let config = EngineConfig::default().with_vector_size(128);
+    let config = EngineConfig::default().with_vector_size(128).unwrap();
     let engine = RouletteEngine::new(&ds.catalog, config);
     let mut session = engine.session(queries.len());
     session.enable_trace();

@@ -162,7 +162,7 @@ proptest! {
     fn roulette_matches_reference(case in case_strategy()) {
         let (c, q) = build_case(&case);
         let expected = reference_eval(&c, &q);
-        let got = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(16))
+        let got = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(16).unwrap())
             .execute_batch(std::slice::from_ref(&q))
             .unwrap();
         prop_assert_eq!(got.per_query[0], expected);
@@ -172,7 +172,7 @@ proptest! {
     fn roulette_plain_matches_reference(case in case_strategy()) {
         let (c, q) = build_case(&case);
         let expected = reference_eval(&c, &q);
-        let got = RouletteEngine::new(&c, EngineConfig::default().plain().with_vector_size(8))
+        let got = RouletteEngine::new(&c, EngineConfig::default().plain().with_vector_size(8).unwrap())
             .execute_batch(std::slice::from_ref(&q))
             .unwrap();
         prop_assert_eq!(got.per_query[0], expected);
@@ -197,7 +197,7 @@ proptest! {
         let (_, q2) = build_case(&Case { d1_rows: a.d1_rows, ..b });
         let e1 = reference_eval(&c, &q1);
         let e2 = reference_eval(&c, &q2);
-        let got = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(16))
+        let got = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(16).unwrap())
             .execute_batch(&[q1, q2])
             .unwrap();
         prop_assert_eq!(got.per_query[0], e1);
@@ -220,9 +220,9 @@ fn collected_rows_match_reference_multiset() {
         joins: 2,
     };
     let (c, q) = build_case(&case);
-    let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(4));
+    let engine = RouletteEngine::new(&c, EngineConfig::default().with_vector_size(4).unwrap());
     let mut session = engine.session(1);
-    session.collect_rows();
+    session.collect_rows().expect("before execution");
     session.admit(q.clone()).unwrap();
     session.run();
     let mut got = session.take_collected(QueryId(0));
