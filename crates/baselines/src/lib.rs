@@ -8,6 +8,7 @@
 //! wall. All engines produce RouLette-compatible `(rows, checksum)`
 //! results, so cross-engine result equivalence is testable.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hashtable;

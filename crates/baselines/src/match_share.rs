@@ -1,4 +1,4 @@
-//! Match&Share (DataPath [2] style incremental global planning).
+//! Match&Share (DataPath \[2\] style incremental global planning).
 //!
 //! Queries are admitted one at a time; each is grafted onto the existing
 //! global plan with minimum *additional* cost: planning starts from the

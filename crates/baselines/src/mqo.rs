@@ -1,7 +1,7 @@
 //! Mini shared-workload optimizer ("SWO-sim", the §6.1 offline-sharing
 //! reference point).
 //!
-//! SWO [14] performs sharing-aware optimization: it searches the joint
+//! SWO \[14\] performs sharing-aware optimization: it searches the joint
 //! space of per-query join orders for the global plan of minimum total
 //! cost. The search space is doubly exponential in the batch size — the
 //! paper reports 137 seconds for an 11-query batch — which is precisely

@@ -1,5 +1,5 @@
 //! Shared global-plan executor in the batched execution model
-//! (SharedDB [13] / MQJoin [25] style).
+//! (SharedDB \[13\] / MQJoin \[25\] style).
 //!
 //! The online-sharing prototypes (Stitch&Share, Match&Share) both produce a
 //! *global query plan*: a DAG of Data-Query-model operators in which a

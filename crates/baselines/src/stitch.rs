@@ -1,4 +1,4 @@
-//! Stitch&Share (QPipe [16] / SharedDB [13] style plan composition).
+//! Stitch&Share (QPipe \[16\] / SharedDB \[13\] style plan composition).
 //!
 //! Each query is optimized *individually* by the cost-based optimizer; the
 //! resulting per-query plans are then stitched into a global plan by

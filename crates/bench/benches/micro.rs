@@ -161,7 +161,7 @@ fn bench_planning(c: &mut Criterion) {
     tune(&mut group);
     let ds = tpcds::generate(0.05, 3);
     for &n_queries in &[16usize, 64, 256] {
-        let queries = tpcds_pool(&ds, SensitivityParams::default(), n_queries, 5);
+        let queries = tpcds_pool(&ds, SensitivityParams::default(), n_queries, 5).expect("workload generation");
         let batch = QueryBatch::from_queries(ds.catalog.len(), &queries).unwrap();
         let space = JoinSpace::new(&batch);
         let mut policy = RandomPolicy::new(9);
@@ -196,7 +196,7 @@ fn bench_router(c: &mut Criterion) {
     let mut group = c.benchmark_group("router");
     tune(&mut group);
     let ds = tpcds::generate(0.1, 3);
-    let queries = tpcds_pool(&ds, SensitivityParams::default(), 128, 5);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), 128, 5).expect("workload generation");
     for (label, locality) in [("two_pass", true), ("direct", false)] {
         let cfg = EngineConfig { locality_router: locality, ..EngineConfig::default() };
         group.bench_function(label, |b| {

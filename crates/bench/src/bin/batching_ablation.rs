@@ -15,7 +15,7 @@ fn main() {
     let ds = tpcds::generate(scale.sf(0.4), scale.seed);
     let params =
         SensitivityParams { schema: SchemaMode::SnowstormAll, ..Default::default() };
-    let stream = tpcds_pool(&ds, params, scale.n(128), scale.seed + 7);
+    let stream = tpcds_pool(&ds, params, scale.n(128), scale.seed + 7).expect("workload generation");
     let batch_size = scale.n(32);
     let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default());
 

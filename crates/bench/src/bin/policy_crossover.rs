@@ -16,7 +16,7 @@ use roulette_storage::datagen::imdb;
 fn main() {
     for (sf, vs) in [(0.3f64, 256usize), (1.0, 256), (1.0, 64), (2.0, 64)] {
         let ds = imdb::generate(sf, 42);
-        let pool = job_pool(&ds, 64, 42);
+        let pool = job_pool(&ds, 64, 42).expect("workload generation");
         let mut rng = StdRng::seed_from_u64(99);
         let queries = sample_batch(&pool, 16, &mut rng);
         let config = EngineConfig::default().with_vector_size(vs).unwrap();

@@ -11,7 +11,7 @@ use roulette_storage::datagen::imdb;
 fn main() {
     let scale = Scale::from_env();
     let ds = imdb::generate(scale.sf(0.25), scale.seed);
-    let pool = job_pool(&ds, scale.n(96), scale.seed);
+    let pool = job_pool(&ds, scale.n(96), scale.seed).expect("workload generation");
     let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 7);
     let mut rng = StdRng::seed_from_u64(scale.seed);
     let queries = sample_batch(&pool, scale.n(24), &mut rng);

@@ -18,7 +18,7 @@ fn dataset(scale: Scale) -> TpcdsDataset {
 }
 
 fn batch(ds: &TpcdsDataset, params: SensitivityParams, n: usize, seed: u64) -> Vec<SpjQuery> {
-    let pool = tpcds_pool(ds, params, n * 2, seed);
+    let pool = tpcds_pool(ds, params, n * 2, seed).expect("workload generation");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
     sample_batch(&pool, n, &mut rng)
 }

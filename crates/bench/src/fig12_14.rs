@@ -20,7 +20,7 @@ fn dataset(scale: Scale) -> ImdbDataset {
 pub fn fig12(scale: Scale) {
     let ds = dataset(scale);
     let bench = Bench::new(&ds.catalog, EngineConfig::default());
-    let pool = job_pool(&ds, scale.n(96), scale.seed);
+    let pool = job_pool(&ds, scale.n(96), scale.seed).expect("workload generation");
     let n = scale.n(24);
     let systems = [System::Roulette, System::StitchShare, System::DbmsV, System::Monet];
     let mut header = vec!["batch"];
@@ -107,7 +107,7 @@ pub fn fig13(scale: Scale) {
     // worst orders are orders of magnitude more expensive — small data
     // keeps them runnable.
     let ds = imdb::generate(scale.sf(0.12), scale.seed);
-    let pool = job_pool(&ds, scale.n(64), scale.seed);
+    let pool = job_pool(&ds, scale.n(64), scale.seed).expect("workload generation");
     // Small vectors give the policy enough episodes to learn within one
     // batch (the paper's SF10 runs see thousands of episodes; this
     // dataset would otherwise finish in a handful).
@@ -181,7 +181,7 @@ pub fn fig13(scale: Scale) {
 pub fn fig14(scale: Scale) {
     let ds = dataset(scale);
     // A mid-size query (the paper uses JOB 17a, ~6 joins).
-    let template = job_pool(&ds, 64, scale.seed)
+    let template = job_pool(&ds, 64, scale.seed).expect("workload generation")
         .into_iter()
         .find(|q| (5..=7).contains(&q.n_joins()))
         .expect("mid-size query exists");

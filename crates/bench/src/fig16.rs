@@ -27,7 +27,7 @@ pub fn fig16(scale: Scale) {
             hub_rows: scale.n(6000),
         };
         let ds = chains::generate(params, scale.seed);
-        let queries = chains_queries(&ds, scale.n(48), scale.seed * 3 + 1);
+        let queries = chains_queries(&ds, scale.n(48), scale.seed * 3 + 1).expect("workload generation");
         // Small vectors → many episodes: convergence needs thousands of
         // policy updates (the paper's Fig. 16 x-axis reaches 30k episodes).
         // Pruning is off so rank-gating doesn't reorder scans: episode

@@ -42,7 +42,7 @@ const HEADER: [&str; 8] =
 /// the final time breakdown. Pruning dominates for JOB (§6.3).
 pub fn fig17(scale: Scale) {
     let ds = imdb::generate(scale.sf(0.25), scale.seed);
-    let pool = job_pool(&ds, scale.n(64), scale.seed);
+    let pool = job_pool(&ds, scale.n(64), scale.seed).expect("workload generation");
     let mut rng = StdRng::seed_from_u64(scale.seed + 17);
     let queries = sample_batch(&pool, scale.n(24), &mut rng);
 
@@ -84,7 +84,7 @@ pub fn fig17(scale: Scale) {
 /// batches make the router and filter algorithms dominant (§6.3).
 pub fn fig18(scale: Scale) {
     let ds = tpcds::generate(scale.sf(0.4), scale.seed);
-    let queries = tpcds_pool(&ds, SensitivityParams::default(), scale.n(512), scale.seed + 18);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), scale.n(512), scale.seed + 18).expect("workload generation");
 
     let plain = EngineConfig {
         grouped_filters: false,

@@ -17,7 +17,7 @@ fn cores() -> usize {
 /// Fig. 19: RouLette speedup vs worker count on JOB batches.
 pub fn fig19(scale: Scale) {
     let ds = imdb::generate(scale.sf(0.25), scale.seed);
-    let pool = job_pool(&ds, scale.n(64), scale.seed);
+    let pool = job_pool(&ds, scale.n(64), scale.seed).expect("workload generation");
     // The ladder always includes 2 and 4 workers so the harness exercises
     // the worker pool even on small containers; real speedup needs real
     // cores (the paper's 12-core socket reaches 8.6–9.0x).
@@ -58,7 +58,7 @@ pub fn fig19(scale: Scale) {
 /// query per client across all cores.
 pub fn fig20(scale: Scale) {
     let ds = tpcds::generate(scale.sf(0.4), scale.seed);
-    let pool = tpcds_pool(&ds, SensitivityParams::default(), scale.n(128), scale.seed + 20);
+    let pool = tpcds_pool(&ds, SensitivityParams::default(), scale.n(128), scale.seed + 20).expect("workload generation");
     let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 7);
 
     let max_clients = scale.n(64).min(pool.len());

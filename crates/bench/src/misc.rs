@@ -20,7 +20,7 @@ use std::time::Instant;
 pub fn swo_anecdote(scale: Scale) {
     let ds = tpcds::generate(scale.sf(0.15), scale.seed);
     let stats = Stats::sample(&ds.catalog, 1024, 7);
-    let pool = tpcds_pool(&ds, SensitivityParams::default(), 16, scale.seed + 99);
+    let pool = tpcds_pool(&ds, SensitivityParams::default(), 16, scale.seed + 99).expect("workload generation");
     let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default());
 
     let mut rows = Vec::new();

@@ -17,6 +17,7 @@
 //!   paper's published defaults (`μ = 0.21`, `ε = 0.014`, `γ = 1`);
 //! * [`Error`] — the shared error type.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

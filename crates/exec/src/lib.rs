@@ -8,6 +8,7 @@
 //! locality-conscious routing, and the episode-based engine with dynamic
 //! query admission and a multi-core worker pool.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -1,0 +1,205 @@
+//! The `lint-baseline.toml` freeze file.
+//!
+//! The baseline freezes *legacy* violations so the linter can gate CI from
+//! day one while the debt is burned down incrementally. Entries are
+//! `(file, rule, count)` triples rather than line numbers, so unrelated
+//! edits to a file do not invalidate the freeze, while both directions of
+//! drift are still caught:
+//!
+//! * more violations than frozen → the new sites are reported as errors;
+//! * fewer violations than frozen → the entry is *stale* and the check
+//!   fails until `roulette-lint baseline` shrinks the freeze — the
+//!   headroom can never be silently reused by new code.
+//!
+//! The file is a small TOML subset (comments, `version = 1`, and
+//! `[[suppress]]` tables with string/integer keys), parsed by hand because
+//! the linter is deliberately dependency-free.
+
+use crate::report::Violation;
+use std::collections::BTreeMap;
+
+/// One frozen `(file, rule, count)` triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Number of violations of `rule` in `file` frozen as legacy debt.
+    pub count: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Frozen entries, sorted by `(file, rule)`.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Looks up the frozen count for `(file, rule)`, defaulting to 0.
+    pub fn allowance(&self, file: &str, rule: &str) -> usize {
+        self.entries
+            .iter()
+            .find(|e| e.file == file && e.rule == rule)
+            .map_or(0, |e| e.count)
+    }
+
+    /// Builds a baseline freezing every violation in `violations`.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut grouped: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *grouped.entry((v.file.clone(), v.rule.to_string())).or_insert(0) += 1;
+        }
+        Baseline {
+            entries: grouped
+                .into_iter()
+                .map(|((file, rule), count)| BaselineEntry { file, rule, count })
+                .collect(),
+        }
+    }
+
+    /// Serializes to the TOML subset this module parses.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# lint-baseline.toml — frozen legacy violations for `roulette-lint`.\n\
+             #\n\
+             # Each [[suppress]] entry freezes `count` pre-existing violations of\n\
+             # `rule` in `file`. New violations beyond the frozen count fail the\n\
+             # check; fixing a frozen violation makes the entry stale and the check\n\
+             # fails until `cargo run -p roulette-lint -- baseline` shrinks it — the\n\
+             # freeze is a one-way ratchet. Do not add entries for new code.\n\
+             \nversion = 1\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "\n[[suppress]]\nfile = \"{}\"\nrule = \"{}\"\ncount = {}\n",
+                e.file, e.rule, e.count
+            ));
+        }
+        out
+    }
+
+    /// Parses the TOML subset. Unknown keys, malformed lines, or a
+    /// version other than 1 are errors — a freeze file that cannot be
+    /// read exactly must not silently allow anything.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut cur: Option<BaselineEntry> = None;
+        let mut saw_version = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[suppress]]" {
+                if let Some(e) = cur.take() {
+                    finish_entry(e, &mut entries, lineno)?;
+                }
+                cur = Some(BaselineEntry { file: String::new(), rule: String::new(), count: 0 });
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`, got `{line}`"))?;
+            match (key, &mut cur) {
+                ("version", None) => {
+                    if value != "1" {
+                        return Err(format!("line {lineno}: unsupported version {value}"));
+                    }
+                    saw_version = true;
+                }
+                ("file", Some(e)) => e.file = unquote(value, lineno)?,
+                ("rule", Some(e)) => e.rule = unquote(value, lineno)?,
+                ("count", Some(e)) => {
+                    e.count = value
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: bad count `{value}`"))?;
+                }
+                _ => return Err(format!("line {lineno}: unexpected key `{key}`")),
+            }
+        }
+        if let Some(e) = cur.take() {
+            finish_entry(e, &mut entries, text.lines().count())?;
+        }
+        if !saw_version {
+            return Err("missing `version = 1`".into());
+        }
+        entries.sort_by(|a, b| (&a.file, &a.rule).cmp(&(&b.file, &b.rule)));
+        Ok(Baseline { entries })
+    }
+}
+
+fn finish_entry(
+    e: BaselineEntry,
+    entries: &mut Vec<BaselineEntry>,
+    lineno: usize,
+) -> Result<(), String> {
+    if e.file.is_empty() || e.rule.is_empty() || e.count == 0 {
+        return Err(format!(
+            "entry ending near line {lineno}: needs non-empty file, rule, and count ≥ 1"
+        ));
+    }
+    if entries.iter().any(|x| x.file == e.file && x.rule == e.rule) {
+        return Err(format!("duplicate entry for ({}, {})", e.file, e.rule));
+    }
+    entries.push(e);
+    Ok(())
+}
+
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected quoted string, got `{v}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, rule: &'static str) -> Violation {
+        Violation { file: file.into(), line: 1, rule, message: String::new() }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = Baseline::from_violations(&[
+            v("crates/a.rs", "no-panic-hot-path"),
+            v("crates/a.rs", "no-panic-hot-path"),
+            v("crates/b.rs", "no-stdout-in-libs"),
+        ]);
+        let parsed = Baseline::parse(&b.to_toml()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.allowance("crates/a.rs", "no-panic-hot-path"), 2);
+        assert_eq!(parsed.allowance("crates/b.rs", "no-stdout-in-libs"), 1);
+        assert_eq!(parsed.allowance("crates/c.rs", "no-stdout-in-libs"), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(Baseline::parse("nonsense").is_err());
+        assert!(Baseline::parse("version = 2").is_err());
+        assert!(Baseline::parse("version = 1\n[[suppress]]\nfile = \"f\"\n").is_err());
+        assert!(Baseline::parse(
+            "version = 1\n[[suppress]]\nfile = \"f\"\nrule = \"r\"\ncount = 0\n"
+        )
+        .is_err());
+        // Duplicate (file, rule) pairs would make the allowance ambiguous.
+        let dup = "version = 1\n\
+            [[suppress]]\nfile = \"f\"\nrule = \"r\"\ncount = 1\n\
+            [[suppress]]\nfile = \"f\"\nrule = \"r\"\ncount = 2\n";
+        assert!(Baseline::parse(dup).is_err());
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let text = "# header\n\nversion = 1\n\n# entry\n[[suppress]]\n\
+                    file = \"x.rs\"\nrule = \"r\"\ncount = 3\n";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.allowance("x.rs", "r"), 3);
+    }
+}

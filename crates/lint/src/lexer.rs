@@ -1,0 +1,459 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The linter must never report a match found inside a string literal, a
+//! character literal, or a comment, and must survive the syntax that trips
+//! up regex-based scanners: raw strings with arbitrary hash fences, nested
+//! block comments, byte strings, raw identifiers, and the `'a` lifetime vs
+//! `'a'` char-literal ambiguity. This lexer resolves all of those and
+//! produces a flat token stream with line numbers, plus a side list of
+//! non-doc comments (the linter reads those for `// SAFETY:` and
+//! `// lint:allow(...)` annotations).
+//!
+//! It is deliberately *not* a full lexer: multi-character operators come
+//! out as single-character [`TokKind::Punct`] tokens and numeric suffixes
+//! are folded into the number text. The rules only need identifier and
+//! punctuation adjacency, so this keeps the lexer small and obviously
+//! correct.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, with the `r#`
+    /// prefix stripped so `r#fn` compares equal to `fn`).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`); the text
+    /// is the raw source slice, quotes and fences included.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`), full text kept.
+    DocComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+
+    /// True when the token is exactly the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A non-doc comment (`//` or `/* */`), kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// 1-based line on which the comment ends (equal to `line` for `//`).
+    pub end_line: u32,
+    /// Full comment text including the delimiters.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Significant tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Plain comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Unterminated literals and comments are tolerated (the
+/// remainder of the file is swallowed into the open token) so the linter
+/// degrades gracefully on code that would not compile anyway.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(TokKind::Punct, (c as char).to_string(), self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn text(&self, from: usize, to: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..to]).into_owned()
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = self.text(start, self.pos);
+        // `///` and `//!` are doc comments; `////…` is a plain comment again.
+        let is_doc = (text.starts_with("///") && !text.starts_with("////"))
+            || text.starts_with("//!");
+        if is_doc {
+            self.push(TokKind::DocComment, text, line);
+        } else {
+            self.out.comments.push(Comment { line, end_line: line, text });
+        }
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.src[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        let text = self.text(start, self.pos);
+        // `/** … */` and `/*! … */` are doc comments; `/***/` and `/**/` are
+        // not (the canonical degenerate forms).
+        let is_doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+            || text.starts_with("/*!");
+        if is_doc {
+            self.push(TokKind::DocComment, text, line);
+        } else {
+            self.out.comments.push(Comment { line, end_line: self.line, text });
+        }
+    }
+
+    /// Ordinary (escaped) string literal starting at the opening quote;
+    /// `start` may precede `self.pos` when a `b` prefix was consumed.
+    fn string(&mut self, start: usize) {
+        let line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, self.text(start, self.pos.min(self.src.len())), line);
+    }
+
+    /// Raw string starting at the first `#` or `"` after the `r` prefix.
+    fn raw_string(&mut self, start: usize) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let closer: Vec<u8> =
+            std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' && self.src[self.pos..].starts_with(&closer) {
+                self.pos += closer.len();
+                break;
+            }
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::Str, self.text(start, self.pos.min(self.src.len())), line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`, and raw
+    /// identifiers `r#ident`. Returns true when it consumed something.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c = self.src[self.pos];
+        let start = self.pos;
+        if c == b'r' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    self.raw_string(start);
+                    return true;
+                }
+                Some(b'#') => {
+                    // `r#"` / `r##"` … raw string; `r#ident` raw identifier.
+                    let mut i = 1;
+                    while self.peek(i) == Some(b'#') {
+                        i += 1;
+                    }
+                    if self.peek(i) == Some(b'"') {
+                        self.pos += 1;
+                        self.raw_string(start);
+                        return true;
+                    }
+                    if i == 1 {
+                        self.pos += 2; // consume `r#`, lex the rest as an ident
+                        self.ident();
+                        return true;
+                    }
+                    return false;
+                }
+                _ => return false,
+            }
+        }
+        // c == b'b'
+        match self.peek(1) {
+            Some(b'"') => {
+                self.pos += 1;
+                self.string(start);
+                true
+            }
+            Some(b'\'') => {
+                self.pos += 1;
+                self.quote();
+                // Rewrite the just-pushed token to include the `b` prefix.
+                if let Some(t) = self.out.toks.last_mut() {
+                    if t.kind == TokKind::Char {
+                        t.text.insert(0, 'b');
+                    }
+                }
+                true
+            }
+            Some(b'r') if matches!(self.peek(2), Some(b'"') | Some(b'#')) => {
+                self.pos += 2;
+                self.raw_string(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A `'`: either a char literal or a lifetime.
+    fn quote(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        match self.peek(1) {
+            // `'\n'`, `'\''`, `'\u{1F600}'` — escaped char literal.
+            Some(b'\\') => {
+                self.pos += 2;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                self.push(TokKind::Char, self.text(start, self.pos), line);
+            }
+            // `'x'` — any single char followed by a closing quote. Checking
+            // the third byte distinguishes this from the lifetime `'x`.
+            _ if self.peek(2) == Some(b'\'') && self.peek(1) != Some(b'\'') => {
+                self.pos += 3;
+                self.push(TokKind::Char, self.text(start, self.pos), line);
+            }
+            // `'abc` — lifetime (or a stray quote; emit it as punct).
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                self.pos += 1;
+                let id_start = self.pos;
+                self.consume_ident_chars();
+                let text = format!("'{}", self.text(id_start, self.pos));
+                self.push(TokKind::Lifetime, text, line);
+            }
+            _ => {
+                self.pos += 1;
+                self.push(TokKind::Punct, "'".into(), line);
+            }
+        }
+    }
+
+    fn consume_ident_chars(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.consume_ident_chars();
+        self.push(TokKind::Ident, self.text(start, self.pos), line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else if c == b'.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // `1.5` continues the number; `1..n` and `1.max(2)` do not.
+                self.pos += 1;
+            } else if (c == b'+' || c == b'-')
+                && matches!(self.src[self.pos - 1], b'e' | b'E')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Exponent sign in `1e-3`.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, self.text(start, self.pos), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("let x = a.unwrap();");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[3], (TokKind::Ident, "a".into()));
+        assert_eq!(t[4], (TokKind::Punct, ".".into()));
+        assert_eq!(t[5], (TokKind::Ident, "unwrap".into()));
+    }
+
+    #[test]
+    fn string_contents_are_opaque() {
+        let t = kinds(r#"let s = "x.unwrap() // not a comment";"#);
+        assert!(t.iter().all(|(k, txt)| *k != TokKind::Ident || txt != "unwrap"));
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r##"contains "# and unwrap()"##; after"####;
+        let t = kinds(src);
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Str && txt.contains("unwrap")));
+        assert!(t.iter().any(|(_, txt)| txt == "after"));
+        assert!(!t.iter().any(|(k, txt)| *k == TokKind::Ident && txt == "unwrap"));
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let t = kinds("fn r#match() {}");
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Ident && txt == "match"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner unwrap() */ still comment */ b");
+        let idents: Vec<_> =
+            l.toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(idents, ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner unwrap()"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = kinds(r"fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Lifetime && txt == "'a"));
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Char && txt == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let t = kinds(r"let c = '\''; let n = '\n'; let u = '\u{1F600}';");
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let t = kinds(r##"let b = b"unwrap"; let c = b'\n'; let r = br#"x"#;"##);
+        assert_eq!(t.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Char && txt.starts_with('b')));
+    }
+
+    #[test]
+    fn doc_comments_enter_stream_plain_comments_do_not() {
+        let l = lex("/// doc\n// plain\nfn f() {}\n//! inner\n//// four slashes");
+        let docs: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::DocComment).collect();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_follow_multiline_tokens() {
+        let src = "let a = \"line\n|break\";\nlet b = 1;";
+        let l = lex(src);
+        let b = l.toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(b, Some(3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let t = kinds("for i in 0..10 { 1.max(2); 1.5e-3; }");
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Num && txt == "0"));
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Ident && txt == "max"));
+        assert!(t.iter().any(|(k, txt)| *k == TokKind::Num && txt == "1.5e-3"));
+    }
+}

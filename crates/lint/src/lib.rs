@@ -1,0 +1,44 @@
+//! # roulette-lint
+//!
+//! A workspace invariant linter for the RouLette repository.
+//!
+//! RouLette's eddy re-plans every 1024-tuple vector, so a single reachable
+//! panic inside the episode loop kills every in-flight query sharing the
+//! global plan. PR 1 *contains* such faults (`catch_unwind` + quarantine);
+//! this crate *prevents* new ones from landing, by statically enforcing a
+//! small set of repository invariants on every `.rs` file in the tree:
+//!
+//! * **R1 `no-panic-hot-path`** — no `unwrap`/`expect`, panicking macros,
+//!   or direct indexing in the designated hot-path modules;
+//! * **R2 `unsafe-needs-safety-comment`** — every `unsafe` carries a
+//!   `// SAFETY:` comment, and unsafe-free crates declare
+//!   `#![forbid(unsafe_code)]`;
+//! * **R3 `no-stdout-in-libs`** — library crates never print;
+//! * **R4 `shim-surface-drift`** — the offline dependency shims under
+//!   `shims/` export only API the workspace actually references;
+//! * **R5 `config-docs`** — every public `EngineConfig` field is
+//!   documented.
+//!
+//! Matching is lexer-based ([`lexer`]): string literals, char literals,
+//! raw strings, and comments can never false-positive. Violations are
+//! suppressed either inline (`// lint:allow(<rule>)`) or frozen in
+//! [`lint-baseline.toml`](baseline) for incremental burn-down; the
+//! baseline is a strict two-way ratchet, so it can neither grow silently
+//! nor retain headroom after a fix.
+//!
+//! This library performs no I/O besides reading sources and never prints —
+//! the `roulette-lint` binary owns all output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use report::{CheckReport, Severity, StaleEntry, Violation};
+pub use rules::{Rule, SourceFile, HOT_PATHS, RULES};
+pub use workspace::{default_root, Workspace};

@@ -1,0 +1,73 @@
+//! The committed `lint-baseline.toml` must exactly describe the tree.
+//!
+//! These tests are the CI gate's local twin: the repository stays clean
+//! against the frozen baseline, and the baseline itself stays honest —
+//! removing (or shrinking) any entry whose violations still exist makes
+//! the check fail, so stale headroom can never accumulate.
+
+use roulette_lint::{default_root, Baseline, Workspace};
+use std::collections::HashSet;
+
+fn load() -> (Workspace, Baseline) {
+    let root = default_root();
+    let ws = Workspace::load(&root).expect("workspace loads");
+    let text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed at the workspace root");
+    let baseline = Baseline::parse(&text).expect("committed baseline parses");
+    (ws, baseline)
+}
+
+#[test]
+fn tree_is_clean_against_committed_baseline() {
+    let (ws, baseline) = load();
+    let report = ws.check(&baseline, &HashSet::new());
+    assert!(
+        report.ok(),
+        "repository violates its own lint rules:\n{}",
+        report.render_text()
+    );
+    assert!(report.checked_files > 50, "suspiciously few files scanned");
+}
+
+#[test]
+fn removing_any_baseline_entry_fails_the_check() {
+    let (ws, baseline) = load();
+    assert!(!baseline.entries.is_empty(), "test requires a non-empty baseline");
+    for skip in 0..baseline.entries.len() {
+        let reduced = Baseline {
+            entries: baseline
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, e)| e.clone())
+                .collect(),
+        };
+        let report = ws.check(&reduced, &HashSet::new());
+        assert!(
+            !report.ok(),
+            "dropping baseline entry for {} ({}) should fail the check",
+            baseline.entries[skip].file,
+            baseline.entries[skip].rule,
+        );
+    }
+}
+
+#[test]
+fn shrinking_a_baseline_count_fails_the_check() {
+    let (ws, baseline) = load();
+    let mut shrunk = baseline.clone();
+    let entry = shrunk.entries.first_mut().expect("non-empty baseline");
+    entry.count -= 1;
+    let report = ws.check(&shrunk, &HashSet::new());
+    assert!(!report.ok(), "an under-counted baseline entry must fail the check");
+}
+
+#[test]
+fn missing_baseline_reports_every_frozen_violation() {
+    let (ws, baseline) = load();
+    let frozen: usize = baseline.entries.iter().map(|e| e.count).sum();
+    let report = ws.check(&Baseline::default(), &HashSet::new());
+    assert_eq!(report.errors.len(), frozen, "without a baseline every frozen site errors");
+    assert!(!report.ok());
+}

@@ -1,4 +1,4 @@
-//! The greedy selectivity-based policy (CACQ [24] / CJOIN [7] style).
+//! The greedy selectivity-based policy (CACQ \[24\] / CJOIN \[7\] style).
 //!
 //! CACQ and CJOIN reorder operators at runtime based on observed
 //! selectivity alone: the next operator is the one expected to shrink the
@@ -21,7 +21,7 @@ pub enum GreedyMode {
     /// Deterministic argmin over estimated selectivity — a *stronger*
     /// variant than the published online-sharing systems use.
     ArgMin,
-    /// Lottery scheduling (CACQ [24] via Waldspurger & Weihl [38]): each
+    /// Lottery scheduling (CACQ \[24\] via Waldspurger & Weihl \[38\]): each
     /// candidate gets tickets proportional to how much it is expected to
     /// shrink the intermediate, and the winner is drawn proportionally.
     /// This is the faithful CACQ/CJOIN baseline.

@@ -184,7 +184,10 @@ impl SpjQuery {
             }
             parent.insert(ra, rb);
         }
-        let root = find(&mut parent, self.relations.first().unwrap());
+        let Some(first) = self.relations.first() else {
+            return Err(Error::InvalidQuery("query scans no relations".into()));
+        };
+        let root = find(&mut parent, first);
         for r in self.relations.iter() {
             if find(&mut parent, r) != root {
                 return Err(Error::InvalidQuery("join graph is disconnected".into()));

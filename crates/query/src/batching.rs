@@ -39,7 +39,7 @@ pub fn cluster_batches(queries: &[SpjQuery], batch_size: usize) -> Vec<Vec<usize
         let mut batch = vec![seed];
         while batch.len() < batch_size && !unassigned.is_empty() {
             // The candidate most similar to the batch (average similarity).
-            let (pos, _) = unassigned
+            let best = unassigned
                 .iter()
                 .enumerate()
                 .map(|(pos, &cand)| {
@@ -50,8 +50,8 @@ pub fn cluster_batches(queries: &[SpjQuery], batch_size: usize) -> Vec<Vec<usize
                         / batch.len() as f64;
                     (pos, score)
                 })
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("unassigned non-empty");
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((pos, _)) = best else { break };
             batch.push(unassigned.remove(pos));
         }
         batch.sort_unstable(); // preserve arrival order within the batch

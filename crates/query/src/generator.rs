@@ -10,7 +10,7 @@ use crate::ast::{JoinPred, RangePred, SpjQuery};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use roulette_core::{RelId, RelSet};
+use roulette_core::{RelId, RelSet, Result};
 use roulette_storage::datagen::chains::ChainsDataset;
 use roulette_storage::datagen::imdb::ImdbDataset;
 use roulette_storage::datagen::tpcds::TpcdsDataset;
@@ -87,18 +87,25 @@ impl Default for SensitivityParams {
 }
 
 /// Generates a pool of `n` sensitivity-analysis queries.
+///
+/// Fails with [`roulette_core::Error::Schema`] if the dataset's catalog
+/// lacks the `sel` predicate columns the generator relies on.
 pub fn tpcds_pool(
     ds: &TpcdsDataset,
     params: SensitivityParams,
     n: usize,
     seed: u64,
-) -> Vec<SpjQuery> {
+) -> Result<Vec<SpjQuery>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| tpcds_query(ds, params, &mut rng)).collect()
 }
 
 /// Generates one sensitivity-analysis query.
-pub fn tpcds_query(ds: &TpcdsDataset, params: SensitivityParams, rng: &mut StdRng) -> SpjQuery {
+pub fn tpcds_query(
+    ds: &TpcdsDataset,
+    params: SensitivityParams,
+    rng: &mut StdRng,
+) -> Result<SpjQuery> {
     let (fact, pool): (RelId, Vec<FkEdge>) = match params.schema {
         SchemaMode::Template => {
             (ds.meta.store().fact, ds.meta.template.clone())
@@ -126,8 +133,8 @@ pub fn tpcds_query(ds: &TpcdsDataset, params: SensitivityParams, rng: &mut StdRn
         params.n_joins
     };
     let (relations, joins) = grow_tree(fact, &pool, n_joins, rng);
-    let predicates = sel_predicates(ds, relations, params, rng);
-    SpjQuery { relations, joins, predicates, projections: Vec::new() }
+    let predicates = sel_predicates(ds, relations, params, rng)?;
+    Ok(SpjQuery { relations, joins, predicates, projections: Vec::new() })
 }
 
 /// Grows a random join tree: starting from `root`, repeatedly applies a
@@ -163,9 +170,9 @@ fn sel_predicates(
     relations: RelSet,
     params: SensitivityParams,
     rng: &mut StdRng,
-) -> Vec<RangePred> {
+) -> Result<Vec<RangePred>> {
     if params.selectivity >= 1.0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let mut rels: Vec<RelId> = relations.iter().collect();
     rels.shuffle(rng);
@@ -179,8 +186,8 @@ fn sel_predicates(
             let s_i = params.selectivity.powf(w / total);
             let width = ((1000.0 * s_i).round() as i64).clamp(1, 1000);
             let lo = rng.gen_range(0..=(1000 - width));
-            let col = ds.catalog.relation(rel).column_id("sel").expect("sel column");
-            RangePred { rel, col, lo, hi: lo + width - 1 }
+            let col = ds.catalog.relation(rel).column_id("sel")?;
+            Ok(RangePred { rel, col, lo, hi: lo + width - 1 })
         })
         .collect()
 }
@@ -189,13 +196,13 @@ fn sel_predicates(
 /// 3–13 joins with predicates on the correlated columns. (The real JOB has
 /// 113 queries of 3–16 joins; our 14-relation schema caps trees at 13
 /// joins.)
-pub fn job_pool(ds: &ImdbDataset, n: usize, seed: u64) -> Vec<SpjQuery> {
+pub fn job_pool(ds: &ImdbDataset, n: usize, seed: u64) -> Result<Vec<SpjQuery>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| job_query(ds, &mut rng)).collect()
 }
 
 /// Generates one JOB-style query.
-pub fn job_query(ds: &ImdbDataset, rng: &mut StdRng) -> SpjQuery {
+pub fn job_query(ds: &ImdbDataset, rng: &mut StdRng) -> Result<SpjQuery> {
     let max_joins = ds.meta.edges.len() - 1;
     let n_joins = rng.gen_range(3..=13.min(max_joins));
     // Start from a random endpoint of a random edge so short queries are
@@ -231,7 +238,7 @@ pub fn job_query(ds: &ImdbDataset, rng: &mut StdRng) -> SpjQuery {
     for &rel in &links {
         let fanout = ds.catalog.relation(rel).rows() as f64 / n_title;
         let sel = (per_link / fanout.max(0.5)).clamp(0.02, 0.9);
-        let col = ds.catalog.relation(rel).column_id("sel").expect("sel column");
+        let col = ds.catalog.relation(rel).column_id("sel")?;
         let width = ((1000.0 * sel) as i64).clamp(1, 1000);
         let lo = rng.gen_range(0..=(1000 - width));
         predicates.push(RangePred { rel, col, lo, hi: lo + width - 1 });
@@ -251,7 +258,7 @@ pub fn job_query(ds: &ImdbDataset, rng: &mut StdRng) -> SpjQuery {
             .map(|&(_, c)| c)
             .unwrap_or("sel");
         let relation = ds.catalog.relation(rel);
-        let col = relation.column_id(col_name).expect("predicate column");
+        let col = relation.column_id(col_name)?;
         let Some((mn, mx)) = relation.column(col).min_max() else { continue };
         let domain = (mx - mn + 1).max(1);
         let sel = 10f64.powf(rng.gen_range(-1.0..-0.2)); // 10%..63%
@@ -261,19 +268,19 @@ pub fn job_query(ds: &ImdbDataset, rng: &mut StdRng) -> SpjQuery {
         let lo = (anchor - width / 2).clamp(mn, mx - width + 1).max(mn);
         predicates.push(RangePred { rel, col, lo, hi: lo + width - 1 });
     }
-    SpjQuery { relations, joins, predicates, projections: Vec::new() }
+    Ok(SpjQuery { relations, joins, predicates, projections: Vec::new() })
 }
 
 /// Generates queries over the chains schema (Fig. 15): each query joins the
 /// hub with chain prefixes spanning half of the join graph, balanced
 /// between low- and high-rate chains.
-pub fn chains_queries(ds: &ChainsDataset, n: usize, seed: u64) -> Vec<SpjQuery> {
+pub fn chains_queries(ds: &ChainsDataset, n: usize, seed: u64) -> Result<Vec<SpjQuery>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| chains_query(ds, &mut rng)).collect()
 }
 
 /// Generates one chains query.
-pub fn chains_query(ds: &ChainsDataset, rng: &mut StdRng) -> SpjQuery {
+pub fn chains_query(ds: &ChainsDataset, rng: &mut StdRng) -> Result<SpjQuery> {
     let meta = &ds.meta;
     let total_chain_rels = meta.params.relations - 1;
     let target = (total_chain_rels / 2).max(1);
@@ -320,12 +327,12 @@ pub fn chains_query(ds: &ChainsDataset, rng: &mut StdRng) -> SpjQuery {
 
     // A light predicate on the hub's sel column keeps per-query outputs
     // distinct without dominating cost.
-    let col = ds.catalog.relation(meta.hub).column_id("sel").unwrap();
+    let col = ds.catalog.relation(meta.hub).column_id("sel")?;
     let width = rng.gen_range(300..700);
     let lo = rng.gen_range(0..=(1000 - width));
     let predicates = vec![RangePred { rel: meta.hub, col, lo, hi: lo + width - 1 }];
 
-    SpjQuery { relations, joins, predicates, projections: Vec::new() }
+    Ok(SpjQuery { relations, joins, predicates, projections: Vec::new() })
 }
 
 /// Samples a batch of `size` queries from a pool without replacement
@@ -347,7 +354,7 @@ mod tests {
     fn tpcds_queries_validate_and_have_requested_shape() {
         let ds = tpcds::generate(0.1, 1);
         let params = SensitivityParams::default();
-        let pool = tpcds_pool(&ds, params, 50, 7);
+        let pool = tpcds_pool(&ds, params, 50, 7).expect("pool");
         assert_eq!(pool.len(), 50);
         for q in &pool {
             q.validate(&ds.catalog).expect("generated query valid");
@@ -361,7 +368,7 @@ mod tests {
     fn full_selectivity_means_no_predicates() {
         let ds = tpcds::generate(0.1, 1);
         let params = SensitivityParams { selectivity: 1.0, ..Default::default() };
-        let pool = tpcds_pool(&ds, params, 10, 3);
+        let pool = tpcds_pool(&ds, params, 10, 3).expect("pool");
         assert!(pool.iter().all(|q| q.predicates.is_empty()));
     }
 
@@ -369,7 +376,7 @@ mod tests {
     fn predicate_product_tracks_target_selectivity() {
         let ds = tpcds::generate(0.1, 1);
         let params = SensitivityParams { selectivity: 0.10, ..Default::default() };
-        let pool = tpcds_pool(&ds, params, 200, 11);
+        let pool = tpcds_pool(&ds, params, 200, 11).expect("pool");
         let mut prod_sum = 0.0;
         for q in &pool {
             let p: f64 = q
@@ -391,7 +398,7 @@ mod tests {
             schema: SchemaMode::StoreDirect,
             ..Default::default()
         };
-        let pool = tpcds_pool(&ds, params, 20, 5);
+        let pool = tpcds_pool(&ds, params, 20, 5).expect("pool");
         let first = pool[0].relations;
         assert!(pool.iter().all(|q| q.relations == first));
         assert!(pool.iter().all(|q| q.n_joins() == 6));
@@ -402,7 +409,7 @@ mod tests {
         let ds = tpcds::generate(0.1, 1);
         let params =
             SensitivityParams { n_joins: 2, schema: SchemaMode::Template, ..Default::default() };
-        let q = tpcds_query(&ds, params, &mut StdRng::seed_from_u64(3));
+        let q = tpcds_query(&ds, params, &mut StdRng::seed_from_u64(3)).expect("query");
         assert_eq!(q.n_joins(), 4);
     }
 
@@ -413,7 +420,7 @@ mod tests {
             schema: SchemaMode::SnowstormAll,
             ..Default::default()
         };
-        let pool = tpcds_pool(&ds, params, 60, 13);
+        let pool = tpcds_pool(&ds, params, 60, 13).expect("pool");
         let facts: std::collections::HashSet<RelId> = pool
             .iter()
             .map(|q| {
@@ -441,7 +448,7 @@ mod tests {
     #[test]
     fn job_pool_validates_with_3_to_13_joins() {
         let ds = imdb::generate(0.1, 2);
-        let pool = job_pool(&ds, 113, 17);
+        let pool = job_pool(&ds, 113, 17).expect("pool");
         assert_eq!(pool.len(), 113);
         for q in &pool {
             q.validate(&ds.catalog).expect("job query valid");
@@ -469,7 +476,7 @@ mod tests {
             ChainsParams { chains: 4, relations: 9, domain: 200, hub_rows: 500 },
             3,
         );
-        let qs = chains_queries(&ds, 20, 9);
+        let qs = chains_queries(&ds, 20, 9).expect("pool");
         for q in &qs {
             q.validate(&ds.catalog).expect("chains query valid");
             assert!(q.relations.contains(ds.meta.hub));
@@ -497,7 +504,7 @@ mod tests {
     #[test]
     fn sample_batch_draws_without_replacement() {
         let ds = tpcds::generate(0.1, 1);
-        let pool = tpcds_pool(&ds, SensitivityParams::default(), 30, 7);
+        let pool = tpcds_pool(&ds, SensitivityParams::default(), 30, 7).expect("pool");
         let mut rng = StdRng::seed_from_u64(5);
         let batch = sample_batch(&pool, 10, &mut rng);
         assert_eq!(batch.len(), 10);

@@ -54,7 +54,7 @@ pub fn to_sql(catalog: &Catalog, q: &SpjQuery) -> String {
         conjuncts.push(c);
     }
     if !conjuncts.is_empty() {
-        write!(out, " WHERE {}", conjuncts.join(" AND ")).expect("string write");
+        let _ = write!(out, " WHERE {}", conjuncts.join(" AND ")); // String writes are infallible
     }
     out
 }

@@ -7,6 +7,7 @@
 //! synthetic dataset generators the evaluation uses (TPC-DS-like, JOB-like,
 //! and the Fig. 15 chains schema).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

@@ -24,7 +24,7 @@ fn main() {
         ds.catalog.relation(ds.meta.title).rows()
     );
 
-    let arrivals = job_pool(&ds, 24, 99);
+    let arrivals = job_pool(&ds, 24, 99).expect("workload generation");
     println!("Simulating {} analysts firing ad-hoc queries…\n", arrivals.len());
 
     let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default());

@@ -28,7 +28,7 @@ fn main() {
     println!("  {} tables, {} total rows", ds.catalog.len(), total_rows);
 
     println!("Generating a burst of {n_queries} dashboard queries (4 joins, 10% selectivity)…");
-    let queries = tpcds_pool(&ds, SensitivityParams::default(), n_queries, 7);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), n_queries, 7).expect("workload generation");
 
     // --- Query-at-a-time (DBMS-V) -----------------------------------------
     let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1);

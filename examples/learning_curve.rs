@@ -21,7 +21,7 @@ fn main() {
     let params = ChainsParams { chains: c, relations: r, domain: 800, hub_rows: 6000 };
     println!("Chains workload {} (half shrinking, half expanding joins)", params.label());
     let ds = chains::generate(params, 3);
-    let queries = chains_queries(&ds, 64, 17);
+    let queries = chains_queries(&ds, 64, 17).expect("workload generation");
 
     let engine =
         RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(512).unwrap());

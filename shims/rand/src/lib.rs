@@ -8,6 +8,7 @@
 //! seed. Streams differ from upstream `rand`'s ChaCha-based `StdRng`, so
 //! seed-pinned expectations belong to *this* generator.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Low-level entropy source: a stream of `u64`s.
@@ -76,6 +77,7 @@ fn unit_f64(bits: u64) -> f64 {
 }
 
 /// Types samplable from the standard distribution via [`Rng::gen`].
+// Structural: the bound of `Rng::gen`. lint:allow(shim-surface-drift)
 pub trait Standard: Sized {
     /// Draws one value from `rng`.
     fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
@@ -112,6 +114,7 @@ macro_rules! impl_standard_int {
 impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 /// A range that can be sampled uniformly.
+// Structural: the bound of `Rng::gen_range`. lint:allow(shim-surface-drift)
 pub trait SampleRange<T> {
     /// Draws one value from the range using `rng`.
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
@@ -122,6 +125,7 @@ pub trait SampleRange<T> {
 /// The generic `SampleRange` impls below hang off this trait — one impl
 /// per range *shape*, as in upstream `rand`, so that integer-literal
 /// ranges unify with surrounding expression types during inference.
+// Structural: element-type bound behind `SampleRange`. lint:allow(shim-surface-drift)
 pub trait SampleUniform: Sized {
     /// Uniform draw; `inclusive` selects `[lo, hi]` over `[lo, hi)`.
     fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
@@ -202,9 +206,6 @@ pub mod rngs {
         s: [u64; 4],
     }
 
-    /// Alias of [`StdRng`] (the shim has one generator quality tier).
-    pub type SmallRng = StdRng;
-
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 expansion, per the xoshiro authors' seeding advice.
@@ -275,7 +276,7 @@ pub mod seq {
 
 /// Commonly used re-exports, mirroring `rand::prelude`.
 pub mod prelude {
-    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::rngs::StdRng;
     pub use super::seq::SliceRandom;
     pub use super::{Rng, RngCore, SeedableRng};
 }

@@ -55,6 +55,8 @@
 //! let _ = (orders, cust);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use roulette_baselines as baselines;
 pub use roulette_core as core;
 pub use roulette_exec as exec;

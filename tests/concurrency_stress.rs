@@ -23,7 +23,7 @@ fn chains_multi_worker_matches_qat_across_seeds() {
             ChainsParams { chains: 4, relations: 9, domain: 300, hub_rows: 1200 },
             seed,
         );
-        let queries = chains_queries(&ds, 6, seed * 31 + 1);
+        let queries = chains_queries(&ds, 6, seed * 31 + 1).expect("workload generation");
         let expected = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1)
             .execute_serial(&queries);
         for workers in [2, 4, 8] {
@@ -44,7 +44,7 @@ fn chains_multi_worker_matches_qat_across_seeds() {
 #[test]
 fn tpcds_multi_worker_repeated_runs_are_identical() {
     let ds = tpcds::generate(0.05, 3);
-    let queries = tpcds_pool(&ds, SensitivityParams::default(), 10, 77);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), 10, 77).expect("workload generation");
     let expected =
         QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1).execute_serial(&queries);
     for run in 0..4 {
@@ -62,7 +62,7 @@ fn tpcds_multi_worker_repeated_runs_are_identical() {
 fn multi_worker_without_pruning_also_agrees() {
     // Isolate the versioning discipline from pruning.
     let ds = tpcds::generate(0.05, 5);
-    let queries = tpcds_pool(&ds, SensitivityParams::default(), 8, 13);
+    let queries = tpcds_pool(&ds, SensitivityParams::default(), 8, 13).expect("workload generation");
     let expected =
         QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1).execute_serial(&queries);
     let mut cfg = EngineConfig::default().with_vector_size(128).unwrap().with_workers(8).unwrap();

@@ -13,7 +13,7 @@ use roulette::storage::datagen::tpcds;
 fn staggered_admissions_match_isolated_execution() {
     let ds = tpcds::generate(0.04, 5);
     let params = SensitivityParams::default();
-    let pool = tpcds_pool(&ds, params, 6, 77);
+    let pool = tpcds_pool(&ds, params, 6, 77).expect("workload generation");
     let qat = QatEngine::new(&ds.catalog, ExecMode::Vectorized, 1);
     let expected: Vec<_> = qat.execute_serial(&pool);
 
@@ -39,7 +39,7 @@ fn admission_based_on_scan_progress() {
     // input is X% consumed. All instances of the same query must agree.
     let ds = tpcds::generate(0.04, 9);
     let params = SensitivityParams::default();
-    let template = tpcds_pool(&ds, params, 1, 3).pop().unwrap();
+    let template = tpcds_pool(&ds, params, 1, 3).expect("workload generation").pop().unwrap();
     let n_instances = 4;
 
     let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(64).unwrap());
@@ -72,7 +72,7 @@ fn late_query_shares_ongoing_state() {
     // (batched two queries) is far below 2× (serial two queries).
     let ds = tpcds::generate(0.04, 13);
     let params = SensitivityParams::default();
-    let q = tpcds_pool(&ds, params, 1, 31).pop().unwrap();
+    let q = tpcds_pool(&ds, params, 1, 31).expect("workload generation").pop().unwrap();
 
     let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128).unwrap());
     let solo = engine.execute_batch(std::slice::from_ref(&q)).unwrap();
@@ -88,7 +88,7 @@ fn late_query_shares_ongoing_state() {
 fn query_completion_is_tracked_per_query() {
     let ds = tpcds::generate(0.04, 21);
     let params = SensitivityParams::default();
-    let pool = tpcds_pool(&ds, params, 2, 51);
+    let pool = tpcds_pool(&ds, params, 2, 51).expect("workload generation");
     let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default().with_vector_size(128).unwrap());
     let mut session = engine.session(2);
     let q0 = session.admit(pool[0].clone()).unwrap();

@@ -22,7 +22,7 @@ use roulette::storage::{Catalog, Stats};
 fn workload(seed: u64, n: usize, schema: SchemaMode) -> (tpcds::TpcdsDataset, Vec<SpjQuery>) {
     let ds = tpcds::generate(0.05, seed);
     let params = SensitivityParams { schema, ..Default::default() };
-    let pool = tpcds_pool(&ds, params, n * 2, seed ^ 0xABCD);
+    let pool = tpcds_pool(&ds, params, n * 2, seed ^ 0xABCD).expect("workload generation");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
     let batch = sample_batch(&pool, n, &mut rng);
     (ds, batch)
@@ -95,7 +95,7 @@ fn job_style_batch_agrees_across_engines() {
     use roulette::query::generator::job_pool;
     use roulette::storage::datagen::imdb;
     let ds = imdb::generate(0.05, 3);
-    let pool = job_pool(&ds, 20, 5);
+    let pool = job_pool(&ds, 20, 5).expect("workload generation");
     let mut rng = StdRng::seed_from_u64(9);
     let queries = sample_batch(&pool, 8, &mut rng);
     assert_engines_agree(&ds.catalog, &queries, "job");
@@ -109,7 +109,7 @@ fn chains_batch_agrees_across_engines() {
         ChainsParams { chains: 4, relations: 9, domain: 300, hub_rows: 1200 },
         17,
     );
-    let queries = chains_queries(&ds, 6, 21);
+    let queries = chains_queries(&ds, 6, 21).expect("workload generation");
     assert_engines_agree(&ds.catalog, &queries, "chains");
 }
 

@@ -16,7 +16,7 @@ fn chains_workload() -> (chains::ChainsDataset, Vec<SpjQuery>) {
         ChainsParams { chains: 4, relations: 9, domain: 400, hub_rows: 3000 },
         7,
     );
-    let queries = chains_queries(&ds, 16, 13);
+    let queries = chains_queries(&ds, 16, 13).expect("workload generation");
     (ds, queries)
 }
 
