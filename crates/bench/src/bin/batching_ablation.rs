@@ -3,9 +3,8 @@
 //! batches are more homogeneous than FIFO batches and RouLette processes
 //! them with fewer intermediate tuples and higher throughput.
 
-use roulette_bench::harness::{fmt_qps, print_table, qps, Scale};
+use roulette_bench::harness::{dump_telemetry, fmt_qps, print_table, qps, Scale};
 use roulette_core::EngineConfig;
-use roulette_exec::RouletteEngine;
 use roulette_query::batching::{batch_homogeneity, cluster_batches};
 use roulette_query::generator::{tpcds_pool, SchemaMode, SensitivityParams};
 use roulette_storage::datagen::tpcds;
@@ -17,7 +16,7 @@ fn main() {
         SensitivityParams { schema: SchemaMode::SnowstormAll, ..Default::default() };
     let stream = tpcds_pool(&ds, params, scale.n(128), scale.seed + 7).expect("workload generation");
     let batch_size = scale.n(32);
-    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default());
+    let engine = roulette_bench::harness::engine(&ds.catalog, EngineConfig::default());
 
     let fifo: Vec<Vec<usize>> = (0..stream.len())
         .collect::<Vec<_>>()
@@ -53,4 +52,5 @@ fn main() {
         &["batching", "homogeneity", "join tuples", "q/s"],
         &rows,
     );
+    dump_telemetry("batching_ablation");
 }

@@ -1,4 +1,5 @@
 //! Standalone figure target; see the crate docs for scaling knobs.
 fn main() {
-    roulette_bench::fig19_20::fig19(roulette_bench::Scale::from_env());
+    let scale = roulette_bench::Scale::from_env();
+    roulette_bench::run_figure("fig19", scale, roulette_bench::fig19_20::fig19);
 }

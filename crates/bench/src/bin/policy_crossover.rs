@@ -8,7 +8,6 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use roulette_core::{CostModel, EngineConfig};
-use roulette_exec::RouletteEngine;
 use roulette_policy::{GreedyPolicy, QLearningPolicy};
 use roulette_query::generator::{job_pool, sample_batch};
 use roulette_storage::datagen::imdb;
@@ -20,7 +19,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(99);
         let queries = sample_batch(&pool, 16, &mut rng);
         let config = EngineConfig::default().with_vector_size(vs).unwrap();
-        let engine = RouletteEngine::new(&ds.catalog, config.clone());
+        let engine = roulette_bench::harness::engine(&ds.catalog, config.clone());
         let learned = engine
             .execute_batch_with_policy(
                 &queries,
@@ -38,4 +37,5 @@ fn main() {
             learned.stats.join_tuples as f64 / lottery.stats.join_tuples as f64
         );
     }
+    roulette_bench::harness::dump_telemetry("policy_crossover");
 }

@@ -1,4 +1,5 @@
 //! Standalone figure target; see the crate docs for scaling knobs.
 fn main() {
-    roulette_bench::misc::swo_anecdote(roulette_bench::Scale::from_env());
+    let scale = roulette_bench::Scale::from_env();
+    roulette_bench::run_figure("swo_anecdote", scale, roulette_bench::misc::swo_anecdote);
 }

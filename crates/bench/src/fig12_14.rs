@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use roulette_baselines::{execute_global, stitch_plan_with_orders};
 use roulette_core::{CostModel, EngineConfig, QuerySet, RelId, RelSet};
-use roulette_exec::{JoinSpace, RouletteEngine};
+use roulette_exec::JoinSpace;
 use roulette_policy::{GreedyPolicy, QLearningPolicy, Scope};
 use roulette_query::generator::{job_pool, sample_batch};
 use roulette_query::{JoinPred, QueryBatch, SpjQuery};
@@ -56,7 +56,7 @@ fn learned_order(
     config: &EngineConfig,
     q: &SpjQuery,
 ) -> ((RelId, Vec<(JoinPred, RelId)>), u64) {
-    let engine = RouletteEngine::new(catalog, config.clone());
+    let engine = crate::harness::engine(catalog, config.clone());
     let mut session = engine
         .session_with_policy(1, Box::new(QLearningPolicy::new(CostModel::default(), config)));
     session.admit(q.clone()).expect("admit");
@@ -112,7 +112,7 @@ pub fn fig13(scale: Scale) {
     // batch (the paper's SF10 runs see thousands of episodes; this
     // dataset would otherwise finish in a handful).
     let config = EngineConfig::default().with_vector_size(64).unwrap();
-    let engine = RouletteEngine::new(&ds.catalog, config.clone());
+    let engine = crate::harness::engine(&ds.catalog, config.clone());
 
     let mut rows = Vec::new();
     let sizes = [1usize, 2, 4, 8, 16];
@@ -192,7 +192,7 @@ pub fn fig14(scale: Scale) {
     for overlap in [0u32, 20, 40, 60, 80, 100] {
         let mut row = vec![format!("{overlap}%")];
         for admission_batch in [1usize, 2, 4] {
-            let engine = RouletteEngine::new(&ds.catalog, config.clone());
+            let engine = crate::harness::engine(&ds.catalog, config.clone());
             let mut session = engine.session(total_instances);
             let mut admitted = 0usize;
             while admitted < total_instances {

@@ -6,7 +6,6 @@
 
 use crate::harness::{print_table, Scale};
 use roulette_core::{CostModel, EngineConfig};
-use roulette_exec::RouletteEngine;
 use roulette_policy::{GreedyPolicy, QLearningPolicy};
 use roulette_query::generator::chains_queries;
 use roulette_storage::datagen::chains::{self, ChainsParams};
@@ -35,7 +34,7 @@ pub fn fig16(scale: Scale) {
         // across the sequence.
         let mut config = EngineConfig::default().with_vector_size(64).unwrap();
         config.pruning = false;
-        let engine = RouletteEngine::new(&ds.catalog, config.clone());
+        let engine = crate::harness::engine(&ds.catalog, config.clone());
 
         // Learned run with tracing.
         let mut session = engine.session_with_policy(

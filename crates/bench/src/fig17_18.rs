@@ -5,7 +5,7 @@ use crate::harness::{print_table, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use roulette_core::EngineConfig;
-use roulette_exec::{EngineStats, RouletteEngine};
+use roulette_exec::EngineStats;
 use roulette_query::generator::{job_pool, sample_batch, tpcds_pool, SensitivityParams};
 use roulette_query::SpjQuery;
 use roulette_storage::datagen::{imdb, tpcds};
@@ -13,7 +13,7 @@ use roulette_storage::Catalog;
 use std::time::Duration;
 
 fn run(catalog: &Catalog, queries: &[SpjQuery], config: EngineConfig) -> (Duration, EngineStats) {
-    let engine = RouletteEngine::new(catalog, config);
+    let engine = crate::harness::engine(catalog, config);
     let (elapsed, out) =
         crate::harness::time(|| engine.execute_batch(queries).expect("batch"));
     (elapsed, out.stats)

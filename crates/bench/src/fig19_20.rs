@@ -6,7 +6,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use roulette_baselines::{ExecMode, QatEngine};
 use roulette_core::EngineConfig;
-use roulette_exec::RouletteEngine;
 use roulette_query::generator::{job_pool, sample_batch, tpcds_pool, SensitivityParams};
 use roulette_storage::datagen::{imdb, tpcds};
 
@@ -26,6 +25,12 @@ pub fn fig19(scale: Scale) {
     while *worker_counts.last().unwrap() * 2 <= max_workers {
         worker_counts.push(worker_counts.last().unwrap() * 2);
     }
+    // The doubling ladder tops out below `max_workers` on non-power-of-2
+    // machines (e.g. 6 or 12 cores stop at 4 or 8); always measure the
+    // full machine too.
+    if *worker_counts.last().unwrap() != max_workers {
+        worker_counts.push(max_workers);
+    }
     println!("(detected {} core(s))", cores());
 
     let mut header = vec!["batch".to_string()];
@@ -39,7 +44,7 @@ pub fn fig19(scale: Scale) {
         let mut row = vec![format!("{}", b + 1)];
         let mut t1 = None;
         for &w in &worker_counts {
-            let engine = RouletteEngine::new(
+            let engine = crate::harness::engine(
                 &ds.catalog,
                 EngineConfig::default().with_workers(w).unwrap(),
             );
@@ -86,7 +91,7 @@ pub fn fig20(scale: Scale) {
             }
         });
         // RouLette: one batch with a query per client, all cores.
-        let engine = RouletteEngine::new(
+        let engine = crate::harness::engine(
             &ds.catalog,
             EngineConfig::default().with_workers(cores().min(12)).unwrap(),
         );

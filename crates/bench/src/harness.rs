@@ -1,12 +1,22 @@
-//! Shared benchmark plumbing: environment-driven scaling and paper-style
-//! table printing.
+//! Shared benchmark plumbing: environment-driven scaling, paper-style
+//! table printing, and telemetry capture.
 //!
 //! Every figure target runs at a laptop-friendly default size; set
 //! `ROULETTE_SCALE` (e.g. `ROULETTE_SCALE=4`) to scale batch sizes and
 //! dataset sizes toward the paper's configuration, and `ROULETTE_SEED` to
-//! vary the workload sample.
+//! vary the workload sample. Pass `--telemetry <dir>` (or set
+//! `ROULETTE_TELEMETRY=<dir>`) to attach a [`Telemetry`] sink to every
+//! engine built through [`engine`] and dump a Prometheus snapshot plus the
+//! JSONL event log after each figure.
 
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+use roulette_core::EngineConfig;
+use roulette_exec::RouletteEngine;
+use roulette_storage::Catalog;
+use roulette_telemetry::Telemetry;
 
 /// Global benchmark scale, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +51,66 @@ impl Scale {
     pub fn sf(&self, base: f64) -> f64 {
         base * self.factor
     }
+}
+
+/// Telemetry output directory, from `--telemetry <dir>` on the command
+/// line or the `ROULETTE_TELEMETRY` environment variable (the flag wins).
+/// `None` disables telemetry: engines run without a recorder attached and
+/// [`dump_telemetry`] is a no-op.
+pub fn telemetry_dir() -> Option<&'static Path> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--telemetry" {
+                if let Some(p) = args.next() {
+                    return Some(PathBuf::from(p));
+                }
+            }
+        }
+        std::env::var_os("ROULETTE_TELEMETRY").map(PathBuf::from)
+    })
+    .as_deref()
+}
+
+/// The process-wide telemetry sink, created on first use when a
+/// destination is configured via [`telemetry_dir`].
+pub fn telemetry() -> Option<Arc<Telemetry>> {
+    static SINK: OnceLock<Option<Arc<Telemetry>>> = OnceLock::new();
+    SINK.get_or_init(|| telemetry_dir().map(|_| Telemetry::with_defaults())).clone()
+}
+
+/// Builds a [`RouletteEngine`] with the process telemetry sink (if any)
+/// attached as its recorder. Figure code should prefer this over calling
+/// `RouletteEngine::new` directly so `--telemetry` observes every run.
+pub fn engine<'a>(catalog: &'a Catalog, config: EngineConfig) -> RouletteEngine<'a> {
+    let mut e = RouletteEngine::new(catalog, config);
+    if let Some(sink) = telemetry() {
+        e.set_recorder(sink);
+    }
+    e
+}
+
+/// Writes a Prometheus text-format snapshot (`<figure>.prom`) and the
+/// JSONL event log (`<figure>.jsonl`) into the configured telemetry
+/// directory. No-op when telemetry is disabled; I/O failures print a
+/// warning rather than aborting the benchmark run.
+pub fn dump_telemetry(figure: &str) {
+    let (Some(dir), Some(sink)) = (telemetry_dir(), telemetry()) else { return };
+    if let Err(e) = write_snapshot(dir, figure, &sink) {
+        eprintln!("telemetry: failed to write snapshot for {figure}: {e}");
+    }
+}
+
+fn write_snapshot(dir: &Path, figure: &str, sink: &Telemetry) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut prom = Vec::new();
+    sink.render_prometheus(&mut prom)?;
+    std::fs::write(dir.join(format!("{figure}.prom")), prom)?;
+    let mut jsonl = Vec::new();
+    sink.write_events_jsonl(&mut jsonl)?;
+    std::fs::write(dir.join(format!("{figure}.jsonl")), jsonl)?;
+    Ok(())
 }
 
 /// Times one closure.

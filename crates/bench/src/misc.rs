@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 use roulette_baselines::optimize_shared;
 use roulette_core::cost::{calibrate, CostSample};
 use roulette_core::{EngineConfig, QueryId, QuerySet, QuerySetColumn, RelId};
-use roulette_exec::{GroupedFilter, RouletteEngine, Stem, VERSION_ALL};
+use roulette_exec::{GroupedFilter, Stem, VERSION_ALL};
 use roulette_query::generator::{tpcds_pool, SensitivityParams};
 use roulette_storage::datagen::tpcds;
 use roulette_storage::Stats;
@@ -21,7 +21,7 @@ pub fn swo_anecdote(scale: Scale) {
     let ds = tpcds::generate(scale.sf(0.15), scale.seed);
     let stats = Stats::sample(&ds.catalog, 1024, 7);
     let pool = tpcds_pool(&ds, SensitivityParams::default(), 16, scale.seed + 99).expect("workload generation");
-    let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default());
+    let engine = crate::harness::engine(&ds.catalog, EngineConfig::default());
 
     let mut rows = Vec::new();
     for &n in &[2usize, 4, 6, 8, 11] {

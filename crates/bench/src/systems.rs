@@ -11,7 +11,7 @@ use roulette_baselines::{
     execute_global, match_share_plan, stitch_plan, ExecMode, QatEngine,
 };
 use roulette_core::EngineConfig;
-use roulette_exec::{EngineStats, QueryResult, RouletteEngine};
+use roulette_exec::{EngineStats, QueryResult};
 use roulette_query::{QueryBatch, SpjQuery};
 use roulette_storage::{Catalog, Stats};
 use std::time::Duration;
@@ -106,7 +106,7 @@ impl<'a> Bench<'a> {
                 RunOutcome { elapsed, per_query, stats: None }
             }
             System::Roulette => {
-                let engine = RouletteEngine::new(self.catalog, self.config.clone());
+                let engine = crate::harness::engine(self.catalog, self.config.clone());
                 let (elapsed, outcome) =
                     crate::harness::time(|| engine.execute_batch(queries).expect("batch"));
                 RunOutcome {

@@ -12,6 +12,27 @@
 
 use crate::error::{Error, Result};
 
+/// Telemetry knobs: how often the policy is probed and how many structured
+/// events the bounded ring retains. These only take effect when a recorder
+/// is attached to the engine; with no recorder, instrumentation compiles
+/// down to a single branch per site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Sample a policy introspection probe (Q-table size, exploration
+    /// share, TD error, reward distribution) every this many episodes.
+    /// `0` disables policy probing.
+    pub policy_probe_every: u64,
+    /// Capacity of the structured event ring buffer; when full, the oldest
+    /// event is dropped and a drop counter advances.
+    pub event_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { policy_probe_every: 64, event_capacity: 1024 }
+    }
+}
+
 /// Tuning knobs for the RouLette engine and its learned policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
@@ -53,6 +74,8 @@ pub struct EngineConfig {
     /// phase before it is replanned with the greedy fallback policy.
     /// `None` disables the time watchdog.
     pub episode_time_budget_ms: Option<u64>,
+    /// Telemetry sampling knobs; inert unless a recorder is attached.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -71,6 +94,7 @@ impl Default for EngineConfig {
             memory_budget_bytes: None,
             episode_tuple_budget: None,
             episode_time_budget_ms: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -128,6 +152,17 @@ impl EngineConfig {
         }
         self.episode_tuple_budget = tuples;
         self.episode_time_budget_ms = time_ms;
+        Ok(self)
+    }
+
+    /// Builder-style override of the telemetry knobs. `policy_probe_every`
+    /// may be 0 (probing disabled), but the event ring must hold at least
+    /// one event.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Result<Self> {
+        if telemetry.event_capacity == 0 {
+            return Err(Error::InvalidQuery("event capacity must be positive".into()));
+        }
+        self.telemetry = telemetry;
         Ok(self)
     }
 
@@ -208,5 +243,20 @@ mod tests {
         assert!(e.to_string().contains("μ"), "{e}");
         assert!(EngineConfig::default().with_memory_budget(0).is_err());
         assert!(EngineConfig::default().with_episode_budget(Some(0), None).is_err());
+        assert!(EngineConfig::default()
+            .with_telemetry(TelemetryConfig { policy_probe_every: 1, event_capacity: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn telemetry_defaults_and_builder() {
+        let c = EngineConfig::default();
+        assert_eq!(c.telemetry.policy_probe_every, 64);
+        assert_eq!(c.telemetry.event_capacity, 1024);
+        let c = c
+            .with_telemetry(TelemetryConfig { policy_probe_every: 0, event_capacity: 16 })
+            .unwrap();
+        assert_eq!(c.telemetry.policy_probe_every, 0);
+        assert_eq!(c.telemetry.event_capacity, 16);
     }
 }

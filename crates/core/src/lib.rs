@@ -27,7 +27,7 @@ pub mod ids;
 pub mod queryset;
 pub mod relset;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, TelemetryConfig};
 pub use cost::{CostModel, OpKind};
 pub use error::{Error, Result};
 pub use ids::{ColId, QueryId, RelId};

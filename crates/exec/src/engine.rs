@@ -21,8 +21,10 @@ use roulette_core::{
 use roulette_policy::{ExecutionLog, GreedyPolicy, Policy, QLearningPolicy};
 use roulette_query::{QueryBatch, SpjQuery};
 use roulette_storage::{Catalog, IngestVector, Ingestion};
+use roulette_telemetry::{EventKind, Recorder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Aggregate execution statistics of one batch/session.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -54,10 +56,64 @@ pub struct EngineStats {
     /// Episodes whose join phase was aborted and replanned with the greedy
     /// fallback by the watchdog.
     pub watchdog_trips: u64,
-    /// Memory-pressure level under the budget ladder (0 = below 80% of the
-    /// budget, 1 = pruning forced on, 2 = admissions refused). Always 0
-    /// without a budget.
+    /// Memory-pressure level under the budget ladder, as a raw value of
+    /// [`PressureLevel`]: 0 = below 80% of the budget, 1 = pruning forced
+    /// on (≥80%), 2 = admissions refused (≥90%), 3 = the last episode had
+    /// to evict queries to fit the budget. Always 0 without a budget; use
+    /// [`EngineStats::pressure_level`] for the typed view.
     pub memory_pressure: u8,
+}
+
+impl EngineStats {
+    /// The typed memory-pressure ladder level (see [`PressureLevel`]).
+    pub fn pressure_level(&self) -> PressureLevel {
+        PressureLevel::from_raw(self.memory_pressure)
+    }
+}
+
+/// The memory-budget degradation ladder's levels, in escalation order.
+/// Levels 0–2 derive purely from STeM usage vs the budget
+/// ([`pressure_from_usage`]); level 3 is set by an episode that had to
+/// evict queries so its insert would fit, and persists until the next
+/// episode re-derives the level from usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureLevel {
+    /// Usage below 80% of the budget: no intervention.
+    Nominal,
+    /// Usage ≥ 80%: symmetric join pruning is forced on.
+    ForcedPruning,
+    /// Usage ≥ 90%: new admissions are refused.
+    AdmissionsPaused,
+    /// The projected insert overshot the budget: heaviest queries evicted.
+    Evicting,
+}
+
+impl PressureLevel {
+    /// Decodes the raw `u8` stored in [`EngineStats::memory_pressure`];
+    /// out-of-range values clamp to [`PressureLevel::Evicting`].
+    pub fn from_raw(v: u8) -> PressureLevel {
+        match v {
+            0 => PressureLevel::Nominal,
+            1 => PressureLevel::ForcedPruning,
+            2 => PressureLevel::AdmissionsPaused,
+            _ => PressureLevel::Evicting,
+        }
+    }
+}
+
+/// The usage-derived rungs of the degradation ladder: 0 below 80% of
+/// `budget`, 1 at ≥80% (pruning forced on), 2 at ≥90% (admissions paused).
+/// Eviction (level 3) is not usage-derived — an episode reports it when it
+/// must evict to fit — so this never returns it. Both the admission check
+/// and the episode governor derive their level from this single function.
+pub fn pressure_from_usage(used: usize, budget: usize) -> u8 {
+    if used * 10 >= budget * 9 {
+        2
+    } else if used * 5 >= budget * 4 {
+        1
+    } else {
+        0
+    }
 }
 
 /// The result of executing a batch.
@@ -75,12 +131,20 @@ pub struct BatchOutcome {
 pub struct RouletteEngine<'a> {
     catalog: &'a Catalog,
     config: EngineConfig,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl<'a> RouletteEngine<'a> {
     /// Creates an engine over `catalog`.
     pub fn new(catalog: &'a Catalog, config: EngineConfig) -> Self {
-        RouletteEngine { catalog, config }
+        RouletteEngine { catalog, config, recorder: None }
+    }
+
+    /// Attaches a telemetry recorder; sessions opened afterwards report
+    /// into it. With no recorder, instrumentation costs one branch per
+    /// site.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// The engine's configuration.
@@ -152,6 +216,8 @@ impl<'a> RouletteEngine<'a> {
             injector: None,
             pressure: AtomicU8::new(0),
             closed: false,
+            recorder: self.recorder.clone(),
+            telemetry_done: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 }
@@ -192,6 +258,12 @@ pub struct Session<'a> {
     pressure: AtomicU8,
     /// Whether the session refuses further admissions.
     closed: bool,
+    /// Telemetry sink; `None` keeps every instrumentation site a single
+    /// branch.
+    recorder: Option<Arc<dyn Recorder>>,
+    /// Per-query "terminal event emitted" flags, so each query produces at
+    /// most one completion/quarantine marker in the telemetry stream.
+    telemetry_done: Vec<AtomicBool>,
 }
 
 impl<'a> Session<'a> {
@@ -211,6 +283,12 @@ impl<'a> Session<'a> {
     /// during subsequent episodes; see [`FaultInjector`].
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Attaches a telemetry recorder to this session (overrides whatever
+    /// the engine was configured with).
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = Some(recorder);
     }
 
     /// The installed fault injector, if any (lets tests assert all
@@ -234,6 +312,20 @@ impl<'a> Session<'a> {
     pub fn quarantine(&self, q: QueryId, err: Error) {
         if !self.live.deactivate(q) {
             return;
+        }
+        if let Some(rec) = &self.recorder {
+            // The eviction is this query's terminal telemetry event; mark
+            // it done so scan retirement never also reports a completion.
+            let first = self
+                .telemetry_done
+                .get(q.index())
+                .is_some_and(|f| !f.swap(true, Ordering::Relaxed));
+            if first {
+                rec.record_event(
+                    self.stats.episodes.load(Ordering::Relaxed),
+                    EventKind::Quarantine { query: q.0, reason: err.to_string() },
+                );
+            }
         }
         self.outputs.quarantine(q, err);
         self.ingestion.lock().unschedule(q);
@@ -268,7 +360,7 @@ impl<'a> Session<'a> {
             // the session stops taking on new work rather than letting a
             // new query push resident queries into eviction.
             let used: usize = self.stems.iter().flatten().map(|s| s.memory_bytes()).sum();
-            if used * 10 >= budget * 9 {
+            if pressure_from_usage(used, budget) >= 2 {
                 return Err(Error::ResourceExhausted(format!(
                     "STeM memory {used} of budget {budget} bytes; admissions paused"
                 )));
@@ -277,6 +369,12 @@ impl<'a> Session<'a> {
         q.validate(self.catalog)?;
         let id = self.batch.add(q)?;
         self.live.activate(id);
+        if let Some(rec) = &self.recorder {
+            rec.record_event(
+                self.stats.episodes.load(Ordering::Relaxed),
+                EventKind::Admission { query: id.0 },
+            );
+        }
         let query = self.batch.query(id).clone();
 
         // STeMs + indices for the query's relations and join keys.
@@ -365,12 +463,38 @@ impl<'a> Session<'a> {
             fallback: &self.fallback,
             quarantine,
             pressure: &self.pressure,
+            recorder: self.recorder.as_deref(),
+        }
+    }
+
+    /// Emits a completion event for every live query whose input has been
+    /// fully consumed and that has not had a terminal event yet. Free with
+    /// no recorder; otherwise a cheap scan over the admitted queries,
+    /// called under the ingestion latch so activity and the done flags
+    /// order consistently.
+    fn flush_completions(&self, ing: &Ingestion) {
+        let Some(rec) = &self.recorder else { return };
+        let episode = self.stats.episodes.load(Ordering::Relaxed);
+        for i in 0..self.batch.n_queries() {
+            let q = QueryId(i as u32);
+            if ing.query_active(q) || !self.live.contains(q) {
+                continue;
+            }
+            let first = self
+                .telemetry_done
+                .get(i)
+                .is_some_and(|f| !f.swap(true, Ordering::Relaxed));
+            if first {
+                rec.record_event(episode, EventKind::Completion { query: q.0 });
+            }
         }
     }
 
     fn next_work(&self) -> Option<(roulette_storage::IngestVector, RelSet)> {
         let mut ing = self.ingestion.lock();
-        let iv = ing.next()?;
+        let next = ing.next();
+        self.flush_completions(&ing);
+        let iv = next?;
         // Hand-out is counted under the ingestion latch so the pending
         // counters order consistently with scan completion.
         self.pending_episodes[iv.rel.index()].fetch_add(1, Ordering::Release);
@@ -533,6 +657,9 @@ impl<'a> Session<'a> {
 
     /// Finalizes the session into a [`BatchOutcome`].
     pub fn finish(self) -> BatchOutcome {
+        // Catch completions that landed after the last worker drained
+        // `next_work` (e.g. step()-driven sessions).
+        self.flush_completions(&self.ingestion.lock());
         let stats = self.stats();
         BatchOutcome {
             per_query: self.outputs.results(self.batch.n_queries()),
@@ -786,6 +913,120 @@ mod tests {
             .unwrap();
         assert_eq!(out.per_query[0].rows, 4);
         assert_eq!(out.stats.join_tuples, 0);
+    }
+
+    #[test]
+    fn tuple_counters_conserved_across_worker_counts() {
+        // With pruning disabled, the tuple-flow counters are deterministic:
+        // every selected tuple is inserted exactly once, and the symmetric
+        // join produces each match exactly once regardless of episode
+        // interleaving. The counters must therefore agree between a
+        // 1-worker and a 4-worker run of the same seeded batch. (Pruned
+        // counts are inherently timing-dependent — a slow scan prunes less
+        // — so this invariant is only claimed with pruning off.)
+        let c = tiny_catalog();
+        let q = join_query(&c);
+        let sel = SpjQuery::builder(&c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .range("fact", "v", 0, 4)
+            .build()
+            .unwrap();
+        let run = |workers: usize| {
+            let mut cfg = EngineConfig::default()
+                .with_vector_size(2)
+                .unwrap()
+                .with_workers(workers)
+                .unwrap()
+                .with_seed(99);
+            cfg.pruning = false;
+            RouletteEngine::new(&c, cfg)
+                .execute_batch(&[q.clone(), sel.clone()])
+                .unwrap()
+        };
+        let single = run(1);
+        let multi = run(4);
+        assert_eq!(single.per_query, multi.per_query);
+        assert_eq!(single.stats.inserted_tuples, multi.stats.inserted_tuples);
+        assert_eq!(single.stats.join_tuples, multi.stats.join_tuples);
+        assert_eq!(single.stats.pruned_tuples, 0);
+        assert_eq!(multi.stats.pruned_tuples, 0);
+        assert!(single.stats.inserted_tuples > 0);
+        assert!(single.stats.join_tuples > 0);
+    }
+
+    #[test]
+    fn pressure_ladder_maps_usage_to_levels() {
+        // The documented thresholds: <80% nominal, ≥80% forced pruning,
+        // ≥90% admissions paused. Eviction (3) is episode-reported, never
+        // usage-derived.
+        assert_eq!(pressure_from_usage(0, 100), 0);
+        assert_eq!(pressure_from_usage(79, 100), 0);
+        assert_eq!(pressure_from_usage(80, 100), 1);
+        assert_eq!(pressure_from_usage(89, 100), 1);
+        assert_eq!(pressure_from_usage(90, 100), 2);
+        assert_eq!(pressure_from_usage(1000, 100), 2);
+        assert_eq!(PressureLevel::from_raw(0), PressureLevel::Nominal);
+        assert_eq!(PressureLevel::from_raw(1), PressureLevel::ForcedPruning);
+        assert_eq!(PressureLevel::from_raw(2), PressureLevel::AdmissionsPaused);
+        assert_eq!(PressureLevel::from_raw(3), PressureLevel::Evicting);
+        assert_eq!(PressureLevel::from_raw(200), PressureLevel::Evicting);
+        let stats = EngineStats { memory_pressure: 3, ..EngineStats::default() };
+        assert_eq!(stats.pressure_level(), PressureLevel::Evicting);
+        assert!(PressureLevel::Nominal < PressureLevel::Evicting);
+    }
+
+    #[test]
+    fn recorder_sees_admission_and_completion_events() {
+        use roulette_telemetry::Telemetry;
+        let c = tiny_catalog();
+        let mut engine =
+            RouletteEngine::new(&c, EngineConfig::default().with_vector_size(3).unwrap());
+        let telemetry = Telemetry::with_defaults();
+        engine.set_recorder(telemetry.clone());
+        let out = engine.execute_batch(&[join_query(&c)]).unwrap();
+        assert_eq!(out.per_query[0].rows, 6);
+        let events = telemetry.events().snapshot();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "admission").count(),
+            1,
+            "{kinds:?}"
+        );
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "completion").count(),
+            1,
+            "{kinds:?}"
+        );
+        // Admission precedes completion in sequence order.
+        let adm = events.iter().position(|e| e.kind.name() == "admission").unwrap();
+        let cpl = events.iter().position(|e| e.kind.name() == "completion").unwrap();
+        assert!(adm < cpl);
+    }
+
+    #[test]
+    fn quarantine_emits_one_terminal_event() {
+        use roulette_telemetry::{EventKind, Telemetry};
+        let c = tiny_catalog();
+        let mut engine = RouletteEngine::new(&c, EngineConfig::default());
+        let telemetry = Telemetry::with_defaults();
+        engine.set_recorder(telemetry.clone());
+        let mut session = engine.session(1);
+        let q = session.admit(join_query(&c)).unwrap();
+        session.quarantine(q, Error::Internal("induced".into()));
+        session.quarantine(q, Error::Internal("second time".into()));
+        session.run();
+        let out = session.finish();
+        assert_eq!(out.stats.quarantined, 1);
+        let events = telemetry.events().snapshot();
+        let terminal: Vec<&EventKind> = events
+            .iter()
+            .map(|e| &e.kind)
+            .filter(|k| matches!(k, EventKind::Quarantine { .. } | EventKind::Completion { .. }))
+            .collect();
+        assert_eq!(terminal.len(), 1, "{terminal:?}");
+        assert!(matches!(terminal[0], EventKind::Quarantine { query: 0, .. }));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use roulette_core::{
 use roulette_policy::{ExecutionLog, GreedyPolicy, LogEntry, Policy, Scope};
 use roulette_query::QueryBatch;
 use roulette_storage::{Catalog, IngestVector};
+use roulette_telemetry::{EpisodeSample, EventKind, Recorder};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
@@ -112,8 +113,11 @@ pub struct EngineShared<'a> {
     pub quarantine: &'a (dyn Fn(QueryId, Error) + Sync),
     /// Memory-pressure level under the budget ladder: 0 below 80% of
     /// budget, 1 at ≥80% (pruning forced on), 2 at ≥90% (admissions
-    /// refused).
+    /// refused), 3 while evicting to fit an insert.
     pub pressure: &'a AtomicU8,
+    /// Telemetry sink; `None` keeps every instrumentation site a single
+    /// branch.
+    pub recorder: Option<&'a dyn Recorder>,
 }
 
 /// Episode-local staging of routed outputs.
@@ -263,6 +267,21 @@ fn heaviest_query(shared: &EngineShared<'_>, candidates: &QuerySet) -> Option<Qu
     best.map(|(_, q)| q)
 }
 
+/// Publishes a memory-pressure level and, when it changed and a recorder
+/// is attached, emits the ladder-transition event. Workers race on the
+/// swap; telemetry sees each transition at least once per actual change.
+fn record_pressure(shared: &EngineShared<'_>, level: u8) {
+    let prev = shared.pressure.swap(level, Ordering::Relaxed);
+    if prev != level {
+        if let Some(rec) = shared.recorder {
+            rec.record_event(
+                shared.stats.episodes.load(Ordering::Relaxed),
+                EventKind::MemoryPressure { from: prev, to: level },
+            );
+        }
+    }
+}
+
 /// Runs one episode. `complete` is the set of relations whose scans have
 /// finished (pruning eligibility), sampled under the ingestion lock.
 /// Returns a Fig. 16 trace point when `trace` is set.
@@ -277,6 +296,9 @@ pub fn run_episode(
     log.clear();
     let rel = iv.rel;
     let batch = shared.batch;
+    // Episode wall-clock is only measured when someone will consume it.
+    let t0_episode = if shared.recorder.is_some() { Some(Instant::now()) } else { None };
+    let scanned = (iv.end - iv.start) as u64;
 
     // --- Quarantine masking + ingestion fault site -----------------------
     // Vectors are annotated at schedule time; queries quarantined since then
@@ -290,7 +312,17 @@ pub fn run_episode(
         }
     }
     if queries.is_empty() {
-        shared.stats.episodes.fetch_add(1, Ordering::Relaxed);
+        let episode = shared.stats.episodes.fetch_add(1, Ordering::Relaxed);
+        if let Some(rec) = shared.recorder {
+            rec.record_episode(&EpisodeSample {
+                episode,
+                latency_ns: t0_episode.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                scanned,
+                capacity: shared.config.vector_size as u64,
+                selected: 0,
+                inserted: 0,
+            });
+        }
         return None;
     }
 
@@ -369,6 +401,7 @@ pub fn run_episode(
             break;
         }
     }
+    let selected = vec.len() as u64;
 
     // --- Symmetric join pruning ------------------------------------------
     // Pruning is forced on at memory-pressure level ≥ 1: it is result-safe
@@ -393,14 +426,8 @@ pub fn run_episode(
     // --- Memory-budget governance ----------------------------------------
     if let Some(budget) = shared.config.memory_budget_bytes {
         let used: usize = shared.stems.iter().flatten().map(|s| s.memory_bytes()).sum();
-        let level = if used * 10 >= budget * 9 {
-            2
-        } else if used * 5 >= budget * 4 {
-            1
-        } else {
-            0
-        };
-        shared.pressure.store(level, Ordering::Relaxed);
+        let level = crate::engine::pressure_from_usage(used, budget);
+        record_pressure(shared, level);
         if let Some(stem) = shared.stems[rel.index()].as_ref() {
             // Final rung: gate the insert itself. Evict the heaviest
             // queries until the projected footprint fits the budget; an
@@ -408,6 +435,9 @@ pub fn run_episode(
             // STeM bytes never overshoot by more than one vector's growth.
             while !vec.is_empty() && used + stem.projected_insert_bytes(vec.len()) > budget {
                 let Some(victim) = heaviest_query(shared, &queries) else { break };
+                // Eviction is its own (transient) ladder level; the next
+                // episode re-derives the level from post-eviction usage.
+                record_pressure(shared, 3);
                 (shared.quarantine)(
                     victim,
                     Error::QueryFault {
@@ -455,6 +485,11 @@ pub fn run_episode(
                 // version, so the re-run sees the exact same STeM state
                 // and produces the same result set.
                 shared.stats.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = shared.recorder {
+                    let ep = shared.stats.episodes.load(Ordering::Relaxed);
+                    rec.record_event(ep, EventKind::WatchdogTrip { relation: rel.0 });
+                    rec.record_event(ep, EventKind::FallbackReplan { relation: rel.0 });
+                }
                 sink.reset();
                 log.truncate(log_mark);
                 let mut fb_plan = {
@@ -507,6 +542,24 @@ pub fn run_episode(
                 fb.observe(entry, &jspace);
             } else {
                 fb.observe(entry, &sspace);
+            }
+        }
+    }
+
+    // --- Telemetry ---------------------------------------------------------
+    if let Some(rec) = shared.recorder {
+        rec.record_episode(&EpisodeSample {
+            episode,
+            latency_ns: t0_episode.map_or(0, |t| t.elapsed().as_nanos() as u64),
+            scanned,
+            capacity: shared.config.vector_size as u64,
+            selected,
+            inserted: measured_insert,
+        });
+        let every = shared.config.telemetry.policy_probe_every;
+        if every > 0 && episode.is_multiple_of(every) {
+            if let Some(probe) = policy.lock().probe() {
+                rec.record_policy_probe(episode, &probe);
             }
         }
     }
@@ -731,6 +784,10 @@ fn exec_probe(
         .materialized_cells
         .fetch_add(main_out.footprint_cells() as u64, Ordering::Relaxed);
     shared.profile.add(Category::Probe, t0.elapsed().as_nanos() as u64);
+
+    if let Some(rec) = shared.recorder {
+        rec.record_probe_batch(vec.len() as u64);
+    }
 
     log.push(LogEntry {
         scope: Scope::JOIN,

@@ -24,7 +24,9 @@ pub mod spaces;
 pub mod stem;
 pub mod vector;
 
-pub use engine::{BatchOutcome, EngineStats, RouletteEngine, Session};
+pub use engine::{
+    pressure_from_usage, BatchOutcome, EngineStats, PressureLevel, RouletteEngine, Session,
+};
 pub use episode::{EngineShared, FilterPair, SharedStats, TraceEntry};
 pub use fault::{FaultInjector, FaultKind, FaultSite, LiveSet};
 pub use filter::{GroupedFilter, PlainFilter};

@@ -89,6 +89,13 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/policy/src/qlearning.rs",
     "crates/core/src/relset.rs",
     "crates/core/src/queryset.rs",
+    // Telemetry hooks run inside the episode loop; a panic in a recorder
+    // is a panic in the engine.
+    "crates/telemetry/src/events.rs",
+    "crates/telemetry/src/histogram.rs",
+    "crates/telemetry/src/metrics.rs",
+    "crates/telemetry/src/recorder.rs",
+    "crates/telemetry/src/sink.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

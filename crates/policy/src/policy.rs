@@ -12,6 +12,7 @@ use crate::space::{Lineage, OpId, PlanSpace, Scope};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use roulette_core::QuerySet;
+use roulette_telemetry::PolicyProbe;
 
 /// A planning policy: chooses candidates and learns from observations.
 pub trait Policy: Send {
@@ -42,6 +43,12 @@ pub trait Policy: Send {
 
     /// Discards learned state (queries finished processing).
     fn reset(&mut self);
+
+    /// An introspection snapshot for telemetry, if the policy keeps one.
+    /// The default (heuristic policies) reports nothing.
+    fn probe(&self) -> Option<PolicyProbe> {
+        None
+    }
 }
 
 /// Chooses uniformly at random; learns nothing.

@@ -32,6 +32,36 @@ use crate::space::{Lineage, OpId, PlanSpace, Scope};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use roulette_core::{CostModel, EngineConfig, OpKind, QuerySet};
+use roulette_telemetry::PolicyProbe;
+
+/// Learning-progress tallies backing [`Policy::probe`]. Updated with plain
+/// arithmetic inside `choose`/`observe`, so keeping them costs a few adds.
+#[derive(Debug, Clone, Copy)]
+struct Introspection {
+    decisions: u64,
+    explorations: u64,
+    observations: u64,
+    td_abs_sum: f64,
+    td_abs_max: f64,
+    reward_sum: f64,
+    reward_min: f64,
+    reward_max: f64,
+}
+
+impl Default for Introspection {
+    fn default() -> Self {
+        Introspection {
+            decisions: 0,
+            explorations: 0,
+            observations: 0,
+            td_abs_sum: 0.0,
+            td_abs_max: 0.0,
+            reward_sum: 0.0,
+            reward_min: f64::INFINITY,
+            reward_max: f64::NEG_INFINITY,
+        }
+    }
+}
 
 /// The learned, sharing-aware planning policy.
 pub struct QLearningPolicy {
@@ -42,6 +72,7 @@ pub struct QLearningPolicy {
     gamma: f64,
     rng: StdRng,
     scratch: Vec<OpId>,
+    introspection: Introspection,
 }
 
 impl QLearningPolicy {
@@ -56,6 +87,7 @@ impl QLearningPolicy {
             gamma: config.gamma,
             rng: StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15),
             scratch: Vec::with_capacity(16),
+            introspection: Introspection::default(),
         }
     }
 
@@ -108,9 +140,11 @@ impl Policy for QLearningPolicy {
         _space: &dyn PlanSpace,
     ) -> OpId {
         debug_assert!(!candidates.is_empty());
+        self.introspection.decisions += 1;
         // Sporadic random decisions guarantee that all state-action pairs
         // keep being visited (Q-learning's convergence requirement).
         if self.rng.gen_bool(self.epsilon) {
+            self.introspection.explorations += 1;
             return candidates[self.rng.gen_range(0..candidates.len())];
         }
         // Argmax with uniform random tie-breaking: under optimistic
@@ -179,9 +213,18 @@ impl Policy for QLearningPolicy {
         }
 
         let mu = self.mu;
+        let mut td = 0.0;
         self.table.update(entry.scope, entry.lineage, entry.op, entry.queries.words(), |old| {
+            td = r - old;
             (1.0 - mu) * old + mu * r
         });
+        let intro = &mut self.introspection;
+        intro.observations += 1;
+        intro.td_abs_sum += td.abs();
+        intro.td_abs_max = intro.td_abs_max.max(td.abs());
+        intro.reward_sum += r;
+        intro.reward_min = intro.reward_min.min(r);
+        intro.reward_max = intro.reward_max.max(r);
     }
 
     fn estimate(
@@ -197,6 +240,28 @@ impl Policy for QLearningPolicy {
 
     fn reset(&mut self) {
         self.table.clear();
+        self.introspection = Introspection::default();
+    }
+
+    fn probe(&self) -> Option<PolicyProbe> {
+        let i = &self.introspection;
+        let (reward_min, reward_max) =
+            if i.observations == 0 { (0.0, 0.0) } else { (i.reward_min, i.reward_max) };
+        Some(PolicyProbe {
+            q_entries: self.table.len() as u64,
+            decisions: i.decisions,
+            explorations: i.explorations,
+            observations: i.observations,
+            td_error_mean: if i.observations == 0 {
+                0.0
+            } else {
+                i.td_abs_sum / i.observations as f64
+            },
+            td_error_max: i.td_abs_max,
+            reward_mean: if i.observations == 0 { 0.0 } else { i.reward_sum / i.observations as f64 },
+            reward_min,
+            reward_max,
+        })
     }
 }
 
@@ -310,6 +375,53 @@ mod tests {
         let qs = QuerySet::full(1);
         p.observe(&entry(0, &qs, 0, 0, 0), &space);
         assert_eq!(p.table_len(), 0);
+    }
+
+    #[test]
+    fn probe_tracks_learning_progress() {
+        let space = ToySpace::uniform(2, 1);
+        let mut p = QLearningPolicy::new(CostModel::default(), &config());
+        let qs = QuerySet::full(1);
+        let empty = p.probe().expect("q-learning always probes");
+        assert_eq!(empty.decisions, 0);
+        assert_eq!(empty.observations, 0);
+        assert_eq!(empty.exploration_share(), 0.0);
+        assert_eq!((empty.reward_min, empty.reward_max), (0.0, 0.0));
+        for _ in 0..10 {
+            p.choose(Scope::JOIN, 0, &qs, &[0, 1], &space);
+        }
+        p.observe(&entry(0, &qs, 0, 10, 20), &space);
+        let probe = p.probe().expect("q-learning always probes");
+        assert_eq!(probe.decisions, 10);
+        assert_eq!(probe.observations, 1);
+        assert_eq!(probe.q_entries, 1);
+        // Single observation: td = r − 0, so mean == max and both match the
+        // reward magnitude.
+        assert!(probe.td_error_mean > 0.0);
+        assert_eq!(probe.td_error_mean, probe.td_error_max);
+        assert_eq!(probe.reward_min, probe.reward_max);
+        assert!(probe.reward_mean < 0.0);
+        // ε = 0 in config(): no exploration.
+        assert_eq!(probe.explorations, 0);
+        p.reset();
+        let after = p.probe().expect("q-learning always probes");
+        assert_eq!(after.decisions, 0);
+        assert_eq!(after.q_entries, 0);
+    }
+
+    #[test]
+    fn probe_counts_explorations_under_full_epsilon() {
+        let space = ToySpace::uniform(2, 1);
+        let cfg = EngineConfig::default().with_learning(0.5, 1.0, 1.0).unwrap().with_seed(5);
+        let mut p = QLearningPolicy::new(CostModel::default(), &cfg);
+        let qs = QuerySet::full(1);
+        for _ in 0..20 {
+            p.choose(Scope::JOIN, 0, &qs, &[0, 1], &space);
+        }
+        let probe = p.probe().expect("q-learning always probes");
+        assert_eq!(probe.decisions, 20);
+        assert_eq!(probe.explorations, 20);
+        assert_eq!(probe.exploration_share(), 1.0);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`query`] — SPJ queries, parser, workload generators;
 //! * [`policy`] — learned (Q-learning) and greedy planning policies;
 //! * [`exec`] — STeMs, shared operators, the eddy, and the engine;
+//! * [`telemetry`] — low-overhead observability: metrics registry, event
+//!   stream, policy introspection, Prometheus/JSONL exporters;
 //! * [`baselines`] — comparator engines (query-at-a-time, operator-at-a-
 //!   time, Stitch&Share, Match&Share, mini-SWO).
 //!
@@ -63,6 +65,7 @@ pub use roulette_exec as exec;
 pub use roulette_policy as policy;
 pub use roulette_query as query;
 pub use roulette_storage as storage;
+pub use roulette_telemetry as telemetry;
 
 /// Convenient glob-import surface for applications.
 pub mod prelude {
