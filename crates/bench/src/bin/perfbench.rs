@@ -1,0 +1,299 @@
+//! `perfbench` — the hot-path microbenchmark harness.
+//!
+//! Dependency-free, fixed-seed, median-of-k wall-clock benchmarks over the
+//! engine's hot loops: end-to-end episode throughput on the synthetic chain
+//! workload, STeM insert and probe, grouped-filter masking, and output
+//! routing. Emits `BENCH_perf.json` so successive PRs accumulate a
+//! performance trajectory (no thresholds here — CI only checks the file is
+//! well-formed).
+//!
+//! Usage:
+//!
+//! ```text
+//! perfbench [--quick] [--out <path>] [--baseline <path>]
+//! ```
+//!
+//! `--quick` shrinks workload sizes and the repetition count for CI smoke
+//! runs. `--baseline` points at a `BENCH_perf.json` produced by an earlier
+//! build; its episode-throughput number is embedded in the output next to
+//! the current one so regressions (or wins) are recorded in one artifact.
+
+use roulette_core::{ColId, EngineConfig, QueryId, QuerySet, QuerySetColumn, RelId};
+use roulette_exec::{GroupedFilter, RouletteEngine, Stem, VERSION_ALL};
+use roulette_query::generator::chains_queries;
+use roulette_storage::datagen::chains::{self, ChainsParams};
+use std::sync::atomic::AtomicU32;
+use std::time::{Duration, Instant};
+
+/// One benchmark's result: the median wall-clock of `runs` repetitions over
+/// `work` items.
+struct BenchResult {
+    name: &'static str,
+    /// What one work item is (for the JSON's `unit` field).
+    unit: &'static str,
+    work: u64,
+    runs: usize,
+    median: Duration,
+}
+
+impl BenchResult {
+    fn per_sec(&self) -> f64 {
+        self.work as f64 / self.median.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs `f` `runs` times and keeps the median elapsed time. `f` returns the
+/// number of work items it processed (must be identical across runs —
+/// everything is fixed-seed).
+fn bench(
+    name: &'static str,
+    unit: &'static str,
+    runs: usize,
+    mut f: impl FnMut() -> u64,
+) -> BenchResult {
+    let mut times = Vec::with_capacity(runs);
+    let mut work = 0;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        work = f();
+        times.push(t0.elapsed());
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let r = BenchResult { name, unit, work, runs, median };
+    println!(
+        "{:<28} {:>12.0} {}/s   (median of {} over {} items, {:.1} ms)",
+        r.name,
+        r.per_sec(),
+        r.unit,
+        r.runs,
+        r.work,
+        r.median.as_secs_f64() * 1e3
+    );
+    r
+}
+
+/// End-to-end episode throughput on the Fig. 15 chain workload: the number
+/// the tentpole's ≥1.3× acceptance criterion is measured on.
+fn bench_episode_chains(quick: bool, runs: usize) -> BenchResult {
+    let params = ChainsParams {
+        chains: 4,
+        relations: 9,
+        domain: if quick { 1024 } else { 4096 },
+        hub_rows: if quick { 1 << 14 } else { 1 << 18 },
+    };
+    let ds = chains::generate(params, 7);
+    let queries = chains_queries(&ds, 8, 11).expect("chain query generation");
+    bench("episode_chains", "episodes", runs, || {
+        let engine = RouletteEngine::new(&ds.catalog, EngineConfig::default());
+        let out = engine.execute_batch(&queries).expect("chains batch");
+        assert!(out.per_query.iter().all(|r| r.is_complete()));
+        out.stats.episodes
+    })
+}
+
+/// STeM build side: vectors of 1024 tuples inserted into one hash index.
+fn bench_stem_insert(quick: bool, runs: usize) -> BenchResult {
+    let n: u32 = if quick { 1 << 16 } else { 1 << 19 };
+    let q = QuerySet::full(64);
+    let mut qsets = QuerySetColumn::new(q.width());
+    for _ in 0..1024 {
+        qsets.push(q.words());
+    }
+    bench("stem_insert", "tuples", runs, || {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], q.width());
+        let global = AtomicU32::new(0);
+        let mut vids = vec![0u32; 1024];
+        let mut keys = vec![0i64; 1024];
+        for base in (0..n).step_by(1024) {
+            for i in 0..1024u32 {
+                vids[i as usize] = base + i;
+                // ~4 entries per key so probe chains have realistic length.
+                keys[i as usize] = ((base + i) % (n / 4)) as i64;
+            }
+            stem.insert_vector(&vids, &qsets, std::slice::from_ref(&keys), &global);
+        }
+        n as u64
+    })
+}
+
+/// STeM probe side over a pre-built index (chain length ≈ 4).
+fn bench_stem_probe(quick: bool, runs: usize) -> BenchResult {
+    let n: u32 = if quick { 1 << 16 } else { 1 << 19 };
+    let probes: u32 = if quick { 1 << 17 } else { 1 << 20 };
+    let q = QuerySet::full(64);
+    let stem = Stem::new(RelId(0), vec![ColId(0)], q.width());
+    let global = AtomicU32::new(0);
+    let mut qsets = QuerySetColumn::new(q.width());
+    for _ in 0..1024 {
+        qsets.push(q.words());
+    }
+    let mut vids = vec![0u32; 1024];
+    let mut keys = vec![0i64; 1024];
+    for base in (0..n).step_by(1024) {
+        for i in 0..1024u32 {
+            vids[i as usize] = base + i;
+            keys[i as usize] = ((base + i) % (n / 4)) as i64;
+        }
+        stem.insert_vector(&vids, &qsets, std::slice::from_ref(&keys), &global);
+    }
+    bench("stem_probe", "probes", runs, || {
+        let reader = stem.read();
+        let mut matches = 0u64;
+        // SplitMix-style stride so probe keys are not sequential.
+        let mut k = 0x9E37_79B9u32;
+        for _ in 0..probes {
+            k = k.wrapping_mul(0x01000193).wrapping_add(1);
+            let key = (k % (n / 2)) as i64; // half the keys miss
+            reader.probe(0, key, VERSION_ALL, |_, _| matches += 1);
+        }
+        std::hint::black_box(matches);
+        probes as u64
+    })
+}
+
+/// Grouped-filter masking: range lookups over a 64-query group.
+fn bench_filter_mask(quick: bool, runs: usize) -> BenchResult {
+    let n: usize = if quick { 1 << 18 } else { 1 << 21 };
+    let capacity = 64;
+    let preds: Vec<(QueryId, i64, i64)> = (0..capacity)
+        .map(|i| {
+            let lo = (i as i64 * 13) % 1000;
+            (QueryId(i as u32), lo, lo + 150)
+        })
+        .collect();
+    let filter = GroupedFilter::build(&preds, capacity);
+    bench("filter_mask", "values", runs, || {
+        let mut acc = 0u64;
+        let mut v = 1i64;
+        for _ in 0..n {
+            v = (v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33)
+                % 1200;
+            let mask = filter.mask_for(v);
+            acc = acc.wrapping_add(mask.iter().copied().fold(0, u64::wrapping_add));
+        }
+        std::hint::black_box(acc);
+        n as u64
+    })
+}
+
+/// Output routing: a scan-only multi-query batch with projections, where
+/// episode time is dominated by the locality-conscious router.
+fn bench_routing(quick: bool, runs: usize) -> BenchResult {
+    let rows: usize = if quick { 1 << 15 } else { 1 << 18 };
+    let mut c = roulette_storage::Catalog::new();
+    let mut b = roulette_storage::RelationBuilder::new("t");
+    b.int64("k", (0..rows as i64).collect());
+    b.int64("v", (0..rows as i64).map(|i| i % 1024).collect());
+    c.add(b.build()).expect("catalog");
+    let queries: Vec<_> = (0..8)
+        .map(|i| {
+            roulette_query::SpjQuery::builder(&c)
+                .relation("t")
+                .range("t", "v", 0, 512 + i * 32)
+                .project("t", "k")
+                .build()
+                .expect("query")
+        })
+        .collect();
+    bench("routing", "rows", runs, || {
+        let engine = RouletteEngine::new(&c, EngineConfig::default());
+        let out = engine.execute_batch(&queries).expect("routing batch");
+        out.per_query.iter().map(|r| r.rows).sum()
+    })
+}
+
+/// Pulls `"episode_chains"`'s throughput back out of a previously written
+/// `BENCH_perf.json` (own format — a targeted scan beats a JSON parser).
+fn read_baseline_eps(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let bench_pos = text.find("\"name\": \"episode_chains\"")?;
+    let tail = &text[bench_pos..];
+    let field = "\"per_sec\": ";
+    let v = &tail[tail.find(field)? + field.len()..];
+    let end = v.find([',', '\n', '}'])?;
+    v[..end].trim().parse().ok()
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() { format!("{v:.3}") } else { "null".to_string() }
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    results: &[BenchResult],
+    baseline_eps: Option<f64>,
+) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"roulette-perfbench/v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    let current_eps = results
+        .iter()
+        .find(|r| r.name == "episode_chains")
+        .map(|r| r.per_sec());
+    s.push_str("  \"episode_throughput\": {\n");
+    s.push_str(&format!(
+        "    \"baseline_eps\": {},\n",
+        baseline_eps.map_or("null".to_string(), json_f64)
+    ));
+    s.push_str(&format!(
+        "    \"current_eps\": {},\n",
+        current_eps.map_or("null".to_string(), json_f64)
+    ));
+    let ratio = match (baseline_eps, current_eps) {
+        (Some(b), Some(c)) if b > 0.0 => Some(c / b),
+        _ => None,
+    };
+    s.push_str(&format!(
+        "    \"ratio\": {}\n",
+        ratio.map_or("null".to_string(), json_f64)
+    ));
+    s.push_str("  },\n");
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"unit\": \"{}\",\n", r.unit));
+        s.push_str(&format!("      \"work_items\": {},\n", r.work));
+        s.push_str(&format!("      \"runs\": {},\n", r.runs));
+        s.push_str(&format!(
+            "      \"median_ms\": {},\n",
+            json_f64(r.median.as_secs_f64() * 1e3)
+        ));
+        s.push_str(&format!("      \"per_sec\": {}\n", json_f64(r.per_sec())));
+        s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out = flag("--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
+    let baseline_eps = flag("--baseline").and_then(|p| read_baseline_eps(&p));
+    let runs = if quick { 3 } else { 5 };
+
+    println!("perfbench (quick={quick}, median of {runs})");
+    let results = vec![
+        bench_episode_chains(quick, runs),
+        bench_stem_insert(quick, runs),
+        bench_stem_probe(quick, runs),
+        bench_filter_mask(quick, runs),
+        bench_routing(quick, runs),
+    ];
+    if let Some(b) = baseline_eps {
+        let cur = results[0].per_sec();
+        println!("episode_chains: baseline {:.1}/s -> current {:.1}/s ({:.2}x)", b, cur, cur / b);
+    }
+    write_json(&out, quick, &results, baseline_eps).expect("write BENCH_perf.json");
+    println!("wrote {out}");
+}

@@ -76,6 +76,11 @@ pub struct EngineConfig {
     pub episode_time_budget_ms: Option<u64>,
     /// Telemetry sampling knobs; inert unless a recorder is attached.
     pub telemetry: TelemetryConfig,
+    /// Reuse each worker's episode scratch arena across episodes (the
+    /// allocation-free steady state). Disabling it makes every episode
+    /// allocate fresh working buffers — the seed behaviour, kept as a
+    /// differential-testing reference and allocator-pressure ablation.
+    pub scratch_reuse: bool,
 }
 
 impl Default for EngineConfig {
@@ -95,6 +100,7 @@ impl Default for EngineConfig {
             episode_tuple_budget: None,
             episode_time_budget_ms: None,
             telemetry: TelemetryConfig::default(),
+            scratch_reuse: true,
         }
     }
 }
@@ -169,6 +175,13 @@ impl EngineConfig {
     /// Builder-style override of the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style override of scratch-arena reuse (see
+    /// [`EngineConfig::scratch_reuse`]).
+    pub fn with_scratch_reuse(mut self, reuse: bool) -> Self {
+        self.scratch_reuse = reuse;
         self
     }
 

@@ -105,6 +105,15 @@ impl QuerySet {
         QuerySet { words: words.to_vec() }
     }
 
+    /// Overwrites this set with `other`'s contents, reusing the existing
+    /// word allocation when wide enough — the allocation-free alternative
+    /// to `*self = other.clone()` on hot paths that recycle sets.
+    #[inline]
+    pub fn copy_from(&mut self, other: &QuerySet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
     /// The underlying words.
     #[inline]
     pub fn words(&self) -> &[u64] {
@@ -307,6 +316,33 @@ impl QuerySetColumn {
         self.push(other.row(row));
     }
 
+    /// Appends `n` copies of one row in a single reservation — the bulk
+    /// path for scan vectors where every tuple starts with the same set.
+    pub fn push_repeat(&mut self, words: &[u64], n: usize) {
+        debug_assert_eq!(words.len(), self.words_per_set);
+        self.data.reserve(words.len() * n);
+        for _ in 0..n {
+            self.data.extend_from_slice(words);
+        }
+    }
+
+    /// Appends pre-concatenated rows (`words.len()` must be a multiple of
+    /// the row width) — the bulk path for copying row ranges between
+    /// columns without per-row calls.
+    pub fn push_rows(&mut self, words: &[u64]) {
+        debug_assert!(words.len().is_multiple_of(self.words_per_set));
+        self.data.extend_from_slice(words);
+    }
+
+    /// Reserves room for `rows` more rows in one step, so a following
+    /// row-at-a-time fill cannot trigger repeated amortized doubling (the
+    /// growth model in `Stem::projected_insert_bytes` assumes one reserve
+    /// per insert).
+    #[inline]
+    pub fn reserve_rows(&mut self, rows: usize) {
+        self.data.reserve(rows * self.words_per_set);
+    }
+
     /// Appends the intersection `a ∩ b`; returns `true` (and keeps the row)
     /// iff the intersection is non-empty, otherwise leaves the column
     /// unchanged and returns `false`.
@@ -358,6 +394,23 @@ impl QuerySetColumn {
     #[inline]
     pub fn clear(&mut self) {
         self.data.clear();
+    }
+
+    /// Clears the column and re-widths it to `words_per_set`, keeping the
+    /// word allocation — the pooled-buffer reset used by episode scratch
+    /// arenas to recycle one column across sessions of different widths.
+    #[inline]
+    pub fn reset(&mut self, words_per_set: usize) {
+        self.data.clear();
+        self.words_per_set = words_per_set.max(1);
+    }
+
+    /// Reserved capacity in words (≥ `len() * words_per_set()`). Memory
+    /// accounting must charge capacity, not length: a `Vec`'s doubling
+    /// reserve is resident whether or not rows fill it yet.
+    #[inline]
+    pub fn capacity_words(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Truncates to the first `rows` rows.

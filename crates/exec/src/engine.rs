@@ -13,6 +13,7 @@ use crate::filter::{group_queries, GroupedFilter, PlainFilter};
 use crate::output::{Outputs, QueryResult};
 use crate::profile::Profile;
 use crate::pruning::rank_relations;
+use crate::scratch::EpisodeScratch;
 use crate::stem::Stem;
 use parking_lot::Mutex;
 use roulette_core::{
@@ -218,6 +219,7 @@ impl<'a> RouletteEngine<'a> {
             closed: false,
             recorder: self.recorder.clone(),
             telemetry_done: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+            scratch: Mutex::new(EpisodeScratch::new()),
         }
     }
 }
@@ -264,6 +266,10 @@ pub struct Session<'a> {
     /// Per-query "terminal event emitted" flags, so each query produces at
     /// most one completion/quarantine marker in the telemetry stream.
     telemetry_done: Vec<AtomicBool>,
+    /// The [`step`](Self::step)-driven execution path's episode arena.
+    /// Worker threads each own a local arena instead; this one exists so
+    /// single-stepping reuses buffers across calls too.
+    scratch: Mutex<EpisodeScratch>,
 }
 
 impl<'a> Session<'a> {
@@ -388,8 +394,19 @@ impl<'a> Session<'a> {
                 }
             }
             let wps = self.full_set.width();
+            // The relation's cardinality bounds its STeM population, so the
+            // hash indices are sized for it up front instead of growing
+            // through O(log n) rehashes during ingestion. Under a memory
+            // budget the hint is capped so admission-time footprint stays a
+            // sliver of the budget; the tables then grow by doubling under
+            // the governor's watch, exactly as before pre-sizing existed.
+            let rows = self.catalog.relation(rel).rows();
+            let hint = match self.config.memory_budget_bytes {
+                Some(budget) => rows.min(budget / 256),
+                None => rows,
+            };
             match &mut self.stems[rel.index()] {
-                slot @ None => *slot = Some(Stem::new(rel, key_cols, wps)),
+                slot @ None => *slot = Some(Stem::with_capacity_hint(rel, key_cols, wps, hint)),
                 Some(stem) => {
                     for col in key_cols {
                         stem.ensure_index(col, self.catalog.relation(rel).column(col));
@@ -526,13 +543,27 @@ impl<'a> Session<'a> {
         iv: &IngestVector,
         complete: RelSet,
         log: &mut ExecutionLog,
+        scratch: &mut EpisodeScratch,
     ) -> Option<TraceEntry> {
+        // The allocator-pressure ablation / differential-testing reference:
+        // with reuse off, every episode runs on a fresh arena, reproducing
+        // the seed's allocate-per-episode behaviour exactly.
+        let mut fresh;
+        let scratch = if self.config.scratch_reuse {
+            scratch
+        } else {
+            fresh = EpisodeScratch::new();
+            &mut fresh
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_episode(shared, iv, complete, &self.policy, log, self.trace)
+            run_episode(shared, iv, complete, &self.policy, log, scratch, self.trace)
         }));
         match outcome {
             Ok(trace) => trace,
             Err(payload) => {
+                // Pooled buffers may have been mid-mutation when the panic
+                // unwound; drop them rather than reuse suspect state.
+                scratch.reset();
                 let msg = panic_message(payload.as_ref());
                 for q in iv.queries.intersection(&self.live.snapshot()).iter() {
                     self.quarantine(q, Error::Internal(format!("episode panicked: {msg}")));
@@ -544,10 +575,12 @@ impl<'a> Session<'a> {
 
     fn worker_loop(&self) {
         let mut log = ExecutionLog::new();
+        let mut scratch = EpisodeScratch::new();
         let quarantine = |q: QueryId, e: Error| self.quarantine(q, e);
         let shared = self.shared_view(&quarantine);
         while let Some((iv, complete)) = self.next_work() {
-            let trace = self.run_episode_guarded(&shared, &iv, complete, &mut log);
+            let trace =
+                self.run_episode_guarded(&shared, &iv, complete, &mut log, &mut scratch);
             self.finish_episode(iv.rel);
             if let Some(t) = trace {
                 self.traces.lock().push(t);
@@ -561,7 +594,8 @@ impl<'a> Session<'a> {
         let mut log = ExecutionLog::new();
         let quarantine = |q: QueryId, e: Error| self.quarantine(q, e);
         let shared = self.shared_view(&quarantine);
-        let trace = self.run_episode_guarded(&shared, &iv, complete, &mut log);
+        let mut scratch = self.scratch.lock();
+        let trace = self.run_episode_guarded(&shared, &iv, complete, &mut log, &mut scratch);
         self.finish_episode(iv.rel);
         if let Some(t) = trace {
             self.traces.lock().push(t);

@@ -16,13 +16,14 @@ use crate::planner::{
     assign_projections, plan_join_phase, plan_selection_phase, JoinNode, ProbeNode,
 };
 use crate::profile::{Category, Profile};
+use crate::scratch::EpisodeScratch;
 use crate::spaces::{JoinSpace, SelectionSpace};
 use crate::stem::Stem;
 use crate::vector::DataVector;
 use roulette_core::{
     queryset::and_into, ColId, EngineConfig, Error, QueryId, QuerySet, RelId, RelSet,
 };
-use roulette_policy::{ExecutionLog, GreedyPolicy, LogEntry, Policy, Scope};
+use roulette_policy::{ExecutionLog, GreedyPolicy, Policy, Scope};
 use roulette_query::QueryBatch;
 use roulette_storage::{Catalog, IngestVector};
 use roulette_telemetry::{EpisodeSample, EventKind, Recorder};
@@ -120,6 +121,31 @@ pub struct EngineShared<'a> {
     pub recorder: Option<&'a dyn Recorder>,
 }
 
+/// One query's staged output: row count, checksum, and (when collecting)
+/// the projected rows in a flat value store — `data` holds the rows'
+/// values back-to-back and `offsets[i]` is the end of row `i` — so staging
+/// a row never allocates once the buffers are warm.
+#[derive(Debug)]
+struct SinkEntry {
+    q: QueryId,
+    rows: u64,
+    checksum: u64,
+    data: Vec<i64>,
+    offsets: Vec<u32>,
+}
+
+impl SinkEntry {
+    #[inline]
+    fn add_row(&mut self, values: &[i64], collecting: bool) {
+        self.rows += 1;
+        self.checksum = self.checksum.wrapping_add(row_hash(values));
+        if collecting {
+            self.data.extend_from_slice(values);
+            self.offsets.push(self.data.len() as u32);
+        }
+    }
+}
+
 /// Episode-local staging of routed outputs.
 ///
 /// The join phase routes into this sink instead of the shared [`Outputs`];
@@ -127,25 +153,35 @@ pub struct EngineShared<'a> {
 /// This makes episode output atomic: a quarantined query never publishes
 /// partial rows, a watchdog-aborted join phase is discarded wholesale, and
 /// a panic unwinding through the episode drops the sink before anything
-/// reaches a consumer.
-#[derive(Debug)]
+/// reaches a consumer. Retired entries are parked in a spare pool, so a
+/// pooled sink routes allocation-free in steady state.
+#[derive(Debug, Default)]
 pub struct EpisodeSink {
     collecting: bool,
-    acc: Vec<(QueryId, u64, u64, Vec<Vec<i64>>)>,
+    acc: Vec<SinkEntry>,
+    spare: Vec<SinkEntry>,
 }
 
 impl EpisodeSink {
     /// An empty sink; `collecting` mirrors [`Outputs::collecting`].
     pub fn new(collecting: bool) -> Self {
-        EpisodeSink { collecting, acc: Vec::new() }
+        EpisodeSink { collecting, ..EpisodeSink::default() }
     }
 
-    fn entry(&mut self, q: QueryId) -> &mut (QueryId, u64, u64, Vec<Vec<i64>>) {
+    fn entry(&mut self, q: QueryId) -> &mut SinkEntry {
         // Linear scan: an episode touches few distinct queries.
-        match self.acc.iter().position(|e| e.0 == q) {
+        match self.acc.iter().position(|e| e.q == q) {
             Some(i) => &mut self.acc[i],
             None => {
-                self.acc.push((q, 0, 0, Vec::new()));
+                let mut e = self.spare.pop().unwrap_or_else(|| SinkEntry {
+                    q,
+                    rows: 0,
+                    checksum: 0,
+                    data: Vec::new(),
+                    offsets: Vec::new(),
+                });
+                e.q = q;
+                self.acc.push(e);
                 self.acc.last_mut().unwrap()
             }
         }
@@ -153,36 +189,37 @@ impl EpisodeSink {
 
     fn push(&mut self, q: QueryId, values: &[i64]) {
         let collecting = self.collecting;
-        let e = self.entry(q);
-        e.1 += 1;
-        e.2 = e.2.wrapping_add(row_hash(values));
-        if collecting {
-            e.3.push(values.to_vec());
-        }
+        self.entry(q).add_row(values, collecting);
     }
 
-    fn push_batch(&mut self, q: QueryId, rows: u64, checksum: u64, collected: Vec<Vec<i64>>) {
-        let e = self.entry(q);
-        e.1 += rows;
-        e.2 = e.2.wrapping_add(checksum);
-        e.3.extend(collected);
-    }
-
-    /// Discards everything staged so far (watchdog abort).
+    /// Discards everything staged so far (watchdog abort), parking the
+    /// entries for reuse.
     pub fn reset(&mut self) {
-        self.acc.clear();
+        let EpisodeSink { acc, spare, .. } = self;
+        for mut e in acc.drain(..) {
+            e.rows = 0;
+            e.checksum = 0;
+            e.data.clear();
+            e.offsets.clear();
+            spare.push(e);
+        }
     }
 
     /// Commits staged outputs for queries still live at flush time.
     pub fn flush(&mut self, outputs: &Outputs, live: &LiveSet) {
-        for (q, rows, checksum, collected) in self.acc.drain(..) {
-            if rows == 0 || !live.contains(q) {
-                continue;
+        let EpisodeSink { acc, spare, .. } = self;
+        for mut e in acc.drain(..) {
+            if e.rows > 0 && live.contains(e.q) {
+                outputs.push_batch(e.q, e.rows, e.checksum);
+                if !e.offsets.is_empty() {
+                    outputs.extend_collected_flat(e.q, &e.data, &e.offsets);
+                }
             }
-            outputs.push_batch(q, rows, checksum);
-            if !collected.is_empty() {
-                outputs.extend_collected(q, &collected);
-            }
+            e.rows = 0;
+            e.checksum = 0;
+            e.data.clear();
+            e.offsets.clear();
+            spare.push(e);
         }
     }
 }
@@ -284,13 +321,16 @@ fn record_pressure(shared: &EngineShared<'_>, level: u8) {
 
 /// Runs one episode. `complete` is the set of relations whose scans have
 /// finished (pruning eligibility), sampled under the ingestion lock.
-/// Returns a Fig. 16 trace point when `trace` is set.
+/// `scratch` is the worker's pooled arena — every per-episode buffer is
+/// drawn from it and returned, so a warm arena runs the episode without
+/// allocating. Returns a Fig. 16 trace point when `trace` is set.
 pub fn run_episode(
     shared: &EngineShared<'_>,
     iv: &IngestVector,
     complete: RelSet,
     policy: &parking_lot::Mutex<Box<dyn roulette_policy::Policy>>,
     log: &mut ExecutionLog,
+    scratch: &mut EpisodeScratch,
     trace: bool,
 ) -> Option<TraceEntry> {
     log.clear();
@@ -347,17 +387,18 @@ pub fn run_episode(
         shared.config.adaptive_projections,
     );
 
-    let mut vec = DataVector::from_scan(rel, iv.start, iv.end, &queries);
+    let mut vec = scratch.take_vector(queries.width());
+    let scan_col = scratch.take_col();
+    vec.refill_scan(rel, iv.start, iv.end, &queries, scan_col);
 
     // --- Selection phase -------------------------------------------------
+    // lint: hot-loop
     let t0 = Instant::now();
-    let mut values: Vec<i64> = Vec::new();
-    let mut keep: Vec<bool> = Vec::new();
     if let Some(inj) = shared.injector {
         if let Some((q, e)) = inj.check(FaultSite::Filter, &queries) {
             (shared.quarantine)(q, e);
             queries.remove(q);
-            scrub_query(&mut vec, q, &mut keep);
+            scrub_query(&mut vec, q, &mut scratch.keep);
         }
     }
     let mut lineage = 0u64;
@@ -371,31 +412,32 @@ pub fn run_episode(
         let group = &batch.selection_groups()[gid];
         let filter = &shared.filters[gid];
         let vids = vec.vids_of(rel).expect("scan column present");
-        relation.column(group.col).gather(vids, &mut values);
+        relation.column(group.col).gather(vids, &mut scratch.values);
         let n_in = vec.len();
-        keep.clear();
-        keep.resize(n_in, false);
+        scratch.keep.clear();
+        scratch.keep.resize(n_in, false);
         if shared.config.grouped_filters {
             for i in 0..n_in {
-                keep[i] = vec.qsets.and_row(i, filter.grouped.mask_for(values[i]));
+                scratch.keep[i] = vec.qsets.and_row(i, filter.grouped.mask_for(scratch.values[i]));
             }
         } else {
-            let mut plain_mask = vec![0u64; iv.queries.width()];
+            scratch.mask.clear();
+            scratch.mask.resize(iv.queries.width(), 0);
             for i in 0..n_in {
-                filter.plain.mask_into(values[i], &mut plain_mask);
-                keep[i] = vec.qsets.and_row(i, &plain_mask);
+                filter.plain.mask_into(scratch.values[i], &mut scratch.mask);
+                scratch.keep[i] = vec.qsets.and_row(i, &scratch.mask);
             }
         }
-        vec.retain(&keep);
-        log.push(LogEntry {
-            scope: Scope::selection(rel),
+        vec.retain(&scratch.keep);
+        log.push_reused(
+            Scope::selection(rel),
             lineage,
-            queries: queries.clone(),
+            &queries,
             op,
-            n_in: n_in as u64,
-            n_out: vec.len() as u64,
-            n_div: None,
-        });
+            n_in as u64,
+            vec.len() as u64,
+            None,
+        );
         lineage |= 1 << op;
         if vec.is_empty() {
             break;
@@ -411,7 +453,7 @@ pub fn run_episode(
         || (shared.config.memory_budget_bytes.is_some()
             && shared.pressure.load(Ordering::Relaxed) >= 1);
     if pruning && !vec.is_empty() {
-        prune_vector(shared, rel, complete, &mut vec, &mut values, &mut keep);
+        prune_vector(shared, rel, complete, &mut vec, scratch);
     }
     shared.profile.add(Category::Filter, t0.elapsed().as_nanos() as u64);
 
@@ -419,7 +461,7 @@ pub fn run_episode(
         if let Some((q, e)) = inj.check(FaultSite::StemInsert, &queries) {
             (shared.quarantine)(q, e);
             queries.remove(q);
-            scrub_query(&mut vec, q, &mut keep);
+            scrub_query(&mut vec, q, &mut scratch.keep);
         }
     }
 
@@ -448,28 +490,36 @@ pub fn run_episode(
                     },
                 );
                 queries.remove(victim);
-                scrub_query(&mut vec, victim, &mut keep);
+                scrub_query(&mut vec, victim, &mut scratch.keep);
             }
         }
     }
 
     // --- Insert (build side of the symmetric join) ------------------------
+    // The sink is taken out of the arena for the episode's duration (the
+    // join phase needs it and the arena borrowed apart) and restored after
+    // the flush; a panic unwinding through the episode drops it, staged
+    // outputs and all.
     let mut measured_insert = 0u64;
-    let mut sink = EpisodeSink::new(shared.outputs.collecting());
+    let mut sink = std::mem::take(&mut scratch.sink);
+    sink.collecting = shared.outputs.collecting();
     if !vec.is_empty() {
         if let Some(stem) = shared.stems[rel.index()].as_ref() {
             let t_build = Instant::now();
             let vids = vec.vids_of(rel).expect("scan column");
-            let keys: Vec<Vec<i64>> = stem
-                .key_cols()
-                .iter()
-                .map(|&c| {
-                    let mut k = Vec::new();
-                    relation.column(c).gather(vids, &mut k);
-                    k
-                })
-                .collect();
-            let version = stem.insert_vector(vids, &vec.qsets, &keys, shared.global_version);
+            let nkeys = stem.key_cols().len();
+            if scratch.insert_keys.len() < nkeys {
+                scratch.insert_keys.resize_with(nkeys, Vec::new);
+            }
+            for (k, &c) in scratch.insert_keys.iter_mut().zip(stem.key_cols()) {
+                relation.column(c).gather(vids, k);
+            }
+            let version = stem.insert_vector(
+                vids,
+                &vec.qsets,
+                &scratch.insert_keys[..nkeys],
+                shared.global_version,
+            );
             shared.profile.add(Category::Build, t_build.elapsed().as_nanos() as u64);
             shared.stats.inserted_tuples.fetch_add(vec.len() as u64, Ordering::Relaxed);
             measured_insert = vec.len() as u64;
@@ -477,7 +527,7 @@ pub fn run_episode(
             // --- Join phase ------------------------------------------------
             let log_mark = log.len();
             let mut guard = JoinGuard::from_config(shared.config);
-            exec_join(shared, &join_plan, &vec, version, log, &mut sink, &mut guard);
+            exec_join(shared, &join_plan, &vec, version, log, &mut sink, &mut guard, scratch);
             if guard.tripped {
                 // Watchdog: the learned plan blew its budget. Discard the
                 // phase's staged outputs and log, replan with the greedy
@@ -502,13 +552,17 @@ pub fn run_episode(
                     shared.config.adaptive_projections,
                 );
                 let mut unbounded = JoinGuard::unbounded();
-                exec_join(shared, &fb_plan, &vec, version, log, &mut sink, &mut unbounded);
+                exec_join(
+                    shared, &fb_plan, &vec, version, log, &mut sink, &mut unbounded, scratch,
+                );
             }
         }
     }
     // Atomic commit point for the episode's outputs, masked by the queries
     // still live now.
     sink.flush(shared.outputs, shared.live);
+    scratch.sink = sink;
+    scratch.release_vector(vec);
 
     // --- Learning ----------------------------------------------------------
     let episode = shared.stats.episodes.fetch_add(1, Ordering::Relaxed);
@@ -548,6 +602,8 @@ pub fn run_episode(
 
     // --- Telemetry ---------------------------------------------------------
     if let Some(rec) = shared.recorder {
+        let (hits, misses) = scratch.take_reuse_counters();
+        rec.record_scratch(hits, misses);
         rec.record_episode(&EpisodeSample {
             episode,
             latency_ns: t0_episode.map_or(0, |t| t.elapsed().as_nanos() as u64),
@@ -582,18 +638,17 @@ pub fn run_episode(
 /// Semi-joins `vec` against every fully-ingested joinable STeM (§5.2):
 /// for queries containing the edge, a tuple keeps its bit only if a match
 /// carries it; emptied tuples are dropped before insertion.
+// lint: hot-loop
 fn prune_vector(
     shared: &EngineShared<'_>,
     rel: RelId,
     complete: RelSet,
     vec: &mut DataVector,
-    values: &mut Vec<i64>,
-    keep: &mut Vec<bool>,
+    scratch: &mut EpisodeScratch,
 ) {
     let batch = shared.batch;
     let relation = shared.catalog.relation(rel);
     let width = vec.qsets.words_per_set();
-    let mut allowed = vec![0u64; width];
     for &eid in batch.edges_of(rel) {
         if vec.is_empty() {
             return;
@@ -607,21 +662,30 @@ fn prune_vector(
         let Some(index_id) = stem.index_of(other_side.1) else { continue };
         let edge_q = batch.edge_queries(eid);
         let vids = vec.vids_of(rel).expect("scan column");
-        relation.column(this_side.1).gather(vids, values);
+        relation.column(this_side.1).gather(vids, &mut scratch.values);
         let reader = stem.read();
         let n_in = vec.len();
-        keep.clear();
-        keep.resize(n_in, false);
-        let mut dropped = 0u64;
-        for i in 0..n_in {
-            // allowed = (∪ matching entry query-sets) ∪ ¬Q_edge — queries
-            // without this edge are unaffected by the semi-join.
-            for (a, &eqw) in allowed.iter_mut().zip(edge_q.words()) {
-                *a = !eqw;
+        scratch.keep.clear();
+        scratch.keep.resize(n_in, false);
+        // allowed(i) = (∪ matching entry query-sets) ∪ ¬Q_edge — queries
+        // without this edge are unaffected by the semi-join. Seed every
+        // row's mask with ¬Q_edge, then let the batched two-phase
+        // semi-join OR the matching entry sets in.
+        scratch.row_masks.clear();
+        for _ in 0..n_in {
+            scratch.row_masks.extend(edge_q.words().iter().map(|&w| !w));
+        }
+        let EpisodeScratch { values, probe, row_masks, keep, .. } = scratch;
+        reader.semijoin_batch(index_id, values, probe, |i, entry_q| {
+            let row = &mut row_masks[i * width..(i + 1) * width];
+            for (a, &w) in row.iter_mut().zip(entry_q) {
+                *a |= w;
             }
-            reader.semijoin_mask(index_id, values[i], &mut allowed);
-            keep[i] = vec.qsets.and_row(i, &allowed);
-            if !keep[i] {
+        });
+        let mut dropped = 0u64;
+        for (i, k) in keep.iter_mut().enumerate() {
+            *k = vec.qsets.and_row(i, &row_masks[i * width..(i + 1) * width]);
+            if !*k {
                 dropped += 1;
             }
         }
@@ -638,6 +702,8 @@ const MAX_PENDING_VECTOR: usize = 1 << 16;
 
 /// Executes the join-phase plan for `vec` (probe sub-plans first, then
 /// divergence sub-plans, as in §3's executor walk-through).
+// lint: hot-loop
+#[allow(clippy::too_many_arguments)]
 fn exec_join(
     shared: &EngineShared<'_>,
     node: &JoinNode,
@@ -646,6 +712,7 @@ fn exec_join(
     log: &mut ExecutionLog,
     sink: &mut EpisodeSink,
     guard: &mut JoinGuard,
+    scratch: &mut EpisodeScratch,
 ) {
     if vec.is_empty() || guard.tripped {
         return;
@@ -654,8 +721,10 @@ fn exec_join(
         let mut start = 0;
         while start < vec.len() {
             let end = (start + MAX_PENDING_VECTOR).min(vec.len());
-            let chunk = vec.slice(start, end);
-            exec_join(shared, node, &chunk, version, log, sink, guard);
+            let mut chunk = scratch.take_vector(vec.qsets.words_per_set());
+            vec.copy_range_into(start, end, &mut chunk, scratch.col_pool_mut());
+            exec_join(shared, node, &chunk, version, log, sink, guard, scratch);
+            scratch.release_vector(chunk);
             if guard.tripped {
                 return;
             }
@@ -664,20 +733,32 @@ fn exec_join(
         return;
     }
     match node {
-        JoinNode::Output { queries } => route(shared, vec, queries, sink),
+        JoinNode::Output { queries } => route(shared, vec, queries, sink, scratch),
         JoinNode::Probe(p) => {
-            let (main_vec, div_vec) = exec_probe(shared, p, vec, version, log, guard);
-            if guard.tripped {
-                return;
+            let (main_vec, div_vec) = exec_probe(shared, p, vec, version, log, guard, scratch);
+            if !guard.tripped {
+                exec_join(shared, &p.main, &main_vec, version, log, sink, guard, scratch);
+                if let (Some(div_plan), Some(dv)) = (&p.div, &div_vec) {
+                    exec_join(shared, div_plan, dv, version, log, sink, guard, scratch);
+                }
             }
-            exec_join(shared, &p.main, &main_vec, version, log, sink, guard);
-            if let (Some(div_plan), Some(dv)) = (&p.div, div_vec) {
-                exec_join(shared, div_plan, &dv, version, log, sink, guard);
+            scratch.release_vector(main_vec);
+            if let Some(dv) = div_vec {
+                scratch.release_vector(dv);
             }
         }
     }
 }
 
+/// One probe step, batch-oriented: the probe rows intersecting the main
+/// branch are compacted first (saving their intersected query-sets), their
+/// keys gathered in one pass, and the STeM probed through the two-phase
+/// [`probe_batch`](crate::stem::StemReader::probe_batch) — hash and
+/// bucket-head lookups run over the whole batch before any chain is
+/// walked, so the head fetches are independent loads the hardware can
+/// overlap instead of per-row dependent misses. Match visit order is
+/// identical to per-key probing, so outputs are byte-identical.
+// lint: hot-loop
 fn exec_probe(
     shared: &EngineShared<'_>,
     p: &ProbeNode,
@@ -685,6 +766,7 @@ fn exec_probe(
     version: u32,
     log: &mut ExecutionLog,
     guard: &mut JoinGuard,
+    scratch: &mut EpisodeScratch,
 ) -> (DataVector, Option<DataVector>) {
     let t0 = Instant::now();
     if let Some(inj) = shared.injector {
@@ -700,65 +782,91 @@ fn exec_probe(
         .expect("probed relation has a STeM");
     let index_id = stem.index_of(p.target_col).expect("probe key is indexed");
     let width = vec.qsets.words_per_set();
-
-    // Gather probe keys.
     let probe_vids = vec.vids_of(p.probe_rel).expect("probe column present");
-    let mut keys: Vec<i64> = Vec::new();
+    let cols = vec.columns();
+
+    // Carried source columns for each branch.
+    scratch.carry_main.clear();
+    scratch.carry_main.extend(
+        cols.iter()
+            .enumerate()
+            .filter(|(_, (r, _))| p.keep_main.contains(*r))
+            .map(|(i, _)| i),
+    );
+    let keep_target = p.keep_main.contains(p.target_rel);
+    scratch.carry_div.clear();
+    if p.div_queries.is_some() {
+        scratch.carry_div.extend(
+            cols.iter()
+                .enumerate()
+                .filter(|(_, (r, _))| p.keep_div.contains(*r))
+                .map(|(i, _)| i),
+        );
+    }
+
+    // Output builders, drawn from the arena. `main_bufs`/`div_bufs` only
+    // ever hold empty buffers between probes: assembly drains the ones a
+    // probe used into the output vector, which returns them to the column
+    // pool when the vector is released.
+    let mut main_out = scratch.take_vector(width);
+    let mut div_out = p.div_queries.as_ref().map(|_| scratch.take_vector(width));
+    while scratch.main_bufs.len() < scratch.carry_main.len() {
+        let buf = scratch.take_col();
+        scratch.main_bufs.push(buf);
+    }
+    while scratch.div_bufs.len() < scratch.carry_div.len() {
+        let buf = scratch.take_col();
+        scratch.div_bufs.push(buf);
+    }
+    let mut target_buf = scratch.take_col();
+
+    // Phase 1: compact the rows whose query-set intersects the main
+    // branch, saving each survivor's intersected mask and probe vID.
+    let main_words = p.main_queries.words();
+    scratch.mask.clear();
+    scratch.mask.resize(width, 0);
+    scratch.active_rows.clear();
+    scratch.active_vids.clear();
+    scratch.row_masks.clear();
+    for (i, &pv) in probe_vids.iter().enumerate().take(vec.len()) {
+        if and_into(&mut scratch.mask, vec.qsets.row(i), main_words) {
+            scratch.active_rows.push(i as u32);
+            scratch.active_vids.push(pv);
+            scratch.row_masks.extend_from_slice(&scratch.mask);
+        }
+    }
+
+    // Phase 2: gather the keys of the compacted rows in one pass.
     shared
         .catalog
         .relation(p.probe_rel)
         .column(p.probe_col)
-        .gather(probe_vids, &mut keys);
+        .gather(&scratch.active_vids, &mut scratch.probe_keys);
 
-    // Output builders: source columns to carry + the target vID column.
-    let mut main_out = DataVector::new(width);
-    let carry_main: Vec<usize> = vec
-        .columns()
-        .iter()
-        .enumerate()
-        .filter(|(_, (r, _))| p.keep_main.contains(*r))
-        .map(|(i, _)| i)
-        .collect();
-    let keep_target = p.keep_main.contains(p.target_rel);
-    let mut main_bufs: Vec<Vec<u32>> = vec![Vec::new(); carry_main.len()];
-    let mut target_buf: Vec<u32> = Vec::new();
-
-    let mut div_out: Option<(DataVector, Vec<usize>, Vec<Vec<u32>>)> =
-        p.div_queries.as_ref().map(|_| {
-            let carry: Vec<usize> = vec
-                .columns()
-                .iter()
-                .enumerate()
-                .filter(|(_, (r, _))| p.keep_div.contains(*r))
-                .map(|(i, _)| i)
-                .collect();
-            let bufs = vec![Vec::new(); carry.len()];
-            (DataVector::new(width), carry, bufs)
-        });
-
+    // Phase 3: batched two-phase probe over the compacted keys.
     let reader = stem.read();
-    let mut scratch = vec![0u64; width];
-    let main_words = p.main_queries.words();
-    let cols = vec.columns();
-    #[allow(clippy::needless_range_loop)]
-    for i in 0..vec.len() {
-        let qs = vec.qsets.row(i);
-        if and_into(&mut scratch, qs, main_words) {
-            reader.probe(index_id, keys[i], version, |entry_q, entry_vid| {
-                if main_out.qsets.push_and(&scratch, entry_q) {
-                    for (buf, &src) in main_bufs.iter_mut().zip(&carry_main) {
-                        buf.push(cols[src].1[i]);
-                    }
-                    if keep_target {
-                        target_buf.push(entry_vid);
-                    }
+    {
+        let EpisodeScratch { probe, probe_keys, row_masks, active_rows, main_bufs, carry_main, .. } =
+            scratch;
+        reader.probe_batch(index_id, probe_keys, version, probe, |j, entry_q, entry_vid| {
+            if main_out.qsets.push_and(&row_masks[j * width..(j + 1) * width], entry_q) {
+                let i = active_rows[j] as usize;
+                for (buf, &src) in main_bufs.iter_mut().zip(carry_main.iter()) {
+                    buf.push(cols[src].1[i]);
                 }
-            });
-        }
-        if let Some((dv, carry, bufs)) = &mut div_out {
-            let div_words = p.div_queries.as_ref().unwrap().words();
-            if dv.qsets.push_and(qs, div_words) {
-                for (buf, &src) in bufs.iter_mut().zip(carry.iter()) {
+                if keep_target {
+                    target_buf.push(entry_vid);
+                }
+            }
+        });
+    }
+
+    // Divergence branch: a straight selection over the full vector.
+    if let (Some(dv), Some(div_q)) = (&mut div_out, &p.div_queries) {
+        let div_words = div_q.words();
+        for i in 0..vec.len() {
+            if dv.qsets.push_and(vec.qsets.row(i), div_words) {
+                for (buf, &src) in scratch.div_bufs.iter_mut().zip(scratch.carry_div.iter()) {
                     buf.push(cols[src].1[i]);
                 }
             }
@@ -766,14 +874,18 @@ fn exec_probe(
     }
 
     // Assemble output vectors.
-    for (buf, &src) in main_bufs.into_iter().zip(&carry_main) {
+    let n_main = scratch.carry_main.len();
+    for (buf, &src) in scratch.main_bufs.drain(..n_main).zip(scratch.carry_main.iter()) {
         main_out.push_column(cols[src].0, buf);
     }
     if keep_target {
         main_out.push_column(p.target_rel, target_buf);
+    } else {
+        scratch.release_col(target_buf);
     }
-    let div_vec = div_out.map(|(mut dv, carry, bufs)| {
-        for (buf, &src) in bufs.into_iter().zip(&carry) {
+    let div_vec = div_out.map(|mut dv| {
+        let n_div = scratch.carry_div.len();
+        for (buf, &src) in scratch.div_bufs.drain(..n_div).zip(scratch.carry_div.iter()) {
             dv.push_column(cols[src].0, buf);
         }
         dv
@@ -789,15 +901,15 @@ fn exec_probe(
         rec.record_probe_batch(vec.len() as u64);
     }
 
-    log.push(LogEntry {
-        scope: Scope::JOIN,
-        lineage: p.lineage.0,
-        queries: p.queries.clone(),
-        op: p.edge,
-        n_in: vec.len() as u64,
-        n_out: main_out.len() as u64,
-        n_div: div_vec.as_ref().map(|d| d.len() as u64),
-    });
+    log.push_reused(
+        Scope::JOIN,
+        p.lineage.0,
+        &p.queries,
+        p.edge,
+        vec.len() as u64,
+        main_out.len() as u64,
+        div_vec.as_ref().map(|d| d.len() as u64),
+    );
     guard.charge(main_out.len() as u64);
 
     (main_out, div_vec)
@@ -805,19 +917,27 @@ fn exec_probe(
 
 /// Routes an output vector to its queries' sinks. The locality-conscious
 /// router (§5.1) works query-at-a-time in two passes — count, then gather —
-/// issuing one sink update per query per vector; the direct router
-/// multicasts tuple-by-tuple.
-fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet, sink: &mut EpisodeSink) {
+/// issuing one sink-entry lookup per query per vector and writing projected
+/// rows straight into the entry's flat store; the direct router multicasts
+/// tuple-by-tuple.
+// lint: hot-loop
+fn route(
+    shared: &EngineShared<'_>,
+    vec: &DataVector,
+    queries: &QuerySet,
+    sink: &mut EpisodeSink,
+    scratch: &mut EpisodeScratch,
+) {
     let t0 = Instant::now();
     if let Some(inj) = shared.injector {
         if let Some((q, e)) = inj.check(FaultSite::Route, queries) {
             (shared.quarantine)(q, e);
         }
     }
-    let mut values: Vec<i64> = Vec::new();
+    let collecting = sink.collecting;
     if shared.config.locality_router {
         // Pass 1: per-query counts.
-        let mut counts: Vec<(QueryId, u64)> = Vec::new();
+        scratch.counts.clear();
         for q in queries.iter() {
             let (w, b) = (q.index() / 64, q.index() % 64);
             let mut n = 0u64;
@@ -825,24 +945,20 @@ fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet, sink: 
                 n += (vec.qsets.row(i)[w] >> b) & 1;
             }
             if n > 0 {
-                counts.push((q, n));
+                scratch.counts.push((q, n));
             }
         }
-        // Pass 2: per-query gather with one sink update each.
-        for (q, n) in counts {
+        // Pass 2: per-query gather, the entry resolved once per query.
+        for k in 0..scratch.counts.len() {
+            let (q, _) = scratch.counts[k];
             let (w, b) = (q.index() / 64, q.index() % 64);
-            let mut checksum = 0u64;
-            let mut collected: Vec<Vec<i64>> = Vec::new();
+            let e = sink.entry(q);
             for i in 0..vec.len() {
                 if (vec.qsets.row(i)[w] >> b) & 1 == 1 {
-                    project_row(shared, vec, q, i, &mut values);
-                    checksum = checksum.wrapping_add(row_hash(&values));
-                    if sink.collecting {
-                        collected.push(values.clone());
-                    }
+                    project_row(shared, vec, q, i, &mut scratch.row);
+                    e.add_row(&scratch.row, collecting);
                 }
             }
-            sink.push_batch(q, n, checksum, collected);
         }
     } else {
         // Direct multicast: iterate set bits straight off the row words
@@ -856,8 +972,8 @@ fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet, sink: 
                     let b = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     let q = QueryId((w * 64 + b) as u32);
-                    project_row(shared, vec, q, i, &mut values);
-                    sink.push(q, &values);
+                    project_row(shared, vec, q, i, &mut scratch.row);
+                    sink.push(q, &scratch.row);
                 }
             }
         }
@@ -865,6 +981,7 @@ fn route(shared: &EngineShared<'_>, vec: &DataVector, queries: &QuerySet, sink: 
     shared.profile.add(Category::Route, t0.elapsed().as_nanos() as u64);
 }
 
+// lint: hot-loop
 #[inline]
 fn project_row(
     shared: &EngineShared<'_>,

@@ -20,6 +20,7 @@ pub mod output;
 pub mod planner;
 pub mod profile;
 pub mod pruning;
+pub mod scratch;
 pub mod spaces;
 pub mod stem;
 pub mod vector;
@@ -33,6 +34,7 @@ pub use filter::{GroupedFilter, PlainFilter};
 pub use output::{row_hash, CompletionStatus, Outputs, QueryResult};
 pub use planner::{JoinNode, ProbeNode};
 pub use profile::{Category, Profile};
+pub use scratch::EpisodeScratch;
 pub use spaces::{JoinSpace, SelectionSpace};
-pub use stem::{Stem, StemReader, VERSION_ALL};
+pub use stem::{ProbeScratch, Stem, StemReader, VERSION_ALL};
 pub use vector::DataVector;

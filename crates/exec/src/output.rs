@@ -133,6 +133,22 @@ impl Outputs {
         }
     }
 
+    /// Appends collected rows for `q` from a flat value store: row `i` is
+    /// `data[offsets[i-1]..offsets[i]]` (with `offsets[-1]` read as 0).
+    /// The episode sink stages rows this way so routing never allocates;
+    /// rows materialize into `Vec`s only here, at the commit point.
+    pub fn extend_collected_flat(&self, q: QueryId, data: &[i64], offsets: &[u32]) {
+        if let Some(collected) = &self.collected {
+            let mut sink = collected[q.index()].lock();
+            sink.reserve(offsets.len());
+            let mut start = 0usize;
+            for &end in offsets {
+                sink.push(data[start..end as usize].to_vec());
+                start = end as usize;
+            }
+        }
+    }
+
     /// Snapshot of one query's result.
     pub fn result(&self, q: QueryId) -> QueryResult {
         QueryResult {
@@ -208,6 +224,19 @@ mod tests {
         assert_eq!(o.error(QueryId(0)), Some(Error::Internal("first".into())));
         assert!(o.result(QueryId(1)).is_complete());
         assert!(o.error(QueryId(1)).is_none());
+    }
+
+    #[test]
+    fn flat_extension_matches_nested_rows() {
+        let a = Outputs::new(1, true);
+        let b = Outputs::new(1, true);
+        a.extend_collected(QueryId(0), &[vec![1, 2], vec![3], vec![]]);
+        b.extend_collected_flat(QueryId(0), &[1, 2, 3], &[2, 3, 3]);
+        assert_eq!(a.take_collected(QueryId(0)), b.take_collected(QueryId(0)));
+        // No-op when not collecting.
+        let no = Outputs::new(1, false);
+        no.extend_collected_flat(QueryId(0), &[1], &[1]);
+        assert!(no.take_collected(QueryId(0)).is_empty());
     }
 
     #[test]

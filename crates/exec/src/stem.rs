@@ -57,11 +57,27 @@ struct StemIndex {
 }
 
 impl StemIndex {
-    fn new() -> Self {
-        const INIT: usize = 1024;
-        StemIndex { keys: Vec::new(), buckets: vec![0; INIT], next: Vec::new(), mask: INIT - 1 }
+    /// Smallest bucket table; tiny relations no longer pay a fixed
+    /// 1024-bucket tax per index.
+    const MIN_BUCKETS: usize = 16;
+
+    /// Sizes the bucket table for an expected `hint` entries at the 3/4
+    /// load factor, so a correctly hinted index never rehashes during its
+    /// build. `hint = 0` (unknown cardinality) starts at the minimum and
+    /// grows by doubling as usual.
+    fn with_capacity(hint: usize) -> Self {
+        let buckets = (hint + hint / 3 + 1)
+            .next_power_of_two()
+            .max(Self::MIN_BUCKETS);
+        StemIndex {
+            keys: Vec::new(),
+            buckets: vec![0; buckets],
+            next: Vec::new(),
+            mask: buckets - 1,
+        }
     }
 
+    // lint: hot-loop
     fn insert(&mut self, key: i64) {
         if self.keys.len() + 1 > self.buckets.len() - self.buckets.len() / 4 {
             self.grow();
@@ -86,6 +102,7 @@ impl StemIndex {
     }
 
     /// Calls `f(entry_index)` for every entry with this key.
+    // lint: hot-loop
     #[inline]
     fn for_each_match(&self, key: i64, mut f: impl FnMut(usize)) {
         let b = (hash_key(key) as usize) & self.mask;
@@ -118,9 +135,23 @@ pub struct Stem {
 
 impl Stem {
     /// Creates a STeM for `rel` with one hash index per key column.
-    /// `words_per_set` fixes the query-set width.
+    /// `words_per_set` fixes the query-set width. Indices start at the
+    /// minimum bucket-table size; pass the relation's expected cardinality
+    /// via [`with_capacity_hint`](Self::with_capacity_hint) to avoid
+    /// build-time rehashing.
     pub fn new(rel: RelId, key_cols: Vec<ColId>, words_per_set: usize) -> Self {
-        let indices = key_cols.iter().map(|_| StemIndex::new()).collect();
+        Self::with_capacity_hint(rel, key_cols, words_per_set, 0)
+    }
+
+    /// Like [`new`](Self::new), but sizes each index's bucket table for
+    /// `hint` expected entries (e.g. the base relation's row count).
+    pub fn with_capacity_hint(
+        rel: RelId,
+        key_cols: Vec<ColId>,
+        words_per_set: usize,
+        hint: usize,
+    ) -> Self {
+        let indices = key_cols.iter().map(|_| StemIndex::with_capacity(hint)).collect();
         Stem {
             rel,
             key_cols,
@@ -167,6 +198,11 @@ impl Stem {
         inner.vids.extend_from_slice(vids);
         let new_len = inner.versions.len() + vids.len();
         inner.versions.resize(new_len, version);
+        // One up-front reservation: the row-at-a-time fill below then never
+        // reallocates, which both avoids repeated amortized doubling and
+        // keeps `projected_insert_bytes`'s single-reserve growth model an
+        // upper bound.
+        inner.qsets.reserve_rows(vids.len());
         for i in 0..vids.len() {
             inner.qsets.push_row_from(qsets, i);
         }
@@ -188,7 +224,7 @@ impl Stem {
             return i;
         }
         let inner = self.inner.get_mut();
-        let mut idx = StemIndex::new();
+        let mut idx = StemIndex::with_capacity(inner.vids.len());
         for &vid in &inner.vids {
             idx.insert(column.value(vid as usize));
         }
@@ -214,7 +250,7 @@ impl Stem {
         let inner = self.inner.read();
         let entries = inner.vids.capacity() * std::mem::size_of::<u32>()
             + inner.versions.capacity() * std::mem::size_of::<u32>()
-            + std::mem::size_of_val(inner.qsets.raw());
+            + inner.qsets.capacity_words() * std::mem::size_of::<u64>();
         let indices: usize = inner
             .indices
             .iter()
@@ -244,10 +280,13 @@ impl Stem {
         }
         let inner = self.inner.read();
         let len = inner.vids.len();
+        let wps = inner.qsets.words_per_set();
         let mut bytes = vec_growth(len, inner.vids.capacity(), n, 4)
             + vec_growth(len, inner.versions.capacity(), n, 4)
-            // memory_bytes counts the qset block by length, not capacity.
-            + n * inner.qsets.words_per_set() * 8;
+            // The qset block is reserved once per insert (see
+            // `insert_vector`), so single-step growth models it exactly —
+            // in words, since that is the column's allocation unit.
+            + vec_growth(len * wps, inner.qsets.capacity_words(), n * wps, 8);
         for idx in &inner.indices {
             bytes += vec_growth(idx.keys.len(), idx.keys.capacity(), n, 8)
                 + vec_growth(idx.next.len(), idx.next.capacity(), n, 4);
@@ -258,6 +297,22 @@ impl Stem {
             bytes += buckets.saturating_sub(idx.buckets.capacity()) * 4;
         }
         bytes
+    }
+}
+
+/// Reusable working state for [`StemReader::probe_batch`]: the batched
+/// hash and bucket-head slices of the two-phase probe. Owned by the episode
+/// scratch arena so steady-state probing never allocates.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    hashes: Vec<u64>,
+    heads: Vec<u32>,
+}
+
+impl ProbeScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -280,6 +335,44 @@ impl StemReader<'_> {
         });
     }
 
+    /// Batched two-phase probe: for every key in `keys` (one per probe
+    /// row), calls `f(probe_row, entry_qset_words, entry_vid)` for each
+    /// match with version strictly older than `version`, in probe-row
+    /// order then chain order — the same visit order as calling
+    /// [`probe`](Self::probe) per key.
+    ///
+    /// Phase one hashes the whole batch and fetches every bucket head in a
+    /// tight loop over the bucket table (independent loads the hardware
+    /// can overlap and prefetch); only phase two walks the dependent chain
+    /// links. `scratch` holds the per-batch hash/head slices.
+    // lint: hot-loop
+    pub fn probe_batch(
+        &self,
+        index_id: usize,
+        keys: &[i64],
+        version: u32,
+        scratch: &mut ProbeScratch,
+        mut f: impl FnMut(usize, &[u64], u32),
+    ) {
+        let inner = &*self.guard;
+        let index = &inner.indices[index_id];
+        let ProbeScratch { hashes, heads } = scratch;
+        hashes.clear();
+        hashes.extend(keys.iter().map(|&k| hash_key(k)));
+        heads.clear();
+        heads.extend(hashes.iter().map(|&h| index.buckets[h as usize & index.mask]));
+        for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
+            let mut cur = head;
+            while cur != 0 {
+                let e = (cur - 1) as usize;
+                if index.keys[e] == key && inner.versions[e] < version {
+                    f(i, inner.qsets.row(e), inner.vids[e]);
+                }
+                cur = index.next[e];
+            }
+        }
+    }
+
     /// Semi-join support for symmetric join pruning (§5.2): ORs into
     /// `acc` the query-sets of all matches of `key` (any version).
     #[inline]
@@ -290,6 +383,38 @@ impl StemReader<'_> {
                 *a |= w;
             }
         });
+    }
+
+    /// Batched two-phase semi-join: for every key in `keys`, calls
+    /// `f(probe_row, entry_qset_words)` for each match, any version. Same
+    /// hash-then-heads-then-chains structure as
+    /// [`probe_batch`](Self::probe_batch); since the caller ORs the entry
+    /// sets, visit order is immaterial here.
+    // lint: hot-loop
+    pub fn semijoin_batch(
+        &self,
+        index_id: usize,
+        keys: &[i64],
+        scratch: &mut ProbeScratch,
+        mut f: impl FnMut(usize, &[u64]),
+    ) {
+        let inner = &*self.guard;
+        let index = &inner.indices[index_id];
+        let ProbeScratch { hashes, heads } = scratch;
+        hashes.clear();
+        hashes.extend(keys.iter().map(|&k| hash_key(k)));
+        heads.clear();
+        heads.extend(hashes.iter().map(|&h| index.buckets[h as usize & index.mask]));
+        for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
+            let mut cur = head;
+            while cur != 0 {
+                let e = (cur - 1) as usize;
+                if index.keys[e] == key {
+                    f(i, inner.qsets.row(e));
+                }
+                cur = index.next[e];
+            }
+        }
     }
 
     /// Number of entries visible to this reader.
@@ -446,6 +571,100 @@ mod tests {
             stem.insert_vector(&vids, &qc, &[keys], &global);
             let actual = stem.memory_bytes() - before;
             assert!(actual <= projected, "round {round}: actual {actual} > projected {projected}");
+        }
+    }
+
+    #[test]
+    fn memory_accounting_charges_qset_capacity() {
+        // The governor must see reserved capacity, not just filled length:
+        // a vector insert reserves the whole batch's qset block up front,
+        // and that memory is resident immediately.
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 4);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(256);
+        let mut qc = QuerySetColumn::new(4);
+        for _ in 0..100 {
+            qc.push(q.words());
+        }
+        let vids: Vec<u32> = (0..100).collect();
+        let keys: Vec<i64> = (0..100).collect();
+        stem.insert_vector(&vids, &qc, &[keys], &global);
+        let inner = stem.inner.read();
+        let cap_bytes = inner.qsets.capacity_words() * 8;
+        let len_bytes = inner.qsets.raw().len() * 8;
+        assert!(cap_bytes >= len_bytes);
+        let accounted = stem.memory_bytes();
+        // memory_bytes must include the full reserved qset block: strip the
+        // other components and compare against capacity, not length.
+        let non_qset: usize = inner.vids.capacity() * 4
+            + inner.versions.capacity() * 4
+            + inner
+                .indices
+                .iter()
+                .map(|i| i.keys.capacity() * 8 + (i.buckets.capacity() + i.next.capacity()) * 4)
+                .sum::<usize>();
+        assert_eq!(accounted - non_qset, cap_bytes);
+    }
+
+    #[test]
+    fn capacity_hint_sizes_buckets_and_shrinks_tiny_indices() {
+        // Unhinted (tiny) indices start at the minimum table...
+        let tiny = Stem::new(RelId(0), vec![ColId(0), ColId(1)], 1);
+        for idx in &tiny.inner.read().indices {
+            assert_eq!(idx.buckets.len(), StemIndex::MIN_BUCKETS);
+        }
+        // ...a hinted index is sized to hold the hint at ≤3/4 load...
+        let hinted = Stem::with_capacity_hint(RelId(0), vec![ColId(0)], 1, 6000);
+        let buckets = hinted.inner.read().indices[0].buckets.len();
+        assert!(buckets.is_power_of_two());
+        assert!(6000 <= buckets - buckets / 4, "{buckets} buckets under-sized");
+        assert!(buckets <= 16384, "{buckets} buckets over-sized");
+        // ...and the footprint gap is visible to the memory governor.
+        assert!(tiny.memory_bytes() < hinted.memory_bytes());
+        // A correctly hinted build never rehashes: insert exactly `hint`
+        // keys and check the table kept its initial size.
+        let global = AtomicU32::new(0);
+        let n = 6000u32;
+        let q = QuerySet::full(1);
+        let mut qc = QuerySetColumn::new(1);
+        for _ in 0..n {
+            qc.push(q.words());
+        }
+        let vids: Vec<u32> = (0..n).collect();
+        let keys: Vec<i64> = (0..n as i64).collect();
+        hinted.insert_vector(&vids, &qc, &[keys], &global);
+        assert_eq!(hinted.inner.read().indices[0].buckets.len(), buckets);
+    }
+
+    #[test]
+    fn probe_batch_matches_per_key_probes() {
+        let stem = Stem::new(RelId(0), vec![ColId(0)], 2);
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(100);
+        let n = 5000u32;
+        let mut qc = QuerySetColumn::new(2);
+        for _ in 0..n {
+            qc.push(q.words());
+        }
+        let vids: Vec<u32> = (0..n).collect();
+        let keys: Vec<i64> = (0..n as i64).map(|i| i % 301).collect();
+        let v0 = stem.insert_vector(&vids, &qc, &[keys], &global);
+        let v1 = stem.insert_vector(&[n], &qcol(&[&q]), &[vec![7]], &global);
+        assert!(v0 < v1);
+        let probe_keys: Vec<i64> = (0..512).map(|i| (i * 37) % 400).collect();
+        let r = stem.read();
+        for version in [v0, v1, VERSION_ALL] {
+            let mut single: Vec<(usize, u64, u32)> = Vec::new();
+            for (i, &k) in probe_keys.iter().enumerate() {
+                r.probe(0, k, version, |qs, vid| single.push((i, qs[0], vid)));
+            }
+            let mut batched = Vec::new();
+            let mut scratch = ProbeScratch::new();
+            r.probe_batch(0, &probe_keys, version, &mut scratch, |i, qs, vid| {
+                batched.push((i, qs[0], vid));
+            });
+            // Same matches in the same visit order.
+            assert_eq!(single, batched, "version {version}");
         }
     }
 

@@ -97,6 +97,68 @@ impl DataVector {
         self.qsets.clear();
     }
 
+    /// Empties the vector, handing its vID column buffers (cleared,
+    /// capacity kept) back to `col_pool`. Together with
+    /// [`set_words_per_set`](Self::set_words_per_set) this is the
+    /// scratch-arena recycling protocol: no buffer is dropped, only parked.
+    pub fn recycle(&mut self, col_pool: &mut Vec<Vec<u32>>) {
+        for (_, mut vids) in self.cols.drain(..) {
+            vids.clear();
+            col_pool.push(vids);
+        }
+        self.qsets.clear();
+    }
+
+    /// Re-widths an *empty* vector's query-set column (pooled vectors are
+    /// width-agnostic between uses).
+    pub fn set_words_per_set(&mut self, words_per_set: usize) {
+        debug_assert!(self.is_empty() && self.cols.is_empty());
+        self.qsets.reset(words_per_set);
+    }
+
+    /// Fills an *empty* vector with the base-scan rows `start..end` of
+    /// `rel`, all annotated with `queries`, using `vids` as the (recycled)
+    /// column buffer — the pooled counterpart of [`from_scan`](Self::from_scan).
+    pub fn refill_scan(
+        &mut self,
+        rel: RelId,
+        start: usize,
+        end: usize,
+        queries: &QuerySet,
+        mut vids: Vec<u32>,
+    ) {
+        debug_assert!(self.is_empty() && self.cols.is_empty());
+        debug_assert_eq!(self.qsets.words_per_set(), queries.width());
+        vids.clear();
+        vids.extend(start as u32..end as u32);
+        self.qsets.push_repeat(queries.words(), end - start);
+        self.cols.push((rel, vids));
+    }
+
+    /// Copies tuples `[start, end)` into `out` (an empty vector of the same
+    /// query-set width), drawing column buffers from `col_pool` — the
+    /// pooled counterpart of [`slice`](Self::slice) for pending-vector
+    /// chunking.
+    pub fn copy_range_into(
+        &self,
+        start: usize,
+        end: usize,
+        out: &mut DataVector,
+        col_pool: &mut Vec<Vec<u32>>,
+    ) {
+        debug_assert!(start <= end && end <= self.len());
+        debug_assert!(out.is_empty() && out.cols.is_empty());
+        debug_assert_eq!(out.qsets.words_per_set(), self.qsets.words_per_set());
+        for (rel, vids) in &self.cols {
+            let mut buf = col_pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(&vids[start..end]);
+            out.cols.push((*rel, buf));
+        }
+        let wps = self.qsets.words_per_set();
+        out.qsets.push_rows(&self.qsets.raw()[start * wps..end * wps]);
+    }
+
     /// Copies tuples `[start, end)` into a new vector with the same
     /// columns (pending-vector chunking).
     pub fn slice(&self, start: usize, end: usize) -> DataVector {

@@ -17,7 +17,11 @@
 //! * **R4 `shim-surface-drift`** — the offline dependency shims under
 //!   `shims/` export only API the workspace actually references;
 //! * **R5 `config-docs`** — every public `EngineConfig` field is
-//!   documented.
+//!   documented;
+//! * **R6 `no-alloc-in-episode-loop`** — code regions marked
+//!   `// lint: hot-loop` never heap-allocate (`Vec::new`, `vec![…]`,
+//!   `.clone()`, `.to_vec()`, `.to_owned()`); steady-state episode
+//!   execution draws every buffer from the `EpisodeScratch` arena.
 //!
 //! Matching is lexer-based ([`lexer`]): string literals, char literals,
 //! raw strings, and comments can never false-positive. Violations are

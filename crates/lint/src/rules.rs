@@ -1,6 +1,6 @@
 //! The rule set and the per-file analysis context.
 //!
-//! Five rules, each enforcing one workspace invariant:
+//! Six rules, each enforcing one workspace invariant:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -9,6 +9,7 @@
 //! | `no-stdout-in-libs` | library crates never write to stdout/stderr |
 //! | `shim-surface-drift` | shims export only what the workspace uses |
 //! | `config-docs` | every public `EngineConfig` field is documented |
+//! | `no-alloc-in-episode-loop` | `// lint: hot-loop` regions never allocate |
 //!
 //! Rules operate on the token stream of [`crate::lexer`], so matches inside
 //! strings, chars, and comments are structurally impossible. Violations can
@@ -40,6 +41,8 @@ pub const NO_STDOUT_IN_LIBS: &str = "no-stdout-in-libs";
 pub const SHIM_SURFACE_DRIFT: &str = "shim-surface-drift";
 /// Rule R5.
 pub const CONFIG_DOCS: &str = "config-docs";
+/// Rule R6.
+pub const NO_ALLOC_IN_EPISODE_LOOP: &str = "no-alloc-in-episode-loop";
 
 /// The rule registry, in R1..R5 order.
 pub const RULES: &[Rule] = &[
@@ -71,6 +74,12 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Deny,
         summary: "every public EngineConfig field must carry a doc comment",
     },
+    Rule {
+        name: NO_ALLOC_IN_EPISODE_LOOP,
+        severity: Severity::Deny,
+        summary: "Vec::new/vec![/.clone()/.to_vec() are banned inside `// lint: hot-loop` \
+                  regions of hot-path modules; draw from the EpisodeScratch arena instead",
+    },
 ];
 
 /// Looks up a rule by name.
@@ -86,6 +95,10 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/exec/src/stem.rs",
     "crates/exec/src/engine.rs",
     "crates/exec/src/output.rs",
+    // The scratch arena and the pooled vector both live inside the episode
+    // loop: every buffer they hand out is on the per-vector path.
+    "crates/exec/src/scratch.rs",
+    "crates/exec/src/vector.rs",
     "crates/policy/src/qlearning.rs",
     "crates/core/src/relset.rs",
     "crates/core/src/queryset.rs",
@@ -320,6 +333,91 @@ pub fn check_no_panic_hot_path(file: &SourceFile, out: &mut Vec<Violation>) {
             );
         }
     }
+}
+
+/// The marker comment that opens an R6 hot-loop region. The region covers
+/// the item (function, loop, or statement) starting at the first token
+/// after the marker, through its closing brace or terminating `;`.
+pub const HOT_LOOP_MARKER: &str = "lint: hot-loop";
+
+/// R6: heap allocation inside `// lint: hot-loop` regions. The episode
+/// loop's steady state must draw every buffer from the `EpisodeScratch`
+/// arena; a `Vec::new`, `vec![…]`, `.clone()`, or `.to_vec()` sneaking
+/// into a marked region is a per-vector allocation regression that no
+/// profiler run will catch before it ships.
+pub fn check_no_alloc_in_episode_loop(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !HOT_PATHS.contains(&file.rel_path.as_str()) {
+        return;
+    }
+    let toks = file.toks();
+    // Marked regions: token span of the item following each marker.
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    for c in &file.lexed.comments {
+        if !c.text.contains(HOT_LOOP_MARKER) {
+            continue;
+        }
+        if let Some(start) = toks.iter().position(|t| t.line > c.end_line) {
+            if let Some(end) = item_end(toks, start) {
+                regions.push((start, end));
+            }
+        }
+    }
+    for &(start, end) in &regions {
+        for i in start..end.min(toks.len()) {
+            if file.in_test(i) {
+                continue;
+            }
+            let t = &toks[i];
+            let prev = i.checked_sub(1).map(|p| &toks[p]);
+            let next = toks.get(i + 1);
+            let mut report = |what: &str| {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    rule: NO_ALLOC_IN_EPISODE_LOOP,
+                    message: format!(
+                        "{what} allocates inside a `// {HOT_LOOP_MARKER}` region; take a \
+                         pooled buffer from the `EpisodeScratch` arena instead"
+                    ),
+                });
+            };
+            if t.is_ident("vec") && next.is_some_and(|n| n.is_punct('!')) {
+                report("`vec![…]`");
+            } else if t.is_ident("Vec") && next.is_some_and(|n| n.is_punct(':')) {
+                if let Some(ctor) = assoc_fn_after_path(toks, i + 1) {
+                    if ctor == "new" || ctor == "with_capacity" {
+                        report(&format!("`Vec::{ctor}`"));
+                    }
+                }
+            } else if t.kind == TokKind::Ident
+                && (t.text == "clone" || t.text == "to_vec" || t.text == "to_owned")
+                && prev.is_some_and(|p| p.is_punct('.'))
+                && next.is_some_and(|n| n.is_punct('('))
+            {
+                report(&format!("`.{}()`", t.text));
+            }
+        }
+    }
+}
+
+/// Resolves the associated-function name at the end of a `::`-path starting
+/// at the `:` token `i` (handles the turbofish: `Vec::<T>::new`). Returns
+/// `None` when the tokens do not form `:: [\<…\> ::] ident`.
+fn assoc_fn_after_path(toks: &[Tok], i: usize) -> Option<&str> {
+    let mut j = i;
+    if !(toks.get(j)?.is_punct(':') && toks.get(j + 1)?.is_punct(':')) {
+        return None;
+    }
+    j += 2;
+    if toks.get(j)?.is_punct('<') {
+        j = matching_close(toks, j, '<', '>')? + 1;
+        if !(toks.get(j)?.is_punct(':') && toks.get(j + 1)?.is_punct(':')) {
+            return None;
+        }
+        j += 2;
+    }
+    let t = toks.get(j)?;
+    (t.kind == TokKind::Ident).then_some(t.text.as_str())
 }
 
 /// Can this token end an expression that `[` would index into?
@@ -781,6 +879,84 @@ fn f(x: Option<u32>) -> u32 {
     fn r1_does_not_flag_unwrap_or_variants() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }";
         assert!(run_rule(HOT, src, check_no_panic_hot_path).is_empty());
+    }
+
+    // ---- R6 fixtures -------------------------------------------------
+
+    #[test]
+    fn r6_flags_allocation_inside_marked_regions_only() {
+        let src = r#"
+fn cold() -> Vec<u32> {
+    let v = Vec::new(); // unmarked: allocation is fine here
+    v
+}
+// lint: hot-loop
+fn hot(xs: &[u32], scratch: &mut Vec<u32>) -> Vec<u32> {
+    let a: Vec<u32> = Vec::new();
+    let b = Vec::<u32>::with_capacity(4);
+    let c = vec![1u32];
+    let d = xs.to_vec();
+    let e = a.clone();
+    e
+}
+fn also_cold(xs: &[u32]) -> Vec<u32> { xs.to_vec() }
+"#;
+        let v = run_rule(HOT, src, check_no_alloc_in_episode_loop);
+        assert_eq!(v.len(), 5, "{v:?}");
+        assert!(v.iter().all(|x| (8..=12).contains(&x.line)), "{v:?}");
+    }
+
+    #[test]
+    fn r6_marker_covers_loops_and_respects_allow_and_tests() {
+        let src = r#"
+fn f(xs: &[u32]) {
+    // lint: hot-loop
+    for x in xs {
+        let v = vec![*x];
+        let w = v.clone(); // lint:allow(no-alloc-in-episode-loop) — cold branch
+        drop(w);
+    }
+    let after = vec![1]; // after the loop's closing brace: unmarked
+    drop(after);
+}
+
+#[cfg(test)]
+mod tests {
+    // lint: hot-loop
+    fn g() { let v = Vec::new(); drop(v); }
+}
+"#;
+        let v = run_rule(HOT, src, check_no_alloc_in_episode_loop);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("vec!"));
+    }
+
+    #[test]
+    fn r6_only_applies_to_hot_path_modules() {
+        let src = "// lint: hot-loop\nfn f() -> Vec<u8> { Vec::new() }";
+        assert!(run_rule("crates/query/src/parser.rs", src, check_no_alloc_in_episode_loop)
+            .is_empty());
+        assert_eq!(run_rule(HOT, src, check_no_alloc_in_episode_loop).len(), 1);
+        assert_eq!(
+            run_rule("crates/exec/src/scratch.rs", src, check_no_alloc_in_episode_loop).len(),
+            1,
+            "scratch.rs must be hot-path covered"
+        );
+    }
+
+    #[test]
+    fn r6_ignores_non_allocating_lookalikes() {
+        let src = r#"
+// lint: hot-loop
+fn f(xs: &mut Vec<u32>, s: &str) -> usize {
+    xs.clear();
+    let n = s.len(); // "vec![" and Vec::new() in a string are not tokens
+    xs.capacity() + n
+}
+"#;
+        let v = run_rule(HOT, src, check_no_alloc_in_episode_loop);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     // ---- R2 fixtures -------------------------------------------------

@@ -61,6 +61,7 @@ impl Workspace {
         let mut out = Vec::new();
         for f in &self.files {
             rules::check_no_panic_hot_path(f, &mut out);
+            rules::check_no_alloc_in_episode_loop(f, &mut out);
             rules::check_unsafe_comments(f, &mut out);
             rules::check_no_stdout_in_libs(f, &mut out);
             rules::check_config_docs(f, &mut out);

@@ -31,9 +31,16 @@ pub struct LogEntry {
 
 /// An episode's worth of log entries, reused across episodes to avoid
 /// reallocation.
+///
+/// Retired entries are parked in a spare pool rather than dropped, so their
+/// query-set buffers survive [`clear`](Self::clear) /
+/// [`truncate`](Self::truncate) and are refilled in place by
+/// [`push_reused`](Self::push_reused) — in steady state an episode's
+/// logging allocates nothing.
 #[derive(Debug, Default)]
 pub struct ExecutionLog {
     entries: Vec<LogEntry>,
+    spare: Vec<LogEntry>,
 }
 
 impl ExecutionLog {
@@ -48,24 +55,66 @@ impl ExecutionLog {
         self.entries.push(entry);
     }
 
+    /// Appends an entry built from parts, recycling a retired entry's
+    /// query-set buffer when one is available — the allocation-free
+    /// counterpart of [`push`](Self::push) for the episode hot path.
+    /// Takes `LogEntry`'s fields individually (rather than a constructed
+    /// entry) precisely so callers never build one.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn push_reused(
+        &mut self,
+        scope: Scope,
+        lineage: Lineage,
+        queries: &QuerySet,
+        op: OpId,
+        n_in: u64,
+        n_out: u64,
+        n_div: Option<u64>,
+    ) {
+        match self.spare.pop() {
+            Some(mut e) => {
+                e.scope = scope;
+                e.lineage = lineage;
+                e.queries.copy_from(queries);
+                e.op = op;
+                e.n_in = n_in;
+                e.n_out = n_out;
+                e.n_div = n_div;
+                self.entries.push(e);
+            }
+            None => self.entries.push(LogEntry {
+                scope,
+                lineage,
+                queries: queries.clone(),
+                op,
+                n_in,
+                n_out,
+                n_div,
+            }),
+        }
+    }
+
     /// The recorded entries in execution order.
     #[inline]
     pub fn entries(&self) -> &[LogEntry] {
         &self.entries
     }
 
-    /// Clears the log for the next episode.
+    /// Clears the log for the next episode, parking the retired entries for
+    /// [`push_reused`](Self::push_reused).
     #[inline]
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.spare.append(&mut self.entries);
     }
 
     /// Drops entries recorded after a mark taken with [`len`](Self::len) —
     /// used by the episode watchdog to roll the log back to the start of an
-    /// aborted join phase before the phase is replanned.
+    /// aborted join phase before the phase is replanned. The rolled-back
+    /// entries are parked for [`push_reused`](Self::push_reused).
     #[inline]
     pub fn truncate(&mut self, len: usize) {
-        self.entries.truncate(len);
+        self.spare.extend(self.entries.drain(len..));
     }
 
     /// Number of entries.
@@ -127,6 +176,27 @@ mod tests {
         log.truncate(mark);
         assert_eq!(log.len(), 1);
         assert_eq!(log.join_tuples(), 1);
+    }
+
+    #[test]
+    fn push_reused_recycles_retired_entries() {
+        let mut log = ExecutionLog::new();
+        log.push(entry(Scope::JOIN, 5));
+        log.clear();
+        let qs = QuerySet::singleton(roulette_core::QueryId(1), 3);
+        log.push_reused(Scope::JOIN, 9, &qs, 2, 10, 4, Some(6));
+        // The recycled entry carries the new data, not the retired one's.
+        let e = &log.entries()[0];
+        assert_eq!(e.lineage, 9);
+        assert_eq!(e.queries, qs);
+        assert_eq!((e.op, e.n_in, e.n_out, e.n_div), (2, 10, 4, Some(6)));
+        // Truncated entries are parked for reuse too.
+        let mark = log.len();
+        log.push_reused(Scope::JOIN, 1, &qs, 0, 1, 1, None);
+        log.truncate(mark);
+        assert_eq!(log.len(), 1);
+        log.push_reused(Scope::JOIN, 2, &qs, 0, 2, 2, None);
+        assert_eq!(log.entries()[1].lineage, 2);
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub trait Recorder: Send + Sync {
         let _ = tuples;
     }
 
+    /// Called once per episode with the scratch arena's buffer-reuse
+    /// counters: acquisitions served from a pool (`hits`) vs. freshly
+    /// allocated (`misses`). A healthy steady state is all hits.
+    fn record_scratch(&self, hits: u64, misses: u64) {
+        let _ = (hits, misses);
+    }
+
     /// Called for rare structured events, stamped with the episode counter.
     fn record_event(&self, episode: u64, kind: EventKind) {
         let _ = (episode, kind);
@@ -107,6 +114,7 @@ mod tests {
             inserted: 512,
         });
         r.record_probe_batch(64);
+        r.record_scratch(12, 3);
         r.record_event(1, EventKind::Admission { query: 0 });
         r.record_policy_probe(
             1,

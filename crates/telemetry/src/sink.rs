@@ -36,6 +36,8 @@ pub struct Telemetry {
     probe_batch: Arc<Histogram>,
     vector_fill_permille: Arc<Histogram>,
     selection_survivors_permille: Arc<Histogram>,
+    scratch_hits: Arc<ShardedCounter>,
+    scratch_misses: Arc<ShardedCounter>,
 
     admitted: Arc<ShardedCounter>,
     completed: Arc<ShardedCounter>,
@@ -90,6 +92,14 @@ impl Telemetry {
             "roulette_selection_survivors_permille",
             "Tuples surviving selection, in thousandths of the scanned batch",
         );
+        let scratch_hits = registry.counter(
+            "roulette_scratch_reuse_hits_total",
+            "Episode scratch buffer acquisitions served from a pool",
+        );
+        let scratch_misses = registry.counter(
+            "roulette_scratch_misses_total",
+            "Episode scratch buffer acquisitions that had to allocate",
+        );
         let admitted = registry.counter("roulette_queries_admitted_total", "Queries admitted");
         let completed = registry.counter("roulette_queries_completed_total", "Queries completed");
         let quarantined =
@@ -141,6 +151,8 @@ impl Telemetry {
             probe_batch,
             vector_fill_permille,
             selection_survivors_permille,
+            scratch_hits,
+            scratch_misses,
             admitted,
             completed,
             quarantined,
@@ -232,6 +244,11 @@ impl Recorder for Telemetry {
         self.probe_batch.record(tuples);
     }
 
+    fn record_scratch(&self, hits: u64, misses: u64) {
+        self.scratch_hits.add(hits);
+        self.scratch_misses.add(misses);
+    }
+
     fn record_event(&self, episode: u64, kind: EventKind) {
         match &kind {
             EventKind::Admission { query } => {
@@ -302,6 +319,16 @@ mod tests {
         // 512/1024 = 500 permille.
         assert!(text.contains("roulette_vector_fill_permille_sum 500"));
         assert!(text.contains("roulette_selection_survivors_permille_sum 500"));
+    }
+
+    #[test]
+    fn scratch_counters_accumulate() {
+        let t = Telemetry::default();
+        t.record_scratch(10, 2);
+        t.record_scratch(5, 0);
+        let text = prom(&t);
+        assert!(text.contains("roulette_scratch_reuse_hits_total 15"));
+        assert!(text.contains("roulette_scratch_misses_total 2"));
     }
 
     #[test]

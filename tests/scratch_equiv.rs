@@ -1,0 +1,169 @@
+//! Differential tests for the episode scratch arena.
+//!
+//! The zero-allocation hot path (`EpisodeScratch` pooling, the flat sink
+//! rowstore, batched STeM probes) is a pure mechanical transformation: with
+//! scratch reuse enabled the engine must produce *byte-identical* results —
+//! per-query row counts, checksums, and collected output rows — to a run
+//! that allocates every buffer fresh (`with_scratch_reuse(false)`, the
+//! differential-testing reference path). These tests pin that down at one
+//! and four workers, and under mid-session fault quarantine, where the
+//! panic/error paths must leave pooled buffers in a reusable state.
+
+use roulette::core::{EngineConfig, QueryId};
+use roulette::exec::{CompletionStatus, FaultInjector, FaultSite, QueryResult, RouletteEngine};
+use roulette::query::SpjQuery;
+use roulette::storage::{Catalog, RelationBuilder};
+
+/// fact(fk → dim.pk, v) with dangling fks; `scale` repeats the pattern.
+fn catalog(scale: usize) -> Catalog {
+    let mut c = Catalog::new();
+    let pattern_fk = [0i64, 1, 2, 0, 1, 9, 9, 2];
+    let mut fk = Vec::with_capacity(pattern_fk.len() * scale);
+    let mut v = Vec::with_capacity(pattern_fk.len() * scale);
+    for i in 0..scale {
+        for (j, &f) in pattern_fk.iter().enumerate() {
+            fk.push(f);
+            v.push((i * pattern_fk.len() + j) as i64);
+        }
+    }
+    let mut f = RelationBuilder::new("fact");
+    f.int64("fk", fk);
+    f.int64("v", v);
+    c.add(f.build()).unwrap();
+    let mut d = RelationBuilder::new("dim");
+    d.int64("pk", vec![0, 1, 2, 3]);
+    d.int64("w", vec![10, 11, 12, 13]);
+    c.add(d.build()).unwrap();
+    c
+}
+
+/// Mixed workload: a projecting join (exercises the flat rowstore), a
+/// filtered projecting join, and a projection-free count-style query.
+fn workload(c: &Catalog) -> Vec<SpjQuery> {
+    vec![
+        SpjQuery::builder(c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .project("dim", "w")
+            .project("fact", "v")
+            .build()
+            .unwrap(),
+        SpjQuery::builder(c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .range("fact", "v", 3, 40)
+            .project("fact", "v")
+            .build()
+            .unwrap(),
+        SpjQuery::builder(c)
+            .relation("fact")
+            .relation("dim")
+            .join(("fact", "fk"), ("dim", "pk"))
+            .range("fact", "v", 0, 11)
+            .build()
+            .unwrap(),
+    ]
+}
+
+/// Runs the workload; returns per-query results plus sorted collected rows.
+fn run(
+    c: &Catalog,
+    cfg: &EngineConfig,
+    injector: Option<FaultInjector>,
+) -> (Vec<QueryResult>, Vec<Vec<Vec<i64>>>) {
+    let engine = RouletteEngine::new(c, cfg.clone());
+    let queries = workload(c);
+    let n = queries.len();
+    let mut session = engine.session(n);
+    session.collect_rows().unwrap();
+    if let Some(inj) = injector {
+        session.set_fault_injector(inj);
+    }
+    for q in queries {
+        session.admit(q).unwrap();
+    }
+    session.run();
+    // Workers drain vectors in nondeterministic interleavings, so collected
+    // row *order* is schedule-dependent; sort before comparing. Row counts
+    // and the order-independent checksums need no normalization.
+    let rows = (0..n)
+        .map(|i| {
+            let mut r = session.take_collected(QueryId(i as u32));
+            r.sort_unstable();
+            r
+        })
+        .collect();
+    (session.finish().per_query, rows)
+}
+
+fn assert_equivalent(cfg: &EngineConfig, injector: impl Fn() -> Option<FaultInjector>, tag: &str) {
+    let c = catalog(8);
+    let reuse = cfg.clone().with_scratch_reuse(true);
+    let fresh = cfg.clone().with_scratch_reuse(false);
+    let (r_res, r_rows) = run(&c, &reuse, injector());
+    let (f_res, f_rows) = run(&c, &fresh, injector());
+    for (i, (r, f)) in r_res.iter().zip(&f_res).enumerate() {
+        assert_eq!(r.status, f.status, "{tag}: query {i} status diverged");
+        if r.status != CompletionStatus::Complete {
+            continue; // quarantined outputs are explicitly untrusted
+        }
+        assert_eq!(
+            (r.rows, r.checksum),
+            (f.rows, f.checksum),
+            "{tag}: query {i} result diverged between scratch reuse on/off"
+        );
+        assert_eq!(r_rows[i], f_rows[i], "{tag}: query {i} collected rows diverged");
+        assert_eq!(r.rows as usize, r_rows[i].len(), "{tag}: query {i} row count vs collected");
+    }
+}
+
+#[test]
+fn scratch_reuse_is_byte_identical_single_worker() {
+    let cfg = EngineConfig::default().with_vector_size(3).unwrap();
+    assert_equivalent(&cfg, || None, "1 worker");
+}
+
+#[test]
+fn scratch_reuse_is_byte_identical_four_workers() {
+    let cfg = EngineConfig::default()
+        .with_vector_size(7)
+        .unwrap()
+        .with_workers(4)
+        .unwrap();
+    assert_equivalent(&cfg, || None, "4 workers");
+}
+
+#[test]
+fn scratch_reuse_is_byte_identical_under_quarantine() {
+    // An error fault mid-session evicts one query; the pooled buffers the
+    // aborted episode touched must come back clean so survivors' results
+    // stay identical to the allocate-fresh reference.
+    let cfg = EngineConfig::default().with_vector_size(3).unwrap();
+    for site in [FaultSite::StemInsert, FaultSite::StemProbe, FaultSite::Route] {
+        assert_equivalent(
+            &cfg,
+            || Some(FaultInjector::new().fail_at(site, Some(QueryId(1)), 2)),
+            &format!("quarantine at {site:?}"),
+        );
+    }
+}
+
+#[test]
+fn scratch_reuse_is_byte_identical_after_contained_panic() {
+    // A panic fault unwinds through the episode; `EpisodeScratch::reset`
+    // must restore a pristine arena before the next episode reuses it.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(|| {
+        let cfg = EngineConfig::default().with_vector_size(3).unwrap();
+        assert_equivalent(
+            &cfg,
+            || Some(FaultInjector::new().panic_at(FaultSite::StemProbe, 2)),
+            "contained panic",
+        );
+    });
+    std::panic::set_hook(prev);
+    outcome.unwrap();
+}
