@@ -37,14 +37,119 @@ pub enum Error {
         /// What went wrong.
         message: String,
     },
+    /// The serving frontend refused the request under load: the admission
+    /// queue was at capacity, the engine's memory-pressure ladder had
+    /// paused admissions, or the server was draining. The request was
+    /// never admitted; retrying after backoff is safe.
+    Overloaded(String),
+    /// A query exceeded its deadline budget and was evicted from the
+    /// shared plan; its accumulated outputs are partial and untrusted.
+    DeadlineExceeded {
+        /// The query evicted from the shared plan.
+        query: QueryId,
+        /// The budget that was exceeded, rendered for the client.
+        message: String,
+    },
+    /// A wire-protocol request was malformed (unknown command, truncated
+    /// line, bad deadline syntax) or an error code received over the wire
+    /// was not recognized.
+    ProtocolViolation(String),
 }
+
+/// Every stable wire code, aligned with [`Error::wire_code`]. Serving
+/// clients and tests iterate this slice so the wire vocabulary cannot
+/// silently drift from the enum.
+pub const WIRE_CODES: &[&str] = &[
+    "schema",
+    "invalid-query",
+    "parse",
+    "plan",
+    "calibration",
+    "capacity",
+    "resource-exhausted",
+    "internal",
+    "query-fault",
+    "overloaded",
+    "deadline-exceeded",
+    "protocol-violation",
+];
 
 impl Error {
     /// The query a fault is attributed to, if the error carries one.
     pub fn query(&self) -> Option<QueryId> {
         match self {
-            Error::QueryFault { query, .. } => Some(*query),
+            Error::QueryFault { query, .. } | Error::DeadlineExceeded { query, .. } => {
+                Some(*query)
+            }
             _ => None,
+        }
+    }
+
+    /// The stable kebab-case wire code for this error. Codes are part of
+    /// the serving protocol: they never change meaning, and every variant
+    /// has exactly one (see [`WIRE_CODES`] and [`Error::from_wire`]).
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            Error::Schema(_) => "schema",
+            Error::InvalidQuery(_) => "invalid-query",
+            Error::Parse(_) => "parse",
+            Error::Plan(_) => "plan",
+            Error::Calibration(_) => "calibration",
+            Error::Capacity(_) => "capacity",
+            Error::ResourceExhausted(_) => "resource-exhausted",
+            Error::Internal(_) => "internal",
+            Error::QueryFault { .. } => "query-fault",
+            Error::Overloaded(_) => "overloaded",
+            Error::DeadlineExceeded { .. } => "deadline-exceeded",
+            Error::ProtocolViolation(_) => "protocol-violation",
+        }
+    }
+
+    /// The human-readable message carried by this error (without the
+    /// category prefix `Display` adds). Used by the wire encoding, which
+    /// transmits `(code, query, message)` and reconstructs via
+    /// [`Error::from_wire`].
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Schema(m)
+            | Error::InvalidQuery(m)
+            | Error::Parse(m)
+            | Error::Plan(m)
+            | Error::Calibration(m)
+            | Error::Capacity(m)
+            | Error::ResourceExhausted(m)
+            | Error::Internal(m)
+            | Error::Overloaded(m)
+            | Error::ProtocolViolation(m) => m,
+            Error::QueryFault { message, .. } | Error::DeadlineExceeded { message, .. } => {
+                message
+            }
+        }
+    }
+
+    /// Reconstructs an error from its wire encoding. Query-attributed
+    /// codes (`query-fault`, `deadline-exceeded`) require `query`; when it
+    /// is absent they — like unknown codes — decode to
+    /// [`Error::ProtocolViolation`], so a peer speaking a newer protocol
+    /// degrades to a typed error instead of a parse failure.
+    pub fn from_wire(code: &str, query: Option<QueryId>, message: String) -> Error {
+        match (code, query) {
+            ("schema", _) => Error::Schema(message),
+            ("invalid-query", _) => Error::InvalidQuery(message),
+            ("parse", _) => Error::Parse(message),
+            ("plan", _) => Error::Plan(message),
+            ("calibration", _) => Error::Calibration(message),
+            ("capacity", _) => Error::Capacity(message),
+            ("resource-exhausted", _) => Error::ResourceExhausted(message),
+            ("internal", _) => Error::Internal(message),
+            ("overloaded", _) => Error::Overloaded(message),
+            ("protocol-violation", _) => Error::ProtocolViolation(message),
+            ("query-fault", Some(query)) => Error::QueryFault { query, message },
+            ("deadline-exceeded", Some(query)) => Error::DeadlineExceeded { query, message },
+            ("query-fault" | "deadline-exceeded", None) => Error::ProtocolViolation(format!(
+                "wire code {code:?} requires a query attribution: {message}"
+            )),
+            _ => Error::ProtocolViolation(format!("unknown wire code {code:?}: {message}")),
         }
     }
 }
@@ -63,6 +168,11 @@ impl fmt::Display for Error {
             Error::QueryFault { query, message } => {
                 write!(f, "query Q{} faulted: {message}", query.0)
             }
+            Error::Overloaded(m) => write!(f, "overloaded: {m}"),
+            Error::DeadlineExceeded { query, message } => {
+                write!(f, "query Q{} exceeded its deadline: {message}", query.0)
+            }
+            Error::ProtocolViolation(m) => write!(f, "protocol violation: {m}"),
         }
     }
 }
@@ -94,5 +204,65 @@ mod tests {
     fn is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Error::Plan("x".into()));
+    }
+
+    fn one_of_each() -> Vec<Error> {
+        vec![
+            Error::Schema("s".into()),
+            Error::InvalidQuery("iq".into()),
+            Error::Parse("p".into()),
+            Error::Plan("pl".into()),
+            Error::Calibration("c".into()),
+            Error::Capacity("cap".into()),
+            Error::ResourceExhausted("re".into()),
+            Error::Internal("i".into()),
+            Error::QueryFault { query: QueryId(7), message: "qf".into() },
+            Error::Overloaded("queue full".into()),
+            Error::DeadlineExceeded { query: QueryId(3), message: "250 ms".into() },
+            Error::ProtocolViolation("bad line".into()),
+        ]
+    }
+
+    #[test]
+    fn serving_variants_render_and_attribute() {
+        let e = Error::Overloaded("depth 256".into());
+        assert_eq!(e.to_string(), "overloaded: depth 256");
+        assert_eq!(e.query(), None);
+        let e = Error::DeadlineExceeded { query: QueryId(5), message: "100 ms".into() };
+        assert!(e.to_string().contains("Q5"));
+        assert_eq!(e.query(), Some(QueryId(5)));
+        let e = Error::ProtocolViolation("truncated".into());
+        assert!(e.to_string().contains("protocol"));
+        assert_eq!(e.query(), None);
+    }
+
+    #[test]
+    fn wire_codes_cover_every_variant_exactly_once() {
+        let codes: Vec<&str> = one_of_each().iter().map(Error::wire_code).collect();
+        assert_eq!(codes, WIRE_CODES, "enum order and WIRE_CODES must stay aligned");
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes must be unique");
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_variant_query_and_message() {
+        for e in one_of_each() {
+            let decoded =
+                Error::from_wire(e.wire_code(), e.query(), e.message().to_string());
+            assert_eq!(decoded, e, "round-trip of {}", e.wire_code());
+        }
+    }
+
+    #[test]
+    fn unknown_or_malformed_wire_codes_decode_to_protocol_violation() {
+        let e = Error::from_wire("no-such-code", None, "m".into());
+        assert!(matches!(e, Error::ProtocolViolation(_)), "{e}");
+        // Query-attributed codes without a query cannot reconstruct.
+        let e = Error::from_wire("query-fault", None, "m".into());
+        assert!(matches!(e, Error::ProtocolViolation(_)), "{e}");
+        let e = Error::from_wire("deadline-exceeded", None, "m".into());
+        assert!(matches!(e, Error::ProtocolViolation(_)), "{e}");
     }
 }

@@ -29,7 +29,7 @@ pub mod relset;
 
 pub use config::{EngineConfig, TelemetryConfig};
 pub use cost::{CostModel, OpKind};
-pub use error::{Error, Result};
+pub use error::{Error, Result, WIRE_CODES};
 pub use ids::{ColId, QueryId, RelId};
 pub use queryset::{QuerySet, QuerySetColumn};
 pub use relset::RelSet;

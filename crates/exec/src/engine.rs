@@ -327,10 +327,15 @@ impl<'a> Session<'a> {
                 .get(q.index())
                 .is_some_and(|f| !f.swap(true, Ordering::Relaxed));
             if first {
-                rec.record_event(
-                    self.stats.episodes.load(Ordering::Relaxed),
-                    EventKind::Quarantine { query: q.0, reason: err.to_string() },
-                );
+                // Deadline evictions are a latency-policy decision, not a
+                // fault; emit the dedicated event so overload dashboards
+                // can tell the two apart.
+                let kind = if matches!(err, Error::DeadlineExceeded { .. }) {
+                    EventKind::DeadlineExceeded { query: q.0, reason: err.to_string() }
+                } else {
+                    EventKind::Quarantine { query: q.0, reason: err.to_string() }
+                };
+                rec.record_event(self.stats.episodes.load(Ordering::Relaxed), kind);
             }
         }
         self.outputs.quarantine(q, err);
@@ -606,15 +611,22 @@ impl<'a> Session<'a> {
     /// Runs episodes until all admitted queries' input is consumed, using
     /// `config.workers` worker threads.
     pub fn run(&mut self) {
+        self.run_workers();
+    }
+
+    /// Shared-reference form of [`run`](Self::run), for callers that need
+    /// to act on the session concurrently while it executes — e.g. a
+    /// serving frontend's deadline sweeper calling
+    /// [`quarantine`](Self::quarantine) from another thread.
+    pub fn run_workers(&self) {
         if self.config.workers <= 1 {
             self.worker_loop();
             return;
         }
         let workers = self.config.workers;
-        let this: &Session<'_> = self;
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| this.worker_loop());
+                scope.spawn(|| self.worker_loop());
             }
         });
     }
@@ -651,6 +663,21 @@ impl<'a> Session<'a> {
     /// Number of admitted queries.
     pub fn n_queries(&self) -> usize {
         self.batch.n_queries()
+    }
+
+    /// The query's terminal status, or `None` while it is still live with
+    /// unread input. Serving frontends use this after a drain to assert no
+    /// query leaked without reaching a terminal
+    /// [`CompletionStatus`](crate::output::CompletionStatus).
+    pub fn terminal_status(&self, q: QueryId) -> Option<crate::output::CompletionStatus> {
+        let status = self.outputs.result(q).status;
+        if status == crate::output::CompletionStatus::Quarantined {
+            return Some(status);
+        }
+        if self.live.contains(q) && self.query_active(q) {
+            return None;
+        }
+        Some(status)
     }
 
     /// Snapshot of one query's accumulated result.
@@ -1061,6 +1088,48 @@ mod tests {
             .collect();
         assert_eq!(terminal.len(), 1, "{terminal:?}");
         assert!(matches!(terminal[0], EventKind::Quarantine { query: 0, .. }));
+    }
+
+    #[test]
+    fn deadline_eviction_emits_dedicated_event_and_terminal_status() {
+        use crate::output::CompletionStatus;
+        use roulette_telemetry::{EventKind, Telemetry};
+        let c = tiny_catalog();
+        let mut engine = RouletteEngine::new(&c, EngineConfig::default());
+        let telemetry = Telemetry::with_defaults();
+        engine.set_recorder(telemetry.clone());
+        let mut session = engine.session(2);
+        let q0 = session.admit(join_query(&c)).unwrap();
+        let q1 = session.admit(join_query(&c)).unwrap();
+        // While live with unread input, there is no terminal status yet.
+        assert_eq!(session.terminal_status(q0), None);
+        session.quarantine(
+            q0,
+            Error::DeadlineExceeded { query: q0, message: "10 ms".into() },
+        );
+        assert_eq!(session.terminal_status(q0), Some(CompletionStatus::Quarantined));
+        session.run_workers();
+        assert!(matches!(
+            session.query_error(q0),
+            Some(Error::DeadlineExceeded { .. })
+        ));
+        assert_eq!(session.terminal_status(q1), Some(CompletionStatus::Complete));
+        let out = session.finish();
+        assert_eq!(out.per_query[1].rows, 6);
+        assert_eq!(out.per_query[0].status, CompletionStatus::Quarantined);
+        let events = telemetry.events().snapshot();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "deadline-exceeded").count(),
+            1,
+            "{kinds:?}"
+        );
+        // The deadline eviction is terminal: no quarantine or completion
+        // event is also emitted for q0.
+        assert!(events.iter().all(|e| !matches!(
+            e.kind,
+            EventKind::Quarantine { query: 0, .. } | EventKind::Completion { query: 0 }
+        )));
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl LiveSet {
     }
 }
 
-/// Execution sites where faults can be injected.
+/// Execution sites where faults can be injected. The first five live
+/// inside the episode loop; the `Wire*` sites live in the serving
+/// frontend's connection handlers (torn request reads, slow result
+/// consumers, mid-stream disconnects) so the whole server stack is
+/// chaos-testable with the same deterministic machinery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSite {
     /// After a vector is handed out by ingestion, before any processing.
@@ -76,18 +80,71 @@ pub enum FaultSite {
     StemProbe,
     /// At output routing.
     Route,
+    /// Wire layer: the request line arrives truncated (torn read); the
+    /// server must answer with a typed protocol violation, not hang.
+    WireTornRead,
+    /// Wire layer: the client drains its response slowly; exercises
+    /// per-connection backpressure and deadline interaction.
+    WireSlowClient,
+    /// Wire layer: the connection drops mid-response-stream; the engine
+    /// side must still drive the query to a terminal status.
+    WireDisconnect,
 }
 
-impl std::fmt::Display for FaultSite {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl FaultSite {
+    /// Sites checked inside the episode loop.
+    pub const ENGINE: &'static [FaultSite] = &[
+        FaultSite::Ingestion,
+        FaultSite::Filter,
+        FaultSite::StemInsert,
+        FaultSite::StemProbe,
+        FaultSite::Route,
+    ];
+
+    /// Sites checked in the serving frontend's connection handlers.
+    pub const WIRE: &'static [FaultSite] = &[
+        FaultSite::WireTornRead,
+        FaultSite::WireSlowClient,
+        FaultSite::WireDisconnect,
+    ];
+
+    /// Every injectable site. Tests and the loadgen `--chaos` mode
+    /// enumerate this slice so they cannot drift from the real set.
+    pub const ALL: &'static [FaultSite] = &[
+        FaultSite::Ingestion,
+        FaultSite::Filter,
+        FaultSite::StemInsert,
+        FaultSite::StemProbe,
+        FaultSite::Route,
+        FaultSite::WireTornRead,
+        FaultSite::WireSlowClient,
+        FaultSite::WireDisconnect,
+    ];
+
+    /// The site's stable kebab-case name (the inverse of
+    /// [`FaultSite::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
             FaultSite::Ingestion => "ingestion",
             FaultSite::Filter => "filter",
             FaultSite::StemInsert => "stem-insert",
             FaultSite::StemProbe => "stem-probe",
             FaultSite::Route => "route",
-        };
-        f.write_str(s)
+            FaultSite::WireTornRead => "wire-torn-read",
+            FaultSite::WireSlowClient => "wire-slow-client",
+            FaultSite::WireDisconnect => "wire-disconnect",
+        }
+    }
+
+    /// Resolves a site from its stable name.
+    pub fn parse(name: &str) -> Option<FaultSite> {
+        FaultSite::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -110,6 +167,19 @@ struct FaultSpec {
     kind: FaultKind,
     seen: AtomicU64,
     fired: AtomicBool,
+}
+
+/// SplitMix64 stream; self-contained so seeded fault plans never depend on
+/// the workspace RNG's stream.
+fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed;
+    move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 /// A deterministic fault injector.
@@ -158,30 +228,31 @@ impl FaultInjector {
     }
 
     /// Derives a small pseudo-random fault plan from `seed`: one error
-    /// fault at a seed-chosen site/occurrence against a seed-chosen query.
-    /// Same seed, same plan — the property harness sweeps seeds.
+    /// fault at a seed-chosen engine site/occurrence against a seed-chosen
+    /// query. Same seed, same plan — the property harness sweeps seeds.
     pub fn seeded(seed: u64, n_queries: usize) -> Self {
-        // SplitMix64 steps; self-contained so the plan never depends on the
-        // workspace RNG's stream.
-        let mut x = seed;
-        let mut next = move || {
-            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = x;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
-        const SITES: [FaultSite; 5] = [
-            FaultSite::Ingestion,
-            FaultSite::Filter,
-            FaultSite::StemInsert,
-            FaultSite::StemProbe,
-            FaultSite::Route,
-        ];
-        let site = SITES[(next() % SITES.len() as u64) as usize];
+        let mut next = splitmix(seed);
+        let site = FaultSite::ENGINE
+            .get((next() % FaultSite::ENGINE.len() as u64) as usize)
+            .copied()
+            .unwrap_or(FaultSite::Ingestion);
         let query = QueryId((next() % n_queries.max(1) as u64) as u32);
         let after = next() % 4;
         FaultInjector::new().fail_at(site, Some(query), after)
+    }
+
+    /// Derives a deterministic wire-layer chaos plan from `seed`: one
+    /// error fault per [`FaultSite::WIRE`] site, each firing after a
+    /// seed-chosen number of eligible checks (0–3). Every injected wire
+    /// fault fires exactly once, so a chaos run's failure count is bounded
+    /// by the plan, not the request volume.
+    pub fn seeded_wire(seed: u64) -> Self {
+        let mut next = splitmix(seed);
+        let mut inj = FaultInjector::new();
+        for &site in FaultSite::WIRE {
+            inj = inj.fail_at(site, None, next() % 4);
+        }
+        inj
     }
 
     /// Checks for a fault at `site` among `present` queries. Returns the
@@ -298,5 +369,68 @@ mod tests {
             let b = FaultInjector::seeded(seed, 4);
             assert_eq!(format!("{a:?}"), format!("{b:?}"));
         }
+    }
+
+    #[test]
+    fn site_slices_partition_all() {
+        assert_eq!(
+            FaultSite::ALL.len(),
+            FaultSite::ENGINE.len() + FaultSite::WIRE.len()
+        );
+        for s in FaultSite::ENGINE {
+            assert!(FaultSite::ALL.contains(s) && !FaultSite::WIRE.contains(s));
+        }
+        for s in FaultSite::WIRE {
+            assert!(FaultSite::ALL.contains(s) && !FaultSite::ENGINE.contains(s));
+        }
+    }
+
+    #[test]
+    fn site_names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &s in FaultSite::ALL {
+            assert_eq!(FaultSite::parse(s.name()), Some(s));
+            assert_eq!(s.to_string(), s.name());
+            assert!(seen.insert(s.name()), "duplicate name {}", s.name());
+        }
+        assert_eq!(FaultSite::parse("no-such-site"), None);
+    }
+
+    #[test]
+    fn seeded_wire_plans_are_deterministic_and_cover_all_wire_sites() {
+        for seed in 0..16 {
+            let a = FaultInjector::seeded_wire(seed);
+            let b = FaultInjector::seeded_wire(seed);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+            // Each wire site fires exactly once, in plan order, regardless
+            // of which queries are present at the wire.
+            let present = qs(&[0]);
+            let mut fired = Vec::new();
+            for round in 0..8 {
+                for &site in FaultSite::WIRE {
+                    if a.check(site, &present).is_some() {
+                        fired.push((site, round));
+                    }
+                }
+            }
+            let sites: Vec<FaultSite> = fired.iter().map(|&(s, _)| s).collect();
+            assert_eq!(sites.len(), FaultSite::WIRE.len(), "seed {seed}: {fired:?}");
+            for &site in FaultSite::WIRE {
+                assert!(sites.contains(&site), "seed {seed} missing {site}");
+            }
+            assert!(a.exhausted());
+            // Engine sites are untouched by a wire plan.
+            assert!(a.check(FaultSite::Ingestion, &present).is_none());
+        }
+    }
+
+    #[test]
+    fn wire_faults_do_not_fire_at_engine_sites() {
+        let inj = FaultInjector::seeded_wire(3);
+        let present = qs(&[0, 1]);
+        for &site in FaultSite::ENGINE {
+            assert!(inj.check(site, &present).is_none());
+        }
+        assert!(!inj.exhausted());
     }
 }

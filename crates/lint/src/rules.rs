@@ -109,6 +109,19 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/telemetry/src/metrics.rs",
     "crates/telemetry/src/recorder.rs",
     "crates/telemetry/src/sink.rs",
+    // The serving layer multiplexes live client traffic into shared
+    // sessions: a panic in a handler or the engine loop strands every
+    // in-flight query on that path. Binaries (main.rs) stay exempt.
+    "crates/server/src/lib.rs",
+    "crates/server/src/admission.rs",
+    "crates/server/src/http.rs",
+    "crates/server/src/metrics.rs",
+    "crates/server/src/protocol.rs",
+    "crates/server/src/server.rs",
+    "crates/server/src/workload.rs",
+    "crates/loadgen/src/lib.rs",
+    "crates/loadgen/src/client.rs",
+    "crates/loadgen/src/stats.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -1,0 +1,118 @@
+//! The `roulette-loadgen` binary: open-loop load against a running
+//! `roulette-server`, with stop thresholds and a chaos mode.
+//!
+//! ```text
+//! roulette-loadgen --addr 127.0.0.1:7878 [--rps 50] [--duration-s 5]
+//!                  [--concurrency 4] [--deadline-ms N] [--rows]
+//!                  [--chaos SEED] [--seed 11] [--pool 16] [--retries 3]
+//!                  [--stop-failure-rate 0.5] [--stop-median-ms 1000]
+//!                  [--drain]
+//! ```
+//!
+//! Exits 0 when the run passes its stop thresholds, 1 when it violates
+//! them (or the server leaked), 2 on usage errors.
+
+use roulette_loadgen::{run, LoadgenConfig};
+use std::time::Duration;
+
+fn parse_args() -> Result<LoadgenConfig, String> {
+    let mut cfg = LoadgenConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => cfg.addr = val("--addr")?,
+            "--rps" => {
+                cfg.target_rps = val("--rps")?.parse().map_err(|e| format!("--rps: {e}"))?
+            }
+            "--duration-s" => {
+                let s: f64 =
+                    val("--duration-s")?.parse().map_err(|e| format!("--duration-s: {e}"))?;
+                cfg.duration = Duration::from_secs_f64(s.max(0.0));
+            }
+            "--concurrency" => {
+                cfg.concurrency =
+                    val("--concurrency")?.parse().map_err(|e| format!("--concurrency: {e}"))?
+            }
+            "--deadline-ms" => {
+                cfg.deadline_ms =
+                    Some(val("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?)
+            }
+            "--rows" => cfg.want_rows = true,
+            "--chaos" => {
+                cfg.chaos_seed =
+                    Some(val("--chaos")?.parse().map_err(|e| format!("--chaos: {e}"))?)
+            }
+            "--seed" => {
+                cfg.workload_seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
+            "--pool" => {
+                cfg.pool_size = val("--pool")?.parse().map_err(|e| format!("--pool: {e}"))?
+            }
+            "--retries" => {
+                cfg.max_retries = val("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--stop-failure-rate" => {
+                cfg.stop_failure_rate = val("--stop-failure-rate")?
+                    .parse()
+                    .map_err(|e| format!("--stop-failure-rate: {e}"))?
+            }
+            "--stop-median-ms" => {
+                cfg.stop_t_median_ms = val("--stop-median-ms")?
+                    .parse()
+                    .map_err(|e| format!("--stop-median-ms: {e}"))?
+            }
+            "--drain" => cfg.drain_at_end = true,
+            "--help" | "-h" => return Err("see module docs for usage".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("roulette-loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = match run(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("roulette-loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "attempted={} sent={} ok={} failed={} shed={} retries={} disconnects={} \
+         deadline_exceeded={} rows={}",
+        report.attempted,
+        report.sent,
+        report.ok,
+        report.failed,
+        report.shed,
+        report.retries,
+        report.disconnects,
+        report.deadline_exceeded,
+        report.rows,
+    );
+    println!(
+        "latency_us p50={} p99={} max={} mean={} achieved_rps={:.1} failure_rate={:.3}{}",
+        report.p50_us,
+        report.p99_us,
+        report.max_us,
+        report.mean_us,
+        report.achieved_rps,
+        report.failure_rate,
+        if report.stopped_early { " (stopped early)" } else { "" },
+    );
+    let violations = report.violations(&cfg);
+    for v in &violations {
+        eprintln!("roulette-loadgen: VIOLATION: {v}");
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

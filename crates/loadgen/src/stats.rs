@@ -1,0 +1,125 @@
+//! Latency sample accounting: exact percentiles over collected samples.
+//!
+//! The loadgen keeps every latency sample (one `u64` of microseconds per
+//! request — at serving-test rates this is a few kilobytes), so the
+//! reported p50/p99 are exact order statistics, not sketch approximations.
+
+/// The nearest-rank percentile of `sorted` (ascending). Returns 0 for an
+/// empty slice; `p` is clamped into `[0, 1]`.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let p = p.clamp(0.0, 1.0);
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    let idx = rank.saturating_sub(1).min(sorted.len() - 1);
+    sorted.get(idx).copied().unwrap_or_default()
+}
+
+/// A latency sample set with summary accessors.
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.samples.push(us);
+        self.sorted = false;
+    }
+
+    /// Absorbs another sample set.
+    pub fn merge(&mut self, other: LatencyStats) {
+        self.samples.extend(other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile in microseconds (exact, nearest-rank).
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        self.ensure_sorted();
+        percentile(&self.samples, p)
+    }
+
+    /// Largest sample, in microseconds.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Mean sample, in microseconds.
+    pub fn mean(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.samples.iter().map(|&v| v as u128).sum();
+        u64::try_from(sum / self.samples.len() as u128).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_order_statistics() {
+        let mut s = LatencyStats::new();
+        for v in [5u64, 1, 3, 2, 4] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.percentile(0.5), 3);
+        assert_eq!(s.percentile(1.0), 5);
+        assert_eq!(s.max(), 5);
+        assert_eq!(s.mean(), 3);
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_panics() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(20);
+        b.record(30);
+        a.merge(b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.percentile(1.0), 30);
+    }
+
+    #[test]
+    fn p99_lands_in_the_tail() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(0.5), 50);
+        assert_eq!(s.percentile(0.99), 99);
+    }
+}

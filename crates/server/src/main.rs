@@ -1,0 +1,146 @@
+//! The `roulette-server` binary: hosts the demo chains dataset behind the
+//! line protocol, with optional Prometheus-over-HTTP and seeded wire chaos.
+//!
+//! ```text
+//! roulette-server [--addr 127.0.0.1:7878] [--queue 64] [--batch 8]
+//!                 [--workers 1] [--deadline-ms N] [--chaos SEED]
+//!                 [--metrics-addr 127.0.0.1:0] [--workload-seed 11]
+//!                 [--duration-s N]
+//! ```
+//!
+//! With `--duration-s` the server drains itself after N seconds (CI smoke
+//! runs); otherwise it serves until a client sends `DRAIN`.
+
+use roulette_core::EngineConfig;
+use roulette_server::{demo_dataset, spawn_metrics_http, Server, ServerConfig};
+use roulette_telemetry::Telemetry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    config: ServerConfig,
+    workers: usize,
+    workload_seed: u64,
+    metrics_addr: Option<String>,
+    duration_s: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        config: ServerConfig { addr: "127.0.0.1:7878".into(), ..ServerConfig::default() },
+        workers: 1,
+        workload_seed: 11,
+        metrics_addr: None,
+        duration_s: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.config.addr = val("--addr")?,
+            "--queue" => {
+                args.config.queue_capacity =
+                    val("--queue")?.parse().map_err(|e| format!("--queue: {e}"))?
+            }
+            "--batch" => {
+                args.config.batch_max =
+                    val("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?
+            }
+            "--workers" => {
+                args.workers = val("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--deadline-ms" => {
+                args.config.default_deadline_ms =
+                    Some(val("--deadline-ms")?.parse().map_err(|e| format!("--deadline-ms: {e}"))?)
+            }
+            "--chaos" => {
+                args.config.chaos_seed =
+                    Some(val("--chaos")?.parse().map_err(|e| format!("--chaos: {e}"))?)
+            }
+            "--metrics-addr" => args.metrics_addr = Some(val("--metrics-addr")?),
+            "--workload-seed" => {
+                args.workload_seed =
+                    val("--workload-seed")?.parse().map_err(|e| format!("--workload-seed: {e}"))?
+            }
+            "--duration-s" => {
+                args.duration_s =
+                    Some(val("--duration-s")?.parse().map_err(|e| format!("--duration-s: {e}"))?)
+            }
+            "--help" | "-h" => return Err("see module docs for usage".into()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let mut args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("roulette-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    args.config.engine = match EngineConfig::default().with_workers(args.workers) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("roulette-server: {e}");
+            std::process::exit(2);
+        }
+    };
+    let telemetry = Telemetry::with_defaults();
+    let ds = demo_dataset(args.workload_seed);
+    let server = match Server::start(args.config, ds.catalog, Arc::clone(&telemetry)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("roulette-server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let stop_http = Arc::new(AtomicBool::new(false));
+    let http = args.metrics_addr.as_deref().map(|addr| {
+        match spawn_metrics_http(addr, Arc::clone(&telemetry), Arc::clone(&stop_http)) {
+            Ok((local, handle)) => {
+                println!("metrics on http://{local}/metrics");
+                Some(handle)
+            }
+            Err(e) => {
+                eprintln!("roulette-server: metrics endpoint: {e}");
+                None
+            }
+        }
+    });
+    let deadline = args.duration_s.map(|s| Instant::now() + Duration::from_secs(s));
+    loop {
+        if server.is_draining() {
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let report = server.shutdown();
+    stop_http.store(true, Ordering::Release);
+    if let Some(Some(handle)) = http {
+        let _ = handle.join();
+    }
+    // Flush telemetry: terminal event log to stderr-adjacent sink (stdout
+    // is the operator's; events are line-oriented JSONL).
+    let mut events = Vec::new();
+    let _ = telemetry.write_events_jsonl(&mut events);
+    println!(
+        "drained: admitted={} terminal={} leaked={} shed={} lingering={} events={}",
+        report.admitted,
+        report.terminal,
+        report.leaked,
+        report.shed,
+        report.lingering_connections,
+        events.iter().filter(|&&b| b == b'\n').count(),
+    );
+    if report.leaked > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,339 @@
+//! The hand-rolled line protocol spoken over TCP.
+//!
+//! Every request and every response is one `\n`-terminated UTF-8 line, so
+//! the protocol can be driven from `nc` and parsed without a framing
+//! layer. Requests:
+//!
+//! ```text
+//! PING
+//! QUERY [ROWS] [DEADLINE=<ms>] <sql>
+//! CHAOS <seed>
+//! FAULTS
+//! DRAIN
+//! ```
+//!
+//! Responses (a `QUERY` yields zero or more `ROW` lines followed by
+//! exactly one terminal `OK` or `ERR` line):
+//!
+//! ```text
+//! PONG
+//! ROW <v1> <v2> …
+//! OK <rows> <checksum>
+//! ERR <wire-code> <query|-> <message…>
+//! SITES <site-name…>
+//! ```
+//!
+//! The `ERR` line carries the `(code, query, message)` triple that
+//! [`Error::from_wire`] reconstructs, so a typed error survives the wire
+//! round-trip exactly — including the query attribution of `query-fault`
+//! and `deadline-exceeded`. Malformed lines in either direction decode to
+//! [`Error::ProtocolViolation`] rather than being dropped.
+
+use roulette_core::{Error, QueryId, Result};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Parse and execute one SPJ query.
+    Query {
+        /// The SQL text (the SPJ fragment `roulette_query::parse` accepts).
+        sql: String,
+        /// Stream projected result rows back as `ROW` lines.
+        want_rows: bool,
+        /// Per-query deadline in milliseconds, measured from admission.
+        deadline_ms: Option<u64>,
+    },
+    /// Arm the connection's deterministic wire-fault plan.
+    Chaos {
+        /// Seed for [`roulette_exec::FaultInjector::seeded_wire`].
+        seed: u64,
+    },
+    /// List every injectable fault site.
+    Faults,
+    /// Begin a graceful drain of the whole server.
+    Drain,
+}
+
+impl Request {
+    /// Parses one request line. Unknown verbs, missing arguments, and bad
+    /// numbers all surface as [`Error::ProtocolViolation`].
+    pub fn parse(line: &str) -> Result<Request> {
+        let line = line.trim();
+        let mut parts = line.splitn(2, ' ');
+        let verb = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default().trim();
+        match verb {
+            "PING" => Ok(Request::Ping),
+            "FAULTS" => Ok(Request::Faults),
+            "DRAIN" => Ok(Request::Drain),
+            "CHAOS" => match rest.parse::<u64>() {
+                Ok(seed) => Ok(Request::Chaos { seed }),
+                Err(_) => Err(Error::ProtocolViolation(format!(
+                    "CHAOS requires a u64 seed, got {rest:?}"
+                ))),
+            },
+            "QUERY" => Self::parse_query(rest),
+            _ => Err(Error::ProtocolViolation(format!(
+                "unknown request verb {verb:?}"
+            ))),
+        }
+    }
+
+    fn parse_query(mut rest: &str) -> Result<Request> {
+        let mut want_rows = false;
+        let mut deadline_ms = None;
+        loop {
+            if let Some(r) = rest.strip_prefix("ROWS ") {
+                want_rows = true;
+                rest = r.trim_start();
+                continue;
+            }
+            if let Some(r) = rest.strip_prefix("DEADLINE=") {
+                let mut halves = r.splitn(2, ' ');
+                let ms = halves.next().unwrap_or_default();
+                match ms.parse::<u64>() {
+                    Ok(v) if v > 0 => deadline_ms = Some(v),
+                    _ => {
+                        return Err(Error::ProtocolViolation(format!(
+                            "DEADLINE requires a positive millisecond count, got {ms:?}"
+                        )))
+                    }
+                }
+                rest = halves.next().unwrap_or_default().trim_start();
+                continue;
+            }
+            break;
+        }
+        if rest.is_empty() {
+            return Err(Error::ProtocolViolation("QUERY requires SQL text".into()));
+        }
+        Ok(Request::Query { sql: rest.to_string(), want_rows, deadline_ms })
+    }
+
+    /// Renders the request as its wire line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => "PING".into(),
+            Request::Faults => "FAULTS".into(),
+            Request::Drain => "DRAIN".into(),
+            Request::Chaos { seed } => format!("CHAOS {seed}"),
+            Request::Query { sql, want_rows, deadline_ms } => {
+                let mut out = String::from("QUERY ");
+                if *want_rows {
+                    out.push_str("ROWS ");
+                }
+                if let Some(ms) = deadline_ms {
+                    out.push_str(&format!("DEADLINE={ms} "));
+                }
+                out.push_str(&sanitize(sql));
+                out
+            }
+        }
+    }
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// One streamed result row (precedes the terminal `OK`).
+    Row(Vec<i64>),
+    /// Terminal success: total row count and order-independent checksum.
+    Ok {
+        /// Result cardinality.
+        rows: u64,
+        /// XOR/row-hash checksum of the projected result.
+        checksum: u64,
+    },
+    /// Terminal failure, as a typed [`Error`].
+    Err(Error),
+    /// Answer to [`Request::Faults`]: every injectable site name.
+    Sites(Vec<String>),
+}
+
+impl Response {
+    /// Renders the response as its wire line (no trailing newline). Error
+    /// messages are flattened to one line so they cannot break framing.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Pong => "PONG".into(),
+            Response::Ok { rows, checksum } => format!("OK {rows} {checksum}"),
+            Response::Row(vals) => {
+                let mut out = String::from("ROW");
+                for v in vals {
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                }
+                out
+            }
+            Response::Sites(names) => {
+                let mut out = String::from("SITES");
+                for n in names {
+                    out.push(' ');
+                    out.push_str(n);
+                }
+                out
+            }
+            Response::Err(e) => {
+                let q = match e.query() {
+                    Some(q) => q.0.to_string(),
+                    None => "-".into(),
+                };
+                format!("ERR {} {} {}", e.wire_code(), q, sanitize(e.message()))
+            }
+        }
+    }
+
+    /// Parses one response line (the client side of the protocol).
+    pub fn parse(line: &str) -> Result<Response> {
+        let line = line.trim();
+        let mut parts = line.splitn(2, ' ');
+        let head = parts.next().unwrap_or_default();
+        let rest = parts.next().unwrap_or_default();
+        match head {
+            "PONG" => Ok(Response::Pong),
+            "OK" => {
+                let mut nums = rest.split_whitespace();
+                let rows = nums.next().and_then(|v| v.parse::<u64>().ok());
+                let checksum = nums.next().and_then(|v| v.parse::<u64>().ok());
+                match (rows, checksum) {
+                    (Some(rows), Some(checksum)) => Ok(Response::Ok { rows, checksum }),
+                    _ => Err(Error::ProtocolViolation(format!("malformed OK line {line:?}"))),
+                }
+            }
+            "ROW" => {
+                let mut vals = Vec::new();
+                for tok in rest.split_whitespace() {
+                    match tok.parse::<i64>() {
+                        Ok(v) => vals.push(v),
+                        Err(_) => {
+                            return Err(Error::ProtocolViolation(format!(
+                                "malformed ROW value {tok:?}"
+                            )))
+                        }
+                    }
+                }
+                Ok(Response::Row(vals))
+            }
+            "SITES" => {
+                Ok(Response::Sites(rest.split_whitespace().map(String::from).collect()))
+            }
+            "ERR" => {
+                let mut fields = rest.splitn(3, ' ');
+                let code = fields.next().unwrap_or_default();
+                let qfield = fields.next().unwrap_or_default();
+                let message = fields.next().unwrap_or_default().to_string();
+                if code.is_empty() || qfield.is_empty() {
+                    return Err(Error::ProtocolViolation(format!(
+                        "malformed ERR line {line:?}"
+                    )));
+                }
+                let query = match qfield {
+                    "-" => None,
+                    digits => match digits.parse::<u32>() {
+                        Ok(n) => Some(QueryId(n)),
+                        Err(_) => {
+                            return Err(Error::ProtocolViolation(format!(
+                                "malformed ERR query field {qfield:?}"
+                            )))
+                        }
+                    },
+                };
+                Ok(Response::Err(Error::from_wire(code, query, message)))
+            }
+            _ => Err(Error::ProtocolViolation(format!(
+                "unknown response head {head:?}"
+            ))),
+        }
+    }
+}
+
+/// Flattens embedded newlines so one logical message stays one wire line.
+fn sanitize(s: &str) -> String {
+    if s.contains(['\n', '\r']) {
+        s.replace(['\n', '\r'], " ")
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let cases = vec![
+            Request::Ping,
+            Request::Faults,
+            Request::Drain,
+            Request::Chaos { seed: 42 },
+            Request::Query {
+                sql: "SELECT count(*) FROM r WHERE r.a = 1".into(),
+                want_rows: false,
+                deadline_ms: None,
+            },
+            Request::Query { sql: "SELECT r.a FROM r".into(), want_rows: true, deadline_ms: Some(250) },
+        ];
+        for r in cases {
+            assert_eq!(Request::parse(&r.encode()).unwrap(), r, "{}", r.encode());
+        }
+    }
+
+    #[test]
+    fn query_options_compose_in_any_prefix_order() {
+        let r = Request::parse("QUERY DEADLINE=10 ROWS SELECT count(*) FROM r").unwrap();
+        assert_eq!(
+            r,
+            Request::Query {
+                sql: "SELECT count(*) FROM r".into(),
+                want_rows: true,
+                deadline_ms: Some(10)
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_violations() {
+        for line in ["", "NOPE", "CHAOS abc", "QUERY", "QUERY DEADLINE=abc x", "QUERY DEADLINE=0 SELECT"] {
+            let e = Request::parse(line).unwrap_err();
+            assert!(matches!(e, Error::ProtocolViolation(_)), "{line:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips_including_typed_errors() {
+        let cases = vec![
+            Response::Pong,
+            Response::Ok { rows: 12, checksum: 0xdead },
+            Response::Row(vec![1, -2, 3]),
+            Response::Sites(vec!["ingestion".into(), "wire-torn-read".into()]),
+            Response::Err(Error::Overloaded("queue full".into())),
+            Response::Err(Error::DeadlineExceeded { query: QueryId(3), message: "250 ms".into() }),
+            Response::Err(Error::QueryFault { query: QueryId(0), message: "injected".into() }),
+            Response::Err(Error::Parse("unexpected token".into())),
+        ];
+        for r in cases {
+            assert_eq!(Response::parse(&r.encode()).unwrap(), r, "{}", r.encode());
+        }
+    }
+
+    #[test]
+    fn error_messages_with_newlines_stay_one_line() {
+        let r = Response::Err(Error::Internal("two\nlines".into()));
+        let enc = r.encode();
+        assert!(!enc.contains('\n'), "{enc:?}");
+        assert!(matches!(Response::parse(&enc).unwrap(), Response::Err(Error::Internal(_))));
+    }
+
+    #[test]
+    fn malformed_responses_are_protocol_violations() {
+        for line in ["", "WHAT 1", "OK 1", "OK a b", "ROW 1 x", "ERR overloaded"] {
+            let e = Response::parse(line).unwrap_err();
+            assert!(matches!(e, Error::ProtocolViolation(_)), "{line:?} -> {e}");
+        }
+    }
+}

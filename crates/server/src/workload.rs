@@ -1,0 +1,66 @@
+//! The demo dataset the server hosts and the SQL pool clients draw from.
+//!
+//! Both sides derive everything from a shared `seed`, so a load generator
+//! on the other end of a socket can produce SQL that names exactly the
+//! relations and columns the server's catalog holds without any schema
+//! exchange: same seed, same catalog, same pool.
+
+use roulette_core::Result;
+use roulette_query::generator::chains_queries;
+use roulette_query::to_sql;
+use roulette_storage::datagen::chains::{generate, ChainsDataset, ChainsParams};
+
+/// Parameters of the hosted demo dataset: a small Fig. 15 chains schema
+/// (hub + 2 chains of 2 relations), sized to keep per-query work in the
+/// low milliseconds so serving tests exercise concurrency, not scan time.
+pub const DEMO_PARAMS: ChainsParams =
+    ChainsParams { chains: 2, relations: 5, domain: 64, hub_rows: 2048 };
+
+/// Generates the demo dataset deterministically from `seed`.
+pub fn demo_dataset(seed: u64) -> ChainsDataset {
+    generate(DEMO_PARAMS, seed)
+}
+
+/// Generates `n` SQL strings against the `seed`-derived demo catalog.
+/// Every other query projects the hub's selection column so `ROWS` mode
+/// has rows to stream; the rest are `count(*)` queries.
+pub fn demo_sql(seed: u64, n: usize) -> Result<Vec<String>> {
+    let ds = demo_dataset(seed);
+    let hub = ds.meta.hub;
+    let sel = ds.catalog.relation(hub).column_id("sel")?;
+    let mut queries = chains_queries(&ds, n, seed)?;
+    for (i, q) in queries.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            q.projections = vec![(hub, sel)];
+        }
+    }
+    Ok(queries.iter().map(|q| to_sql(&ds.catalog, q)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roulette_query::parse;
+
+    #[test]
+    fn demo_sql_parses_against_demo_catalog() {
+        let ds = demo_dataset(7);
+        let pool = demo_sql(7, 8).unwrap();
+        assert_eq!(pool.len(), 8);
+        let mut with_rows = 0;
+        for sql in &pool {
+            let q = parse(&ds.catalog, sql).unwrap();
+            q.validate(&ds.catalog).unwrap();
+            if !q.projections.is_empty() {
+                with_rows += 1;
+            }
+        }
+        assert_eq!(with_rows, 4, "half the pool streams rows");
+    }
+
+    #[test]
+    fn same_seed_same_pool() {
+        assert_eq!(demo_sql(3, 4).unwrap(), demo_sql(3, 4).unwrap());
+        assert_ne!(demo_sql(3, 4).unwrap(), demo_sql(4, 4).unwrap());
+    }
+}

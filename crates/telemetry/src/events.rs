@@ -33,6 +33,15 @@ pub enum EventKind {
         /// Human-readable rendering of the attributed error.
         reason: String,
     },
+    /// A query blew its deadline budget and was evicted from the shared
+    /// plan. Distinct from [`EventKind::Quarantine`] so overload dashboards
+    /// can separate latency-policy evictions from faults.
+    DeadlineExceeded {
+        /// Query slot within the session.
+        query: u32,
+        /// Human-readable rendering of the exceeded budget.
+        reason: String,
+    },
     /// An episode's join phase blew its budget and was aborted.
     WatchdogTrip {
         /// Relation slot whose episode tripped.
@@ -59,6 +68,7 @@ impl EventKind {
             EventKind::Admission { .. } => "admission",
             EventKind::Completion { .. } => "completion",
             EventKind::Quarantine { .. } => "quarantine",
+            EventKind::DeadlineExceeded { .. } => "deadline-exceeded",
             EventKind::WatchdogTrip { .. } => "watchdog-trip",
             EventKind::FallbackReplan { .. } => "fallback-replan",
             EventKind::MemoryPressure { .. } => "memory-pressure",
@@ -181,6 +191,10 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(EventKind::Admission { query: 0 }.name(), "admission");
         assert_eq!(EventKind::MemoryPressure { from: 0, to: 2 }.name(), "memory-pressure");
+        assert_eq!(
+            EventKind::DeadlineExceeded { query: 1, reason: "x".into() }.name(),
+            "deadline-exceeded"
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub struct Telemetry {
     admitted: Arc<ShardedCounter>,
     completed: Arc<ShardedCounter>,
     quarantined: Arc<ShardedCounter>,
+    deadline_exceeded: Arc<ShardedCounter>,
     watchdog_trips: Arc<ShardedCounter>,
     fallback_replans: Arc<ShardedCounter>,
     memory_pressure: Arc<Gauge>,
@@ -104,6 +105,10 @@ impl Telemetry {
         let completed = registry.counter("roulette_queries_completed_total", "Queries completed");
         let quarantined =
             registry.counter("roulette_queries_quarantined_total", "Queries quarantined");
+        let deadline_exceeded = registry.counter(
+            "roulette_deadline_exceeded_total",
+            "Queries evicted for exceeding their deadline budget",
+        );
         let watchdog_trips =
             registry.counter("roulette_watchdog_trips_total", "Join watchdog budget trips");
         let fallback_replans = registry.counter(
@@ -156,6 +161,7 @@ impl Telemetry {
             admitted,
             completed,
             quarantined,
+            deadline_exceeded,
             watchdog_trips,
             fallback_replans,
             memory_pressure,
@@ -211,7 +217,8 @@ impl Telemetry {
                 EventKind::Admission { query } | EventKind::Completion { query } => {
                     o.u64("query", u64::from(*query));
                 }
-                EventKind::Quarantine { query, reason } => {
+                EventKind::Quarantine { query, reason }
+                | EventKind::DeadlineExceeded { query, reason } => {
                     o.u64("query", u64::from(*query)).string("reason", reason);
                 }
                 EventKind::WatchdogTrip { relation } | EventKind::FallbackReplan { relation } => {
@@ -263,6 +270,10 @@ impl Recorder for Telemetry {
             }
             EventKind::Quarantine { query, .. } => {
                 self.quarantined.inc();
+                self.admit_times().remove(query);
+            }
+            EventKind::DeadlineExceeded { query, .. } => {
+                self.deadline_exceeded.inc();
                 self.admit_times().remove(query);
             }
             EventKind::WatchdogTrip { .. } => self.watchdog_trips.inc(),
@@ -352,6 +363,19 @@ mod tests {
             Some("{\"seq\":1,\"episode\":3,\"kind\":\"completion\",\"query\":7}")
         );
         assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn deadline_exceeded_counts_and_clears_admit_time() {
+        let t = Telemetry::default();
+        t.record_event(0, EventKind::Admission { query: 4 });
+        t.record_event(9, EventKind::DeadlineExceeded { query: 4, reason: "250 ms".into() });
+        assert!(t.admit_times().is_empty());
+        let text = prom(&t);
+        assert!(text.contains("roulette_deadline_exceeded_total 1"));
+        assert!(text.contains("roulette_queries_quarantined_total 0"));
+        assert!(text.contains("roulette_query_latency_us_count 0"));
+        assert!(jsonl(&t).contains("\"kind\":\"deadline-exceeded\""));
     }
 
     #[test]
