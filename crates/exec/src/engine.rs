@@ -325,6 +325,8 @@ impl<'a> Session<'a> {
             let first = self
                 .telemetry_done
                 .get(q.index())
+                // ordering: dedup flag only — at most one eviction event per
+                // query; no data is published under this flag.
                 .is_some_and(|f| !f.swap(true, Ordering::Relaxed));
             if first {
                 // Deadline evictions are a latency-policy decision, not a
@@ -505,6 +507,8 @@ impl<'a> Session<'a> {
             let first = self
                 .telemetry_done
                 .get(i)
+                // ordering: dedup flag only — at most one completion event
+                // per query; no data is published under this flag.
                 .is_some_and(|f| !f.swap(true, Ordering::Relaxed));
             if first {
                 rec.record_event(episode, EventKind::Completion { query: q.0 });
@@ -519,11 +523,15 @@ impl<'a> Session<'a> {
         let iv = next?;
         // Hand-out is counted under the ingestion latch so the pending
         // counters order consistently with scan completion.
+        // ordering: Release pairs with the Acquire load below — a worker
+        // that sees pending == 0 also sees every prior hand-out.
         self.pending_episodes[iv.rel.index()].fetch_add(1, Ordering::Release);
         let mut complete = RelSet::EMPTY;
         for i in 0..self.catalog.len() {
             let r = RelId(i as u16);
             if ing.scan_complete(r)
+                // ordering: Acquire pairs with the Release fetch_add/sub —
+                // pending == 0 proves every episode on `r` fully finished.
                 && self.pending_episodes[i].load(Ordering::Acquire) == 0
             {
                 complete.insert(r);
@@ -533,6 +541,8 @@ impl<'a> Session<'a> {
     }
 
     fn finish_episode(&self, rel: RelId) {
+        // ordering: Release publishes the episode's STeM/output writes to
+        // the Acquire load in next_work's completion check.
         self.pending_episodes[rel.index()].fetch_sub(1, Ordering::Release);
     }
 
@@ -712,6 +722,7 @@ impl<'a> Session<'a> {
                 .sum(),
             quarantined: self.stats.quarantined.load(Ordering::Relaxed),
             watchdog_trips: self.stats.watchdog_trips.load(Ordering::Relaxed),
+            // ordering: monitoring snapshot; a stale ladder level is fine.
             memory_pressure: self.pressure.load(Ordering::Relaxed),
         }
     }

@@ -308,6 +308,8 @@ fn heaviest_query(shared: &EngineShared<'_>, candidates: &QuerySet) -> Option<Qu
 /// is attached, emits the ladder-transition event. Workers race on the
 /// swap; telemetry sees each transition at least once per actual change.
 fn record_pressure(shared: &EngineShared<'_>, level: u8) {
+    // ordering: the ladder level is advisory — workers acting on a stale
+    // level only prune/pause one episode late, which is safe.
     let prev = shared.pressure.swap(level, Ordering::Relaxed);
     if prev != level {
         if let Some(rec) = shared.recorder {
@@ -451,6 +453,8 @@ pub fn run_episode(
     // growth, the first rung of the degradation ladder.
     let pruning = shared.config.pruning
         || (shared.config.memory_budget_bytes.is_some()
+            // ordering: advisory ladder level; reading it one episode
+            // stale only delays pruning by one vector.
             && shared.pressure.load(Ordering::Relaxed) >= 1);
     if pruning && !vec.is_empty() {
         prune_vector(shared, rel, complete, &mut vec, scratch);

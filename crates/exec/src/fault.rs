@@ -38,6 +38,8 @@ impl LiveSet {
     /// Marks `q` live (at admission).
     pub fn activate(&self, q: QueryId) {
         let (w, b) = (q.index() / 64, q.index() % 64);
+        // ordering: Release pairs with the Acquire loads in `contains` /
+        // `snapshot` — a reader that sees the bit also sees admission state.
         self.words[w].fetch_or(1 << b, Ordering::Release);
     }
 
@@ -45,6 +47,9 @@ impl LiveSet {
     /// this race owns the quarantine side effects).
     pub fn deactivate(&self, q: QueryId) -> bool {
         let (w, b) = (q.index() / 64, q.index() % 64);
+        // ordering: AcqRel — Acquire so the winner observes the writes the
+        // activating thread published; Release so losers of this race see
+        // the winner's claim before reading quarantine state.
         let prev = self.words[w].fetch_and(!(1u64 << b), Ordering::AcqRel);
         prev & (1 << b) != 0
     }
@@ -52,12 +57,14 @@ impl LiveSet {
     /// Whether `q` is live.
     pub fn contains(&self, q: QueryId) -> bool {
         let (w, b) = (q.index() / 64, q.index() % 64);
+        // ordering: Acquire pairs with `activate`'s Release fetch_or.
         (self.words[w].load(Ordering::Acquire) >> b) & 1 == 1
     }
 
     /// An owned snapshot of the current live set.
     pub fn snapshot(&self) -> QuerySet {
         let words: Vec<u64> =
+            // ordering: Acquire pairs with `activate`'s Release fetch_or.
             self.words.iter().map(|w| w.load(Ordering::Acquire)).collect();
         QuerySet::from_words(&words)
     }
@@ -261,6 +268,8 @@ impl FaultInjector {
     /// The caller is expected to quarantine the returned query.
     pub fn check(&self, site: FaultSite, present: &QuerySet) -> Option<(QueryId, Error)> {
         for spec in &self.specs {
+            // ordering: Relaxed pre-check only skips work; the authoritative
+            // claim is the AcqRel swap below.
             if spec.site != site || spec.fired.load(Ordering::Relaxed) {
                 continue;
             }
@@ -272,10 +281,14 @@ impl FaultInjector {
                     None => continue,
                 },
             };
+            // ordering: AcqRel so occurrence numbers totally order across
+            // workers racing on the same fault spec.
             let occurrence = spec.seen.fetch_add(1, Ordering::AcqRel);
             if occurrence < spec.after {
                 continue;
             }
+            // ordering: AcqRel — the winner of this swap owns the firing and
+            // its quarantine side effects; losers acquire the winner's claim.
             if spec.fired.swap(true, Ordering::AcqRel) {
                 continue; // another worker claimed this firing
             }
@@ -297,6 +310,8 @@ impl FaultInjector {
 
     /// Whether every configured fault has fired.
     pub fn exhausted(&self) -> bool {
+        // ordering: monitoring read; a stale `false` only delays shutdown
+        // of the fault plan by one poll.
         self.specs.iter().all(|s| s.fired.load(Ordering::Relaxed))
     }
 }

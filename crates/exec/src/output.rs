@@ -85,6 +85,8 @@ impl Outputs {
     /// Marks `q` quarantined with the attributed error. First writer wins;
     /// later errors for the same query are dropped.
     pub fn quarantine(&self, q: QueryId, err: Error) {
+        // ordering: Release pairs with the Acquire load in `status` so a
+        // reader that sees Quarantined also sees the attributed error.
         self.statuses[q.index()].store(1, Ordering::Release);
         let mut errors = self.errors.lock();
         errors[q.index()].get_or_insert(err);
@@ -97,6 +99,7 @@ impl Outputs {
 
     /// `q`'s completion status.
     pub fn status(&self, q: QueryId) -> CompletionStatus {
+        // ordering: Acquire pairs with `quarantine`'s Release store.
         match self.statuses[q.index()].load(Ordering::Acquire) {
             0 => CompletionStatus::Complete,
             _ => CompletionStatus::Quarantined,
@@ -152,6 +155,8 @@ impl Outputs {
     /// Snapshot of one query's result.
     pub fn result(&self, q: QueryId) -> QueryResult {
         QueryResult {
+            // ordering: rows/checksum are monotone accumulators read after
+            // the drain barrier; no ordering is carried through them.
             rows: self.rows[q.index()].load(Ordering::Relaxed),
             checksum: self.checksums[q.index()].load(Ordering::Relaxed),
             status: self.status(q),

@@ -49,6 +49,7 @@ impl Profile {
 
     /// Accumulated nanoseconds for `cat`.
     pub fn get(&self, cat: Category) -> u64 {
+        // ordering: profiling snapshot; tearing across categories is fine.
         self.counter(cat).load(Ordering::Relaxed)
     }
 

@@ -1,0 +1,2233 @@
+//! Cross-file concurrency analysis: rules R7, R8, and R9.
+//!
+//! This module turns `roulette-lint` from a per-file checker into a
+//! whole-workspace concurrency analyzer. It builds a model of every
+//! struct, lock-typed field, and function in the tree from the existing
+//! token stream, tracks guard liveness through each function body, and
+//! propagates lock/blocking *effects* across files through a lightweight
+//! intra-crate call map. Three rules consume the model:
+//!
+//! * **R7 `lock-order`** — every nested acquisition (`B` taken while `A`
+//!   is held, directly or via a call chain) must follow the canonical
+//!   order declared in `lock-order.toml`, and the inferred acquisition
+//!   graph must be acyclic. Reentrant acquisition of the same lock class
+//!   is always an error.
+//! * **R8 `no-blocking-while-locked`** — no `recv()`, `join()`,
+//!   `accept()`, `sleep()`, socket/file reads or writes, or other
+//!   indefinitely-blocking calls while any guard is live in non-test
+//!   code. `Condvar::wait`/`wait_timeout` are deliberately *not* in the
+//!   blocking set: they release the guard they are handed.
+//! * **R9 `atomic-ordering-justified`** — every non-`Relaxed` atomic
+//!   ordering, and every `Relaxed` on a non-counter atomic, needs an
+//!   `// ordering:` comment (same line or the two lines above),
+//!   mirroring R2's `// SAFETY:` discipline. An atomic counts as a
+//!   counter when it is the receiver of a `fetch_add`/`fetch_sub`
+//!   anywhere in the workspace.
+//!
+//! ## Model, honestly stated
+//!
+//! Lock identity is the pair `Struct.field` (e.g. `Session.ingestion`,
+//! `EventRing.inner`), resolved from struct definitions whose field type
+//! mentions `Mutex` or `RwLock`. Receivers resolve through `self` (via
+//! the enclosing `impl`), parameter types, and field types; a bare name
+//! falls back to the unique lock field of that name if exactly one
+//! struct declares one. Functions whose return type names a `*Guard`
+//! (or a struct wrapping one, like `StemReader`) are *guard-returning
+//! helpers*: a call to one is an acquisition of the helper's lock at
+//! the caller's site.
+//!
+//! Guard liveness follows Rust's drop rules conservatively: a `let`-bound
+//! guard lives to the end of its block (or an explicit `drop(g)`); a
+//! temporary guard lives to the end of its statement, which also covers
+//! guards created inside call arguments (`f(&m.lock())`) and `match` /
+//! `if let` scrutinees (whose temporaries genuinely outlive the arm).
+//!
+//! The call map resolves calls by receiver type where it can and
+//! otherwise falls back to by-name resolution, accepting the result only
+//! when every lock-or-block-touching definition of that name agrees and
+//! the name is not a ubiquitous collection method (`push`, `insert`, …).
+//! Calls through closures and function pointers are not tracked — the
+//! analysis under-approximates there and the nightly ThreadSanitizer CI
+//! job is the dynamic backstop. `shims/` are excluded from the model:
+//! they mirror external crates' APIs, and their internal locks are
+//! leaf-level by construction. Lock classes do not distinguish
+//! *instances*: two different `Stem`s are both `Stem.inner`, so holding
+//! one while taking another reports as reentrancy — real code either
+//! orders instances deterministically (and documents the site with
+//! `lint:allow`) or restructures.
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Violation;
+use crate::rules::{
+    matching_close, SourceFile, ATOMIC_ORDERING_JUSTIFIED, LOCK_ORDER, NO_BLOCKING_WHILE_LOCKED,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+// ---------------------------------------------------------------------------
+// lock-order.toml
+// ---------------------------------------------------------------------------
+
+/// The declared canonical lock order: outermost lock first. A nesting
+/// `A → B` is legal iff both classes are declared and `A` precedes `B`.
+#[derive(Debug, Clone, Default)]
+pub struct LockOrder {
+    /// Lock class names (`Struct.field`), outermost first.
+    pub order: Vec<String>,
+}
+
+impl LockOrder {
+    /// Parses the `lock-order.toml` subset:
+    ///
+    /// ```toml
+    /// version = 1
+    /// order = [
+    ///     "Session.ingestion",
+    ///     "EventRing.inner",
+    /// ]
+    /// ```
+    pub fn parse(text: &str) -> Result<LockOrder, String> {
+        let mut order: Vec<String> = Vec::new();
+        let mut saw_version = false;
+        let mut in_array = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |m: String| Err(format!("lock-order.toml line {}: {m}", lineno + 1));
+            if in_array {
+                let mut rest = line.as_str();
+                loop {
+                    rest = rest.trim_start_matches(',').trim();
+                    if rest.is_empty() {
+                        break;
+                    }
+                    if let Some(r) = rest.strip_prefix(']') {
+                        if !r.trim().is_empty() {
+                            return err("trailing content after `]`".into());
+                        }
+                        in_array = false;
+                        break;
+                    }
+                    let Some(r) = rest.strip_prefix('"') else {
+                        return err("expected a quoted lock class".into());
+                    };
+                    let Some(close) = r.find('"') else {
+                        return err("unterminated string".into());
+                    };
+                    let name = &r[..close];
+                    if name.is_empty() {
+                        return err("empty lock class name".into());
+                    }
+                    if order.iter().any(|o| o == name) {
+                        return err(format!("duplicate lock class `{name}`"));
+                    }
+                    order.push(name.to_string());
+                    rest = &r[close + 1..];
+                }
+            } else if let Some(v) = line.strip_prefix("version") {
+                if v.trim_start().strip_prefix('=').map(str::trim) != Some("1") {
+                    return err("unsupported version (expected `version = 1`)".into());
+                }
+                saw_version = true;
+            } else if let Some(v) = line.strip_prefix("order") {
+                match v.trim_start().strip_prefix('=').map(str::trim) {
+                    Some(rest) if rest.starts_with('[') => {
+                        in_array = true;
+                        let tail = rest[1..].trim();
+                        if let Some(inner) = tail.strip_suffix(']') {
+                            for part in inner.split(',').map(str::trim).filter(|p| !p.is_empty())
+                            {
+                                let name = part.trim_matches('"');
+                                if name.len() + 2 != part.len() || name.is_empty() {
+                                    return err("expected a quoted lock class".into());
+                                }
+                                if order.iter().any(|o| o == name) {
+                                    return err(format!("duplicate lock class `{name}`"));
+                                }
+                                order.push(name.to_string());
+                            }
+                            in_array = false;
+                        } else if !tail.is_empty() {
+                            return err("array items must start on the next line".into());
+                        }
+                    }
+                    _ => return err("expected `order = [`".into()),
+                }
+            } else {
+                return err(format!("unrecognized directive `{line}`"));
+            }
+        }
+        if in_array {
+            return Err("lock-order.toml: unterminated `order` array".into());
+        }
+        if !saw_version {
+            return Err("lock-order.toml: missing `version = 1`".into());
+        }
+        Ok(LockOrder { order })
+    }
+
+    /// Position of `class` in the declared order, if declared.
+    pub fn position(&self, class: &str) -> Option<usize> {
+        self.order.iter().position(|c| c == class)
+    }
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+// ---------------------------------------------------------------------------
+// Workspace model
+// ---------------------------------------------------------------------------
+
+/// Methods whose zero-argument form acquires a guard. Zero args is what
+/// distinguishes `RwLock::read`/`write` from `io::Read`/`Write`.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Blocking calls that must not run while a guard is live. Split by arity
+/// because short names collide with non-blocking APIs: `handle.join()`
+/// blocks, `path.join("x")` does not.
+const BLOCKING_ZERO_ARG: &[&str] = &["recv", "join", "accept", "flush", "park", "incoming"];
+const BLOCKING_ANY_ARG: &[&str] = &[
+    "recv_timeout",
+    "recv_deadline",
+    "sleep",
+    "park_timeout",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "connect",
+];
+
+/// Names too generic for by-name call resolution: attributing a
+/// `Vec::push` call site to `AdmissionQueue::push` (or an atomic's
+/// `.load(…)` to `Workspace::load`) would invent edges.
+const FALLBACK_DENYLIST: &[&str] = &[
+    "push", "pop", "insert", "remove", "get", "set", "new", "clone", "drain", "extend", "take",
+    "len", "next", "iter", "contains", "clear", "write", "read", "lock", "reset", "record",
+    "load", "store", "swap", "sum", "get_or_insert",
+];
+
+/// Methods that pass a guard through unchanged: `lock().unwrap()` still
+/// holds the lock, and the chain still denotes the guard value.
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "into_inner", "unwrap_or_else"];
+
+/// Keywords (and tuple-enum constructors) that precede `(` without
+/// forming a call worth modelling.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "in", "as", "move", "let", "else", "fn",
+    "impl", "use", "pub", "mod", "unsafe", "where", "break", "continue", "ref", "mut", "dyn",
+    "box", "await", "Some", "Ok", "Err", "None",
+];
+
+#[derive(Debug, Clone)]
+struct FieldInfo {
+    name: String,
+    type_idents: Vec<String>,
+    is_lock: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// Resolved to a unique model function.
+    Fn(usize),
+    /// Unresolved; by-name effect resolution applies in the fixpoint.
+    ByName,
+}
+
+#[derive(Debug, Clone)]
+struct CallSite {
+    name: String,
+    target: Target,
+    line: u32,
+    held: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct AcqSite {
+    class: String,
+    line: u32,
+    held: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+struct BlockSite {
+    what: String,
+    line: u32,
+    held: Vec<String>,
+}
+
+#[derive(Debug, Default)]
+struct FnInfo {
+    file_idx: usize,
+    name: String,
+    self_ty: Option<String>,
+    params: Vec<(String, Vec<String>)>,
+    body: Option<(usize, usize)>,
+    is_test: bool,
+    returns_guard: bool,
+    guard_class: Option<String>,
+    acquires: Vec<AcqSite>,
+    calls: Vec<CallSite>,
+    blocking: Vec<BlockSite>,
+}
+
+/// The extracted whole-workspace concurrency model.
+struct Model<'a> {
+    files: &'a [SourceFile],
+    /// struct name → fields.
+    structs: HashMap<String, Vec<FieldInfo>>,
+    /// declared trait names.
+    traits: HashSet<String>,
+    /// trait name → implementing self types.
+    trait_impls: HashMap<String, Vec<String>>,
+    fns: Vec<FnInfo>,
+    /// (self_ty or "", name) → fn indices.
+    by_owner: HashMap<(String, String), Vec<usize>>,
+    /// name → fn indices.
+    by_name: HashMap<String, Vec<usize>>,
+    /// lock-field name → (declaring struct, how many structs declare it).
+    lock_field_owner: HashMap<String, (String, usize)>,
+}
+
+fn is_shim(f: &SourceFile) -> bool {
+    f.rel_path.starts_with("shims/")
+}
+
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/")
+}
+
+/// Skips a balanced `<...>` group starting at `i` (which must be `<`),
+/// tolerating `->` and `=>` inside. Returns the index just past `>`.
+fn skip_angles(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>')
+            && !(j > 0 && (toks[j - 1].is_punct('-') || toks[j - 1].is_punct('=')))
+        {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+impl<'a> Model<'a> {
+    fn build(files: &'a [SourceFile]) -> Model<'a> {
+        let mut m = Model {
+            files,
+            structs: HashMap::new(),
+            traits: HashSet::new(),
+            trait_impls: HashMap::new(),
+            fns: Vec::new(),
+            by_owner: HashMap::new(),
+            by_name: HashMap::new(),
+            lock_field_owner: HashMap::new(),
+        };
+        for (fi, f) in files.iter().enumerate() {
+            if !is_shim(f) {
+                m.collect_types(fi);
+            }
+        }
+        for (fi, f) in files.iter().enumerate() {
+            if !is_shim(f) {
+                m.collect_fns(fi);
+            }
+        }
+        for (i, f) in m.fns.iter().enumerate() {
+            m.by_owner
+                .entry((f.self_ty.clone().unwrap_or_default(), f.name.clone()))
+                .or_default()
+                .push(i);
+            m.by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let mut lfo: HashMap<String, (String, usize)> = HashMap::new();
+        for (name, fields) in &m.structs {
+            for fld in fields.iter().filter(|f| f.is_lock) {
+                lfo.entry(fld.name.clone())
+                    .and_modify(|(_, n)| *n += 1)
+                    .or_insert_with(|| (name.clone(), 1));
+            }
+        }
+        m.lock_field_owner = lfo;
+        m.resolve_guard_classes();
+        m
+    }
+
+    fn collect_types(&mut self, fi: usize) {
+        let toks = &self.files[fi].lexed.toks;
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("struct")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                let name = toks[i + 1].text.clone();
+                let mut j = i + 2;
+                if j < toks.len() && toks[j].is_punct('<') {
+                    j = skip_angles(toks, j);
+                }
+                while j < toks.len()
+                    && !(toks[j].is_punct('{') || toks[j].is_punct(';') || toks[j].is_punct('('))
+                {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('{') {
+                    if let Some(close) = matching_close(toks, j, '{', '}') {
+                        self.structs.insert(name, parse_fields(&toks[j + 1..close]));
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i = j + 1;
+                continue;
+            }
+            if toks[i].is_ident("trait")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                self.traits.insert(toks[i + 1].text.clone());
+            }
+            i += 1;
+        }
+    }
+
+    fn collect_fns(&mut self, fi: usize) {
+        let file = &self.files[fi];
+        let toks = &file.lexed.toks;
+        // Impl spans: (body_open, body_close, self_ty).
+        let mut impls: Vec<(usize, usize, String)> = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("impl") && impl_item_position(toks, i) {
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].is_punct('<') {
+                    j = skip_angles(toks, j);
+                }
+                let header_start = j;
+                let mut angle = 0i32;
+                while j < toks.len() {
+                    let t = &toks[j];
+                    if t.is_punct('<') {
+                        angle += 1;
+                    } else if t.is_punct('>') && !(j > 0 && toks[j - 1].is_punct('-')) {
+                        angle -= 1;
+                    } else if t.is_punct('{') && angle <= 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j >= toks.len() {
+                    break;
+                }
+                let header = &toks[header_start..j];
+                let close = matching_close(toks, j, '{', '}').unwrap_or(toks.len() - 1);
+                let first_ident = |ts: &[Tok]| {
+                    ts.iter()
+                        .find(|t| {
+                            t.kind == TokKind::Ident
+                                && !matches!(t.text.as_str(), "dyn" | "mut" | "where")
+                        })
+                        .map(|t| t.text.clone())
+                };
+                let for_pos = header.iter().position(|t| t.is_ident("for"));
+                let (self_ty, trait_name) = match for_pos {
+                    Some(p) => (first_ident(&header[p + 1..]), first_ident(&header[..p])),
+                    None => (first_ident(header), None),
+                };
+                if let (Some(st), Some(tr)) = (&self_ty, &trait_name) {
+                    self.trait_impls.entry(tr.clone()).or_default().push(st.clone());
+                }
+                if let Some(st) = self_ty {
+                    impls.push((j, close, st));
+                }
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+
+        let file_test = is_test_path(&file.rel_path);
+        let mut i = 0;
+        while i + 1 < toks.len() {
+            if toks[i].is_ident("fn") && toks[i + 1].kind == TokKind::Ident {
+                if let Some(f) = self.parse_fn(fi, toks, i, &impls, file_test || file.in_test(i))
+                {
+                    let next = f.body.map_or(i + 2, |(_, e)| e + 1);
+                    self.fns.push(f);
+                    i = next;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    fn parse_fn(
+        &self,
+        fi: usize,
+        toks: &[Tok],
+        at: usize,
+        impls: &[(usize, usize, String)],
+        is_test: bool,
+    ) -> Option<FnInfo> {
+        let name = toks[at + 1].text.clone();
+        let mut j = at + 2;
+        if j < toks.len() && toks[j].is_punct('<') {
+            j = skip_angles(toks, j);
+        }
+        if j >= toks.len() || !toks[j].is_punct('(') {
+            return None;
+        }
+        let params_close = matching_close(toks, j, '(', ')')?;
+        let params = parse_params(&toks[j + 1..params_close]);
+        let mut ret_idents: Vec<String> = Vec::new();
+        let mut k = params_close + 1;
+        let mut body = None;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('{') {
+                body = Some((k, matching_close(toks, k, '{', '}')?));
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_ident("where") {
+                while k < toks.len() && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                ret_idents.push(t.text.clone());
+            }
+            k += 1;
+        }
+        let guard_wrapper = |id: &str| {
+            self.structs.get(id).is_some_and(|fields| {
+                fields.iter().any(|f| f.type_idents.iter().any(|t| t.ends_with("Guard")))
+            })
+        };
+        let returns_guard =
+            ret_idents.iter().any(|id| id.ends_with("Guard") || guard_wrapper(id));
+        Some(FnInfo {
+            file_idx: fi,
+            name,
+            self_ty: impls
+                .iter()
+                .find(|(s, e, _)| at > *s && at < *e)
+                .map(|(_, _, st)| st.clone()),
+            params,
+            body,
+            is_test,
+            returns_guard,
+            ..FnInfo::default()
+        })
+    }
+
+    /// The first ident in a type that names a model struct or trait —
+    /// skipping wrappers like `Arc`, `Option`, `Box`, `Mutex`.
+    fn main_type_ident(&self, idents: &[String]) -> Option<String> {
+        idents
+            .iter()
+            .find(|id| self.structs.contains_key(*id) || self.traits.contains(*id))
+            .cloned()
+    }
+
+    fn field(&self, owner: &str, name: &str) -> Option<&FieldInfo> {
+        self.structs.get(owner)?.iter().find(|f| f.name == name)
+    }
+
+    /// Resolves the lock class of a zero-arg `.lock()/.read()/.write()`
+    /// given the receiver chain (outermost first, `"?"` = unresolvable
+    /// head).
+    fn resolve_acq_class(&self, f: &FnInfo, chain: &[String], method: &str) -> String {
+        if chain.len() >= 2 {
+            let head = &chain[0];
+            let owner0 = if head == "self" {
+                f.self_ty.clone()
+            } else {
+                f.params
+                    .iter()
+                    .find(|(n, _)| n == head)
+                    .and_then(|(_, tys)| self.main_type_ident(tys))
+            };
+            if let Some(mut o) = owner0 {
+                let mut ok = true;
+                for mid in &chain[1..chain.len() - 1] {
+                    match self
+                        .field(&o, mid)
+                        .and_then(|fl| self.main_type_ident(&fl.type_idents))
+                    {
+                        Some(next) => o = next,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    let last = &chain[chain.len() - 1];
+                    if self.field(&o, last).is_some_and(|fl| fl.is_lock) {
+                        return format!("{o}.{last}");
+                    }
+                }
+            }
+        }
+        // Guard-returning helper resolved by receiver type (`self.lock()`).
+        if let Some(cls) = self
+            .resolve_call_target(f, chain, method)
+            .and_then(|ids| self.common_guard_class(&ids))
+        {
+            return cls;
+        }
+        // Guard-returning helper by name, when every candidate agrees
+        // (e.g. `stem.read()` on an untyped local → `Stem::read`).
+        if let Some(ids) = self.by_name.get(method) {
+            let guards: Vec<usize> =
+                ids.iter().copied().filter(|&i| self.fns[i].returns_guard).collect();
+            if !guards.is_empty() {
+                if let Some(cls) = self.common_guard_class(&guards) {
+                    return cls;
+                }
+            }
+        }
+        // Unique lock-field name anywhere in the workspace.
+        let last = chain.last().map(String::as_str).unwrap_or("?");
+        if let Some((owner, n)) = self.lock_field_owner.get(last) {
+            if *n == 1 {
+                return format!("{owner}.{last}");
+            }
+        }
+        last.to_string()
+    }
+
+    fn common_guard_class(&self, ids: &[usize]) -> Option<String> {
+        let mut classes: BTreeSet<&str> = BTreeSet::new();
+        for &i in ids {
+            if self.fns[i].returns_guard {
+                classes.insert(self.fns[i].guard_class.as_deref()?);
+            }
+        }
+        if classes.len() == 1 {
+            classes.first().map(|s| s.to_string())
+        } else {
+            None
+        }
+    }
+
+    /// Resolves a method call through the receiver chain to candidate
+    /// model functions. `None` means "unresolved" (by-name applies).
+    fn resolve_call_target(&self, f: &FnInfo, chain: &[String], name: &str) -> Option<Vec<usize>> {
+        let (head, rest) = chain.split_first()?;
+        let mut owner = if head == "self" {
+            f.self_ty.clone()?
+        } else {
+            f.params
+                .iter()
+                .find(|(n, _)| n == head)
+                .and_then(|(_, tys)| self.main_type_ident(tys))?
+        };
+        for mid in rest {
+            owner =
+                self.field(&owner, mid).and_then(|fl| self.main_type_ident(&fl.type_idents))?;
+        }
+        self.fns_on_type(&owner, name)
+    }
+
+    /// Resolves a method call whose receiver is a live guard —
+    /// `self.ingestion.lock().progress(q)` — to the method on the lock
+    /// field's *inner* type (`IngestionState::progress`). `chain` is the
+    /// receiver chain of the acquisition itself.
+    fn locked_inner_fns(&self, f: &FnInfo, chain: &[String], name: &str) -> Option<Vec<usize>> {
+        let (head, rest) = chain.split_first()?;
+        let mut owner = if head == "self" {
+            f.self_ty.clone()?
+        } else {
+            f.params
+                .iter()
+                .find(|(n, _)| n == head)
+                .and_then(|(_, tys)| self.main_type_ident(tys))?
+        };
+        let (mids, last) = rest.split_at(rest.len().checked_sub(1)?);
+        for mid in mids {
+            owner =
+                self.field(&owner, mid).and_then(|fl| self.main_type_ident(&fl.type_idents))?;
+        }
+        let fld = self.field(&owner, &last[0])?;
+        if !fld.is_lock {
+            return None;
+        }
+        let inner = self.main_type_ident(&fld.type_idents)?;
+        self.fns_on_type(&inner, name)
+    }
+
+    /// Functions named `name` on type `ty`; a trait fans out to impls.
+    fn fns_on_type(&self, ty: &str, name: &str) -> Option<Vec<usize>> {
+        if self.traits.contains(ty) {
+            let mut out = Vec::new();
+            if let Some(impls) = self.trait_impls.get(ty) {
+                for st in impls {
+                    if let Some(ids) = self.by_owner.get(&(st.clone(), name.to_string())) {
+                        out.extend(ids.iter().copied());
+                    }
+                }
+            }
+            return if out.is_empty() { None } else { Some(out) };
+        }
+        self.by_owner.get(&(ty.to_string(), name.to_string())).cloned()
+    }
+
+    /// Assigns `guard_class` to every guard-returning helper by scanning
+    /// its body for the lock it takes; iterated so helpers can wrap each
+    /// other.
+    fn resolve_guard_classes(&mut self) {
+        for _ in 0..3 {
+            let mut updates: Vec<(usize, String)> = Vec::new();
+            for (i, f) in self.fns.iter().enumerate() {
+                if !f.returns_guard || f.guard_class.is_some() {
+                    continue;
+                }
+                let Some((open, close)) = f.body else { continue };
+                let toks = &self.files[f.file_idx].lexed.toks;
+                let mut cls: Option<String> = None;
+                let mut j = open;
+                while j < close {
+                    if acquisition_at(toks, j).is_some() {
+                        let chain = receiver_chain(toks, j - 1);
+                        let found = self.resolve_acq_class(f, &chain, &toks[j].text);
+                        if found.contains('.') {
+                            cls = Some(found);
+                            break;
+                        }
+                        cls.get_or_insert(found);
+                    } else if let Some(c) = self.guard_call_class(f, toks, j) {
+                        cls = Some(c);
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(c) = cls {
+                    updates.push((i, c));
+                }
+            }
+            if updates.is_empty() {
+                break;
+            }
+            for (i, c) in updates {
+                self.fns[i].guard_class = Some(c);
+            }
+        }
+    }
+
+    /// If `toks[j]` is a method call resolving to a guard-returning fn
+    /// with a known class, returns that class.
+    fn guard_call_class(&self, f: &FnInfo, toks: &[Tok], j: usize) -> Option<String> {
+        let t = toks.get(j)?;
+        if t.kind != TokKind::Ident
+            || !toks.get(j + 1)?.is_punct('(')
+            || j == 0
+            || !toks[j - 1].is_punct('.')
+        {
+            return None;
+        }
+        let chain = receiver_chain(toks, j - 1);
+        let ids = self.resolve_call_target(f, &chain, &t.text)?;
+        self.common_guard_class(&ids)
+    }
+}
+
+/// If `toks[i]` is the method ident of a zero-arg `.lock()/.read()/.write()`
+/// call, returns the index of the preceding `.`.
+fn acquisition_at(toks: &[Tok], i: usize) -> Option<usize> {
+    if toks[i].kind != TokKind::Ident || !ACQUIRE_METHODS.contains(&toks[i].text.as_str()) {
+        return None;
+    }
+    if i == 0 || !toks[i - 1].is_punct('.') {
+        return None;
+    }
+    if toks.get(i + 1)?.is_punct('(') && toks.get(i + 2)?.is_punct(')') {
+        return Some(i - 1);
+    }
+    None
+}
+
+/// Walks the receiver chain backwards from the `.` at `dot`, returning it
+/// outermost-first. An unresolvable head yields a leading `"?"`.
+fn receiver_chain(toks: &[Tok], dot: usize) -> Vec<String> {
+    let mut chain: Vec<String> = Vec::new();
+    let mut j = dot; // toks[j] is `.`
+    loop {
+        if j == 0 {
+            break;
+        }
+        let mut k = j - 1;
+        if toks[k].is_punct(']') {
+            // Skip one balanced index group backwards (`xs[i].lock()`).
+            let mut depth = 0i32;
+            loop {
+                if toks[k].is_punct(']') {
+                    depth += 1;
+                } else if toks[k].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    chain.push("?".into());
+                    chain.reverse();
+                    return chain;
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                chain.push("?".into());
+                break;
+            }
+            k -= 1;
+        }
+        if toks[k].kind == TokKind::Ident {
+            chain.push(toks[k].text.clone());
+        } else {
+            chain.push("?".into());
+            break;
+        }
+        if k >= 1 && toks[k - 1].is_punct('.') {
+            j = k - 1;
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+// ---------------------------------------------------------------------------
+// Body analysis
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Held {
+    binding: Option<String>,
+    class: String,
+}
+
+struct BodyWalker<'m, 'a> {
+    model: &'m Model<'a>,
+    fn_idx: usize,
+    toks: &'a [Tok],
+    acquires: Vec<AcqSite>,
+    calls: Vec<CallSite>,
+    blocking: Vec<BlockSite>,
+}
+
+impl BodyWalker<'_, '_> {
+    fn fninfo(&self) -> &FnInfo {
+        &self.model.fns[self.fn_idx]
+    }
+
+    /// Head-level (brace-depth-0) acquisitions inside `[start, end)`:
+    /// `(tok_idx, class)` pairs, from direct `.lock()` forms and from
+    /// calls resolved to guard-returning helpers.
+    fn prescan(&self, start: usize, end: usize) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        let mut j = start;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if depth == 0 && t.kind == TokKind::Ident {
+                if let Some(dot) = acquisition_at(self.toks, j) {
+                    let chain = receiver_chain(self.toks, dot);
+                    let cls = self.model.resolve_acq_class(self.fninfo(), &chain, &t.text);
+                    // A class that never resolved to `Struct.field` is not a
+                    // modelled lock (std `stdin.lock()`, untyped locals).
+                    if cls.contains('.') {
+                        out.push((j, cls));
+                    }
+                } else if let Some((_, Target::Fn(id))) = self.call_at(j) {
+                    let f = &self.model.fns[id];
+                    if f.returns_guard {
+                        if let Some(cls) = &f.guard_class {
+                            if cls.contains('.') {
+                                out.push((j, cls.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            j += 1;
+        }
+        out
+    }
+
+    /// Classifies the ident at `j` as a call (`toks[j + 1]` must be `(`).
+    fn call_at(&self, j: usize) -> Option<(String, Target)> {
+        let t = &self.toks[j];
+        if t.kind != TokKind::Ident || !self.toks.get(j + 1)?.is_punct('(') {
+            return None;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            return None;
+        }
+        // Skip definitions (`fn name(`); macro invocations never reach
+        // here because `!` sits between the name and the `(`.
+        if j > 0 && self.toks[j - 1].is_ident("fn") {
+            return None;
+        }
+        let target = if j > 0 && self.toks[j - 1].is_punct('.') {
+            let chain = receiver_chain(self.toks, j - 1);
+            let resolved = self
+                .model
+                .resolve_call_target(self.fninfo(), &chain, &t.text)
+                .or_else(|| self.guard_receiver_target(j, &t.text));
+            match resolved {
+                Some(ids) if ids.len() == 1 => Target::Fn(ids[0]),
+                _ => Target::ByName,
+            }
+        } else if j > 1 && self.toks[j - 1].is_punct(':') && self.toks[j - 2].is_punct(':') {
+            // Path call `Type::name(…)`.
+            match j.checked_sub(3).map(|q| &self.toks[q]) {
+                Some(q) if q.kind == TokKind::Ident => {
+                    let ty = if q.text == "Self" {
+                        self.fninfo().self_ty.clone().unwrap_or_default()
+                    } else {
+                        q.text.clone()
+                    };
+                    match self.model.fns_on_type(&ty, &t.text) {
+                        Some(ids) if ids.len() == 1 => Target::Fn(ids[0]),
+                        _ => Target::ByName,
+                    }
+                }
+                _ => Target::ByName,
+            }
+        } else {
+            match self.model.by_owner.get(&(String::new(), t.text.clone())) {
+                Some(ids) if ids.len() == 1 => Target::Fn(ids[0]),
+                _ => Target::ByName,
+            }
+        };
+        Some((t.text.clone(), target))
+    }
+
+    /// When the receiver of the method call at `j` is the result of an
+    /// acquisition chain (`self.field.lock()` with optional guard adapters
+    /// like `.unwrap()`), resolves the call against the lock field's inner
+    /// type. This is what keeps `self.ingestion.lock().progress(q)` from
+    /// by-name-resolving to the enclosing `Session::progress` itself.
+    fn guard_receiver_target(&self, j: usize, name: &str) -> Option<Vec<usize>> {
+        let mut k = j.checked_sub(1)?; // the `.` before the method name
+        loop {
+            if !self.toks[k].is_punct('.') || k == 0 || !self.toks[k - 1].is_punct(')') {
+                return None;
+            }
+            // Find the matching `(` of the call the receiver chain ends in.
+            let mut depth = 0i32;
+            let mut o = k - 1;
+            loop {
+                if self.toks[o].is_punct(')') {
+                    depth += 1;
+                } else if self.toks[o].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                o = o.checked_sub(1)?;
+            }
+            let m = self.toks.get(o.checked_sub(1)?)?;
+            if m.kind != TokKind::Ident || o < 2 || !self.toks[o - 2].is_punct('.') {
+                return None;
+            }
+            if GUARD_ADAPTERS.contains(&m.text.as_str()) {
+                k = o - 2;
+                continue;
+            }
+            if ACQUIRE_METHODS.contains(&m.text.as_str()) {
+                let chain = receiver_chain(self.toks, o - 2);
+                return self.model.locked_inner_fns(self.fninfo(), &chain, name);
+            }
+            return None;
+        }
+    }
+
+    /// Whether the temp acquisition at token `idx` still denotes the guard
+    /// at the end of its statement (so a `let` binding would keep it
+    /// alive). `lock().unwrap()` does; `lock().iter().collect()` hands the
+    /// guard to a temporary that dies with the statement.
+    fn temp_retained(&self, idx: usize, stmt_end: usize) -> bool {
+        let Some(open) = (idx + 1 < self.toks.len()).then(|| idx + 1) else { return true };
+        if !self.toks[open].is_punct('(') {
+            return true;
+        }
+        let Some(close) = matching_close(self.toks, open, '(', ')') else { return true };
+        let mut pos = close + 1;
+        while pos < stmt_end {
+            if self.toks[pos].is_punct('?') {
+                pos += 1;
+                continue;
+            }
+            if self.toks[pos].is_punct('.') {
+                let adapter = self
+                    .toks
+                    .get(pos + 1)
+                    .is_some_and(|m| GUARD_ADAPTERS.contains(&m.text.as_str()))
+                    && self.toks.get(pos + 2).is_some_and(|p| p.is_punct('('));
+                if adapter {
+                    match matching_close(self.toks, pos + 2, '(', ')') {
+                        Some(c) => pos = c + 1,
+                        None => return true,
+                    }
+                    continue;
+                }
+                return false;
+            }
+            return true;
+        }
+        true
+    }
+
+    /// Statement extent from `i` inside `(i, close)`: returns
+    /// `(stmt_end, next_i)` where `[i, stmt_end)` is the statement and
+    /// `next_i` is where the next statement starts. A brace-depth-0 `{`
+    /// whose close is not continued by `else` / `.` / `?` / `;` ends the
+    /// statement (block statements: `for … { }`, `if … { }`, bare
+    /// blocks), so a following `let g = m.lock();` is never merged in.
+    fn stmt_extent(&self, i: usize, close: usize) -> (usize, usize) {
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < close {
+            let t = &self.toks[j];
+            if t.is_punct('{') && depth == 0 {
+                let c = match matching_close(self.toks, j, '{', '}') {
+                    Some(c) => c.min(close),
+                    None => close,
+                };
+                let cont = self.toks.get(c + 1).is_some_and(|n| {
+                    n.is_punct('.') || n.is_punct('?') || n.is_punct(';') || n.is_ident("else")
+                });
+                if cont {
+                    j = c + 1;
+                    continue;
+                }
+                return (c + 1, c + 1);
+            }
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth == 0 {
+                return (j, j + 1);
+            }
+            j += 1;
+        }
+        (close, close)
+    }
+
+    fn walk_block(&mut self, open: usize, close: usize, held_in: &[Held]) {
+        let mut held: Vec<Held> = held_in.to_vec();
+        let mut i = open + 1;
+        while i < close {
+            let (stmt_end, next_i) = self.stmt_extent(i, close);
+            if stmt_end <= i {
+                i = next_i.max(i + 1);
+                continue;
+            }
+            let temps = self.prescan(i, stmt_end);
+            let binding = if self.toks[i].is_ident("let") {
+                let mut name = None;
+                let mut k = i + 1;
+                while k < stmt_end && !self.toks[k].is_punct('=') {
+                    if self.toks[k].is_punct(':') {
+                        break;
+                    }
+                    if self.toks[k].kind == TokKind::Ident && !self.toks[k].is_ident("mut") {
+                        name = Some(self.toks[k].text.clone());
+                    }
+                    k += 1;
+                }
+                name
+            } else {
+                None
+            };
+
+            let mut j = i;
+            while j < stmt_end {
+                let t = &self.toks[j];
+                if t.is_punct('{') {
+                    let c = match matching_close(self.toks, j, '{', '}') {
+                        Some(c) => c.min(close),
+                        None => close,
+                    };
+                    // Temporaries created before the block (match / if-let
+                    // scrutinees) are live inside it.
+                    let mut inner = held.clone();
+                    inner.extend(temps.iter().filter(|(idx, _)| *idx < j).map(|(_, cls)| {
+                        Held { binding: None, class: cls.clone() }
+                    }));
+                    self.walk_block(j, c, &inner);
+                    j = c + 1;
+                    continue;
+                }
+                if t.is_ident("drop")
+                    && self.toks.get(j + 1).is_some_and(|n| n.is_punct('('))
+                    && self.toks.get(j + 3).is_some_and(|n| n.is_punct(')'))
+                    && self.toks.get(j + 2).is_some_and(|a| a.kind == TokKind::Ident)
+                {
+                    let arg = &self.toks[j + 2].text;
+                    held.retain(|h| h.binding.as_deref() != Some(arg.as_str()));
+                    j += 4;
+                    continue;
+                }
+                if t.kind == TokKind::Ident {
+                    let held_classes = |upto: usize, held: &[Held]| -> Vec<String> {
+                        let mut v: Vec<String> = held.iter().map(|h| h.class.clone()).collect();
+                        v.extend(
+                            temps
+                                .iter()
+                                .filter(|(idx, _)| *idx < upto && *idx != j)
+                                .map(|(_, c)| c.clone()),
+                        );
+                        v.sort();
+                        v.dedup();
+                        v
+                    };
+                    if let Some((_, class)) = temps.iter().find(|(idx, _)| *idx == j) {
+                        self.acquires.push(AcqSite {
+                            class: class.clone(),
+                            line: t.line,
+                            held: held_classes(j, &held),
+                        });
+                    }
+                    if let Some((name, target)) = self.call_at(j) {
+                        // A guard is live across the whole call if it was
+                        // created anywhere before the argument list closes
+                        // (`self.f(&self.m.lock())`).
+                        let args_close =
+                            matching_close(self.toks, j + 1, '(', ')').unwrap_or(stmt_end);
+                        let held_now = held_classes(args_close + 1, &held);
+                        let zero_args = self.toks.get(j + 2).is_some_and(|n| n.is_punct(')'));
+                        let is_blocking_name = (zero_args
+                            && BLOCKING_ZERO_ARG.contains(&name.as_str()))
+                            || BLOCKING_ANY_ARG.contains(&name.as_str());
+                        let workspace_defined =
+                            self.model.by_name.get(&name).is_some_and(|ids| !ids.is_empty());
+                        if target == Target::ByName && is_blocking_name && !workspace_defined {
+                            self.blocking.push(BlockSite {
+                                what: name,
+                                line: t.line,
+                                held: held_now,
+                            });
+                        } else {
+                            self.calls.push(CallSite {
+                                name,
+                                target,
+                                line: t.line,
+                                held: held_now,
+                            });
+                        }
+                    }
+                }
+                j += 1;
+            }
+
+            // Statement end: let-bound guards survive to the block close;
+            // unbound temporaries (and guards consumed by a value-extracting
+            // chain like `lock().iter().collect()`) die here.
+            if let Some(b) = &binding {
+                for (tidx, cls) in &temps {
+                    if self.temp_retained(*tidx, stmt_end) {
+                        held.push(Held { binding: Some(b.clone()), class: cls.clone() });
+                    }
+                }
+            }
+            i = next_i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Effects fixpoint and rule evaluation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Effect {
+    locks: BTreeSet<String>,
+    /// blocking call name → via-path description.
+    blocks: BTreeMap<String, String>,
+}
+
+fn compute_effects(model: &Model<'_>) -> Vec<Effect> {
+    let mut eff: Vec<Effect> = model
+        .fns
+        .iter()
+        .map(|f| {
+            let mut e = Effect::default();
+            for a in &f.acquires {
+                e.locks.insert(a.class.clone());
+            }
+            for b in &f.blocking {
+                e.blocks.insert(b.what.clone(), format!("{}()", b.what));
+            }
+            if let Some(cls) = &f.guard_class {
+                e.locks.insert(cls.clone());
+            }
+            e
+        })
+        .collect();
+    for _ in 0..32 {
+        let mut changed = false;
+        for i in 0..model.fns.len() {
+            let mut next = eff[i].clone();
+            for call in &model.fns[i].calls {
+                let callee = match call.target {
+                    Target::Fn(id) => Some(eff[id].clone()),
+                    Target::ByName => by_name_effect(model, &eff, &call.name),
+                };
+                if let Some(ce) = callee {
+                    next.locks.extend(ce.locks.iter().cloned());
+                    for (what, via) in &ce.blocks {
+                        next.blocks
+                            .entry(what.clone())
+                            .or_insert_with(|| format!("{}() → {via}", call.name));
+                    }
+                }
+            }
+            if next != eff[i] {
+                eff[i] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    eff
+}
+
+/// By-name effect resolution: accepted only when the name is not
+/// denylisted and every lock-or-block-touching definition agrees.
+fn by_name_effect(model: &Model<'_>, eff: &[Effect], name: &str) -> Option<Effect> {
+    if FALLBACK_DENYLIST.contains(&name) {
+        return None;
+    }
+    let ids = model.by_name.get(name)?;
+    let mut interesting = ids
+        .iter()
+        .map(|&i| &eff[i])
+        .filter(|e| !e.locks.is_empty() || !e.blocks.is_empty());
+    let first = interesting.next()?;
+    if interesting.all(|e| e == first) {
+        Some(first.clone())
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct EdgeKey {
+    outer: String,
+    inner: String,
+    file: String,
+    line: u32,
+}
+
+/// Runs the R7 + R8 cross-file analysis over `files` against the declared
+/// `order`, appending violations. Public (taking `&[SourceFile]`) so tests
+/// can assemble synthetic multi-file workspaces without touching disk.
+pub fn check_concurrency(
+    files: &[SourceFile],
+    order: Option<&LockOrder>,
+    out: &mut Vec<Violation>,
+) {
+    let mut model = Model::build(files);
+    for i in 0..model.fns.len() {
+        let f = &model.fns[i];
+        if f.is_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        let toks = &files[f.file_idx].lexed.toks;
+        let mut w = BodyWalker {
+            model: &model,
+            fn_idx: i,
+            toks,
+            acquires: Vec::new(),
+            calls: Vec::new(),
+            blocking: Vec::new(),
+        };
+        w.walk_block(open, close, &[]);
+        let (a, c, b) = (w.acquires, w.calls, w.blocking);
+        model.fns[i].acquires = a;
+        model.fns[i].calls = c;
+        model.fns[i].blocking = b;
+    }
+    let eff = compute_effects(&model);
+
+    // Collect nesting edges (deduped per site) and R8 violations.
+    let mut edges: BTreeMap<EdgeKey, String> = BTreeMap::new();
+    for f in &model.fns {
+        let file = &files[f.file_idx].rel_path;
+        for a in &f.acquires {
+            for h in &a.held {
+                edges
+                    .entry(EdgeKey {
+                        outer: h.clone(),
+                        inner: a.class.clone(),
+                        file: file.clone(),
+                        line: a.line,
+                    })
+                    .or_default();
+            }
+        }
+        for call in &f.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            let callee = match call.target {
+                Target::Fn(id) => Some(eff[id].clone()),
+                Target::ByName => by_name_effect(&model, &eff, &call.name),
+            };
+            let Some(ce) = callee else { continue };
+            for inner in &ce.locks {
+                for h in &call.held {
+                    edges
+                        .entry(EdgeKey {
+                            outer: h.clone(),
+                            inner: inner.clone(),
+                            file: file.clone(),
+                            line: call.line,
+                        })
+                        .or_insert_with(|| format!(" (via `{}()`)", call.name));
+                }
+            }
+            for (what, via) in &ce.blocks {
+                out.push(Violation {
+                    file: file.clone(),
+                    line: call.line,
+                    rule: NO_BLOCKING_WHILE_LOCKED,
+                    message: format!(
+                        "call blocks on `{what}` (via `{}() → {via}`) while holding `{}`",
+                        call.name,
+                        call.held.join("`, `"),
+                    ),
+                });
+            }
+        }
+        for b in &f.blocking {
+            if b.held.is_empty() {
+                continue;
+            }
+            out.push(Violation {
+                file: file.clone(),
+                line: b.line,
+                rule: NO_BLOCKING_WHILE_LOCKED,
+                message: format!(
+                    "blocking call `{}()` while holding `{}`",
+                    b.what,
+                    b.held.join("`, `"),
+                ),
+            });
+        }
+    }
+
+    // R7: every edge must follow the declared order.
+    for (e, note) in &edges {
+        if e.outer == e.inner {
+            out.push(Violation {
+                file: e.file.clone(),
+                line: e.line,
+                rule: LOCK_ORDER,
+                message: format!(
+                    "reentrant acquisition: `{}` taken while already held{note} — deadlock \
+                     (or lock-class aliasing of two instances; restructure or justify with \
+                     lint:allow)",
+                    e.inner
+                ),
+            });
+            continue;
+        }
+        let msg = match order {
+            None => Some(format!(
+                "`{}` acquired while `{}` is held{note}, but no lock-order.toml declares \
+                 the canonical order",
+                e.inner, e.outer
+            )),
+            Some(o) => match (o.position(&e.outer), o.position(&e.inner)) {
+                (Some(po), Some(pi)) if po < pi => None,
+                (Some(_), Some(_)) => Some(format!(
+                    "`{}` acquired while `{}` is held{note}, but lock-order.toml places \
+                     `{}` before `{}`",
+                    e.inner, e.outer, e.inner, e.outer
+                )),
+                (None, _) => Some(format!(
+                    "`{}` acquired while `{}` is held{note}, but `{}` is not declared in \
+                     lock-order.toml",
+                    e.inner, e.outer, e.outer
+                )),
+                (_, None) => Some(format!(
+                    "`{}` acquired while `{}` is held{note}, but `{}` is not declared in \
+                     lock-order.toml",
+                    e.inner, e.outer, e.inner
+                )),
+            },
+        };
+        if let Some(message) = msg {
+            out.push(Violation { file: e.file.clone(), line: e.line, rule: LOCK_ORDER, message });
+        }
+    }
+
+    // Acyclicity of the full inferred graph. With a total declared order
+    // this is implied; it still catches cycles among sites individually
+    // suppressed with lint:allow, and gives fixtures a direct probe.
+    // Self-loops already got the dedicated reentrancy report above.
+    let keys: Vec<&EdgeKey> = edges.keys().filter(|e| e.outer != e.inner).collect();
+    if let Some(cycle) = find_cycle(&keys) {
+        let e = cycle[0];
+        out.push(Violation {
+            file: e.file.clone(),
+            line: e.line,
+            rule: LOCK_ORDER,
+            message: format!(
+                "lock acquisition graph has a cycle: {}",
+                cycle
+                    .iter()
+                    .map(|e| format!("`{}` → `{}`", e.outer, e.inner))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+}
+
+fn find_cycle<'e>(edges: &[&'e EdgeKey]) -> Option<Vec<&'e EdgeKey>> {
+    let mut adj: BTreeMap<&str, Vec<&'e EdgeKey>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.outer.as_str()).or_default().push(e);
+    }
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let mut on_path = vec![start];
+        let mut path = Vec::new();
+        if dfs(start, &adj, &mut on_path, &mut path) {
+            return Some(path);
+        }
+    }
+    None
+}
+
+fn dfs<'e>(
+    node: &str,
+    adj: &BTreeMap<&str, Vec<&'e EdgeKey>>,
+    on_path: &mut Vec<&'e str>,
+    path: &mut Vec<&'e EdgeKey>,
+) -> bool {
+    if path.len() > 64 {
+        return false; // workspace graphs are tiny; bound pathological input
+    }
+    if let Some(outs) = adj.get(node) {
+        for e in outs {
+            if on_path.contains(&e.inner.as_str()) {
+                path.push(e);
+                return true;
+            }
+            on_path.push(e.inner.as_str());
+            path.push(e);
+            if dfs(&e.inner, adj, on_path, path) {
+                return true;
+            }
+            path.pop();
+            on_path.pop();
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// R9: atomic-ordering-justified
+// ---------------------------------------------------------------------------
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+const COUNTER_METHODS: &[&str] = &["fetch_add", "fetch_sub"];
+
+/// Runs the R9 analysis: every `Ordering::X` site needs either the
+/// Relaxed-counter exemption or an `// ordering:` comment.
+pub fn check_atomic_orderings(files: &[SourceFile], out: &mut Vec<Violation>) {
+    // Pass 1: atomics that are counters (receivers of fetch_add/sub).
+    let mut counters: HashSet<String> = HashSet::new();
+    for f in files {
+        if is_shim(f) {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        for i in 2..toks.len() {
+            if toks[i].kind == TokKind::Ident
+                && COUNTER_METHODS.contains(&toks[i].text.as_str())
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && toks[i - 2].kind == TokKind::Ident
+            {
+                counters.insert(toks[i - 2].text.clone());
+            }
+        }
+    }
+    // Pass 2: audit every Ordering::X site.
+    for f in files {
+        if is_shim(f) || is_test_path(&f.rel_path) {
+            continue;
+        }
+        let toks = &f.lexed.toks;
+        let mut flagged_lines: HashSet<u32> = HashSet::new();
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("Ordering")
+                || !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                || !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                continue;
+            }
+            let Some(ord) = toks.get(i + 3) else { continue };
+            if !ATOMIC_ORDERINGS.contains(&ord.text.as_str()) || f.in_test(i) {
+                continue;
+            }
+            // Find the enclosing call: scan back for the unmatched `(`.
+            let mut depth = 0i32;
+            let mut method: Option<&str> = None;
+            let mut receiver: Option<&str> = None;
+            let mut in_use = false;
+            let mut k = i;
+            while k > 0 {
+                k -= 1;
+                let t = &toks[k];
+                if t.is_punct(')') || t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('(') || t.is_punct('[') {
+                    if depth == 0 {
+                        if t.is_punct('(') && k > 0 && toks[k - 1].kind == TokKind::Ident {
+                            method = Some(&toks[k - 1].text);
+                            if k > 2
+                                && toks[k - 2].is_punct('.')
+                                && toks[k - 3].kind == TokKind::Ident
+                            {
+                                receiver = Some(&toks[k - 3].text);
+                            }
+                        }
+                        break;
+                    }
+                    depth -= 1;
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                } else if t.is_ident("use") {
+                    in_use = true;
+                    break;
+                }
+            }
+            if in_use {
+                continue; // `use std::sync::atomic::Ordering::…`
+            }
+            let counter_site = method.is_some_and(|m| COUNTER_METHODS.contains(&m))
+                || receiver.is_some_and(|r| counters.contains(r));
+            if ord.text == "Relaxed" && counter_site {
+                continue;
+            }
+            let line = ord.line;
+            let commented =
+                (line.saturating_sub(2)..=line).any(|l| f.ordering_lines.contains(&l));
+            if commented || !flagged_lines.insert(line) {
+                continue;
+            }
+            let message = if ord.text == "Relaxed" {
+                format!(
+                    "`Ordering::Relaxed`{} on a non-counter atomic needs an `// ordering:` \
+                     comment (why is no cross-thread ordering required here?)",
+                    receiver.map(|r| format!(" on `{r}`")).unwrap_or_default()
+                )
+            } else {
+                format!(
+                    "`Ordering::{}`{} needs an `// ordering:` comment naming the \
+                     store/load it pairs with",
+                    ord.text,
+                    method.map(|m| format!(" in `{m}`")).unwrap_or_default()
+                )
+            };
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line,
+                rule: ATOMIC_ORDERING_JUSTIFIED,
+                message,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing helpers
+// ---------------------------------------------------------------------------
+
+fn parse_fields(toks: &[Tok]) -> Vec<FieldInfo> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::DocComment {
+            i += 1;
+            continue;
+        }
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i = matching_close(toks, i + 1, '[', ']').map_or(toks.len(), |c| c + 1);
+            continue;
+        }
+        if toks[i].is_ident("pub") {
+            i += 1;
+            if i < toks.len() && toks[i].is_punct('(') {
+                i = matching_close(toks, i, '(', ')').map_or(toks.len(), |c| c + 1);
+            }
+            continue;
+        }
+        // Field: `name : type , …`
+        if toks[i].kind == TokKind::Ident && toks.get(i + 1).is_some_and(|t| t.is_punct(':')) {
+            let name = toks[i].text.clone();
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut type_idents = Vec::new();
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')')
+                    || t.is_punct(']')
+                    // `>` closes a generic unless it is the `->` arrow.
+                    || (t.is_punct('>') && !toks[j - 1].is_punct('-'))
+                {
+                    depth -= 1;
+                } else if t.is_punct(',') && depth <= 0 {
+                    break;
+                } else if t.kind == TokKind::Ident {
+                    type_idents.push(t.text.clone());
+                }
+                j += 1;
+            }
+            let is_lock = type_idents.iter().any(|t| t == "Mutex" || t == "RwLock");
+            out.push(FieldInfo { name, type_idents, is_lock });
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_params(toks: &[Tok]) -> Vec<(String, Vec<String>)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut j = i;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')')
+                || t.is_punct(']')
+                // `>` closes a generic unless it is the `->` arrow.
+                || (t.is_punct('>') && j > 0 && !toks[j - 1].is_punct('-'))
+            {
+                depth -= 1;
+            } else if t.is_punct(',') && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        let param = &toks[i..j];
+        if let Some(colon) = param.iter().position(|t| t.is_punct(':')) {
+            let name = param[..colon]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut") && !t.is_ident("ref"))
+                .map(|t| t.text.clone());
+            if let Some(name) = name {
+                let tys = param[colon + 1..]
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .collect();
+                out.push((name, tys));
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// True when the `impl` at `i` starts an item (not `-> impl Trait`).
+fn impl_item_position(toks: &[Tok], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let p = &toks[i - 1];
+    p.is_punct('}')
+        || p.is_punct(';')
+        || p.is_punct(']')
+        || p.is_ident("unsafe")
+        || p.kind == TokKind::DocComment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_conc(files: &[(&str, &str)], order: Option<&str>) -> Vec<Violation> {
+        let sfs: Vec<SourceFile> =
+            files.iter().map(|(p, s)| SourceFile::new(*p, s)).collect();
+        let lo = order.map(|t| LockOrder::parse(t).expect("fixture lock-order parses"));
+        let mut out = Vec::new();
+        check_concurrency(&sfs, lo.as_ref(), &mut out);
+        for f in &sfs {
+            out.retain(|v| v.file != f.rel_path || !f.allowed(v.rule, v.line));
+        }
+        out
+    }
+
+    fn run_r9(files: &[(&str, &str)]) -> Vec<Violation> {
+        let sfs: Vec<SourceFile> =
+            files.iter().map(|(p, s)| SourceFile::new(*p, s)).collect();
+        let mut out = Vec::new();
+        check_atomic_orderings(&sfs, &mut out);
+        for f in &sfs {
+            out.retain(|v| v.file != f.rel_path || !f.allowed(v.rule, v.line));
+        }
+        out
+    }
+
+    const ORDER_AB: &str = "version = 1\norder = [\"S.a\", \"S.b\"]\n";
+
+    const TWO_LOCKS: &str = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+"#;
+
+    #[test]
+    fn lock_order_toml_round_trip() {
+        let lo =
+            LockOrder::parse("version = 1\norder = [\n  \"A.x\",\n  \"B.y\",\n]\n").unwrap();
+        assert_eq!(lo.order, ["A.x", "B.y"]);
+        assert_eq!(lo.position("A.x"), Some(0));
+        assert_eq!(lo.position("C.z"), None);
+        // Inline arrays and comments parse too.
+        let lo =
+            LockOrder::parse("# header\nversion = 1\norder = [\"A.x\", \"B.y\"] # tail\n")
+                .unwrap();
+        assert_eq!(lo.order, ["A.x", "B.y"]);
+    }
+
+    #[test]
+    fn lock_order_toml_rejects_bad_input() {
+        assert!(LockOrder::parse("order = [\"A.x\"]\n").is_err(), "missing version");
+        assert!(LockOrder::parse("version = 2\norder = []\n").is_err(), "bad version");
+        assert!(
+            LockOrder::parse("version = 1\norder = [\"A.x\", \"A.x\"]\n").is_err(),
+            "duplicate class"
+        );
+        assert!(
+            LockOrder::parse("version = 1\norder = [\n\"A.x\",\n").is_err(),
+            "unterminated"
+        );
+        assert!(LockOrder::parse("version = 1\nbogus = 3\n").is_err(), "unknown directive");
+    }
+
+    #[test]
+    fn r7_nesting_in_declared_order_is_clean() {
+        let v = run_conc(&[("crates/x/src/a.rs", TWO_LOCKS)], Some(ORDER_AB));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r7_flags_nesting_against_declared_order() {
+        let order = "version = 1\norder = [\"S.b\", \"S.a\"]\n";
+        let v = run_conc(&[("crates/x/src/a.rs", TWO_LOCKS)], Some(order));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, LOCK_ORDER);
+        assert!(v[0].message.contains("places `S.b` before `S.a`"), "{}", v[0].message);
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn r7_flags_undeclared_classes_and_missing_toml() {
+        let only_a = "version = 1\norder = [\"S.a\"]\n";
+        let v = run_conc(&[("crates/x/src/a.rs", TWO_LOCKS)], Some(only_a));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`S.b` is not declared"), "{}", v[0].message);
+
+        let v = run_conc(&[("crates/x/src/a.rs", TWO_LOCKS)], None);
+        assert!(!v.is_empty());
+        assert!(v[0].message.contains("no lock-order.toml"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r7_detects_cycles_across_files() {
+        let back = r#"
+use roulette::S;
+pub fn backward(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    drop(ga);
+    drop(gb);
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/a.rs", TWO_LOCKS), ("crates/x/src/b.rs", back)],
+            Some(ORDER_AB),
+        );
+        // The backward nesting violates the order, and the combined graph
+        // carries an explicit cycle report.
+        assert!(
+            v.iter().any(|x| x.message.contains("places `S.a` before `S.b`")),
+            "{v:?}"
+        );
+        assert!(v.iter().any(|x| x.message.contains("cycle")), "{v:?}");
+    }
+
+    #[test]
+    fn r7_flags_reentrant_acquisition() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32> }
+impl S {
+    pub fn twice(&self) {
+        let g1 = self.a.lock();
+        let g2 = self.a.lock();
+        drop(g2);
+        drop(g1);
+    }
+}
+"#;
+        let v =
+            run_conc(&[("crates/x/src/a.rs", src)], Some("version = 1\norder = [\"S.a\"]\n"));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("reentrant"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r7_sees_nesting_through_guard_returning_helpers_across_files() {
+        let def = r#"
+use std::sync::{Mutex, MutexGuard};
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn lock_a(&self) -> MutexGuard<'_, u32> {
+        match self.a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+"#;
+        let user = r#"
+use roulette::S;
+pub fn nested(s: &S) {
+    let ga = s.lock_a();
+    let gb = s.b.lock();
+    drop(gb);
+    drop(ga);
+}
+"#;
+        let files = [("crates/x/src/def.rs", def), ("crates/x/src/user.rs", user)];
+        assert!(run_conc(&files, Some(ORDER_AB)).is_empty());
+        let rev = "version = 1\norder = [\"S.b\", \"S.a\"]\n";
+        let v = run_conc(&files, Some(rev));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].file.ends_with("user.rs"));
+    }
+
+    #[test]
+    fn r7_sees_nesting_through_callee_effects() {
+        let callee = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn touch_b(&self) {
+        let g = self.b.lock();
+        drop(g);
+    }
+}
+"#;
+        let caller = r#"
+use roulette::S;
+pub fn outer(s: &S) {
+    let ga = s.a.lock();
+    s.touch_b();
+    drop(ga);
+}
+"#;
+        let files = [("crates/x/src/callee.rs", callee), ("crates/x/src/caller.rs", caller)];
+        assert!(run_conc(&files, Some(ORDER_AB)).is_empty());
+        let v = run_conc(&files, Some("version = 1\norder = [\"S.b\", \"S.a\"]\n"));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("via `touch_b()`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r7_temp_guard_in_call_arguments_is_held_across_the_call() {
+        let src = r#"
+use std::sync::{Mutex, MutexGuard};
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn consume(&self, g: &MutexGuard<'_, u32>) {
+        let gb = self.b.lock();
+        drop(gb);
+    }
+    pub fn outer(&self) {
+        self.consume(&self.a.lock());
+    }
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/a.rs", src)],
+            Some("version = 1\norder = [\"S.b\", \"S.a\"]\n"),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("via `consume()`"), "{}", v[0].message);
+        assert!(run_conc(&[("crates/x/src/a.rs", src)], Some(ORDER_AB)).is_empty());
+    }
+
+    #[test]
+    fn r7_drop_releases_the_guard() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn sequential(&self) {
+        let ga = self.a.lock();
+        drop(ga);
+        let gb = self.b.lock();
+        drop(gb);
+    }
+}
+"#;
+        // Even with the order reversed there is no nesting to flag.
+        let v = run_conc(
+            &[("crates/x/src/a.rs", src)],
+            Some("version = 1\norder = [\"S.b\", \"S.a\"]\n"),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r7_scoped_guards_do_not_leak_out_of_their_block() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn scoped(&self, xs: &[u32]) {
+        for _x in xs {
+            let ga = self.a.lock();
+            drop(ga);
+        }
+        let gb = self.b.lock();
+        drop(gb);
+    }
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/a.rs", src)],
+            Some("version = 1\norder = [\"S.b\", \"S.a\"]\n"),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r7_guard_bound_after_a_block_statement_is_tracked() {
+        // A `for … { }` statement followed by `let g = lock()` must not
+        // swallow the binding: the nesting below has to be seen.
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn after_loop(&self, xs: &[u32]) {
+        for _x in xs {
+        }
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/a.rs", src)],
+            Some("version = 1\norder = [\"S.b\", \"S.a\"]\n"),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn r7_lint_allow_suppresses_a_site() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        // lint:allow(lock-order) — instances are ordered by address here
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/a.rs", src)],
+            Some("version = 1\norder = [\"S.b\", \"S.a\"]\n"),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r7_test_code_is_exempt() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u32>, b: Mutex<u32> }
+#[cfg(test)]
+mod tests {
+    use super::S;
+    #[test]
+    fn nested() {
+        let s = S { a: Mutex::new(0), b: Mutex::new(0) };
+        let gb = s.b.lock();
+        let ga = s.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+}
+"#;
+        assert!(run_conc(&[("crates/x/src/a.rs", src)], Some(ORDER_AB)).is_empty());
+        // The same nesting in a tests/ file is also exempt.
+        let decl = "use std::sync::Mutex;\npub struct S { a: Mutex<u32>, b: Mutex<u32> }\n";
+        let race = "use roulette::S;\nfn f(s: &S) { let gb = s.b.lock(); let ga = s.a.lock(); \
+                    drop(ga); drop(gb); }\n";
+        let v = run_conc(
+            &[("crates/x/src/a.rs", decl), ("tests/race.rs", race)],
+            Some(ORDER_AB),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r8_flags_blocking_calls_under_a_guard() {
+        let src = r#"
+use std::sync::Mutex;
+use std::sync::mpsc::Receiver;
+pub struct Q { state: Mutex<u32> }
+impl Q {
+    pub fn wait_bad(&self, rx: &Receiver<u32>) {
+        let g = self.state.lock();
+        let _ = rx.recv();
+        drop(g);
+    }
+    pub fn wait_ok(&self, rx: &Receiver<u32>) {
+        let v = rx.recv();
+        let g = self.state.lock();
+        drop(g);
+        let _ = v;
+    }
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/q.rs", src)],
+            Some("version = 1\norder = [\"Q.state\"]\n"),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, NO_BLOCKING_WHILE_LOCKED);
+        assert!(v[0].message.contains("recv"), "{}", v[0].message);
+        assert!(v[0].message.contains("Q.state"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r8_arity_disambiguates_join_and_propagates_through_calls() {
+        let src = r#"
+use std::sync::Mutex;
+use std::path::Path;
+pub struct Q { state: Mutex<u32> }
+fn blocks_inside(h: std::thread::JoinHandle<()>) {
+    let _ = h.join();
+}
+impl Q {
+    pub fn path_join_is_fine(&self, p: &Path) {
+        let g = self.state.lock();
+        let _ = p.join("subdir");
+        drop(g);
+    }
+    pub fn transitive_bad(&self, h: std::thread::JoinHandle<()>) {
+        let g = self.state.lock();
+        blocks_inside(h);
+        drop(g);
+    }
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/q.rs", src)],
+            Some("version = 1\norder = [\"Q.state\"]\n"),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("via `blocks_inside()"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r8_condvar_wait_is_not_blocking() {
+        // Condvar::wait takes the guard and releases it — the admission
+        // queue's pop_batch depends on this not being flagged.
+        let src = r#"
+use std::sync::{Condvar, Mutex};
+pub struct Q { state: Mutex<u32>, ready: Condvar }
+impl Q {
+    pub fn pop(&self) {
+        let mut g = match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            g = match self.ready.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if *g > 0 {
+                break;
+            }
+        }
+        drop(g);
+    }
+}
+"#;
+        let v = run_conc(
+            &[("crates/x/src/q.rs", src)],
+            Some("version = 1\norder = [\"Q.state\"]\n"),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn r9_flags_unjustified_orderings_and_honors_comments() {
+        let src = r#"
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+pub struct C {
+    hits: AtomicU64,
+    stop: AtomicBool,
+}
+impl C {
+    pub fn work(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let _ = self.hits.load(Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
+        // ordering: pairs with the Release store in work()
+        let _ = self.stop.load(Ordering::Acquire);
+        let x = 1;
+        let _ = x;
+        let _ = self.stop.load(Ordering::Acquire);
+    }
+}
+"#;
+        let v = run_r9(&[("crates/x/src/c.rs", src)]);
+        // fetch_add Relaxed: exempt. load on `hits` (a counter): exempt.
+        // Release store: flagged. First Acquire: commented (same-line-or-
+        // two-above window, like SAFETY). Second: flagged.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == ATOMIC_ORDERING_JUSTIFIED));
+        assert!(v[0].message.contains("Release"), "{}", v[0].message);
+        assert_eq!(v[1].line, 16);
+    }
+
+    #[test]
+    fn r9_flags_relaxed_on_non_counter_atomics() {
+        let src = r#"
+use std::sync::atomic::{AtomicBool, Ordering};
+pub struct F { closed: AtomicBool }
+impl F {
+    pub fn check(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+}
+"#;
+        let v = run_r9(&[("crates/x/src/f.rs", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("non-counter"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn r9_skips_tests_shims_and_use_statements() {
+        let src = r#"
+use std::sync::atomic::Ordering;
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    #[test]
+    fn t() {
+        let a = AtomicU32::new(0);
+        a.store(1, Ordering::SeqCst);
+    }
+}
+"#;
+        assert!(run_r9(&[("crates/x/src/t.rs", src)]).is_empty());
+        let raw = "pub fn f(a: &std::sync::atomic::AtomicU32) { a.store(1, Ordering::SeqCst); }";
+        assert!(run_r9(&[("shims/x/src/lib.rs", raw)]).is_empty());
+        assert!(run_r9(&[("crates/x/benches/b.rs", raw)]).is_empty());
+    }
+
+    #[test]
+    fn r9_one_violation_per_line_covers_compare_exchange() {
+        let src = r#"
+use std::sync::atomic::{AtomicU32, Ordering};
+pub fn cas(a: &AtomicU32) {
+    let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+}
+"#;
+        let v = run_r9(&[("crates/x/src/c.rs", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn shims_are_outside_the_concurrency_model() {
+        // A shim Mutex with an `inner` field must not alias workspace
+        // classes or produce violations of its own.
+        let shim = r#"
+pub struct Mutex<T> { inner: std::sync::Mutex<T> }
+impl<T> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let g = self.inner.lock();
+        MutexGuard { g }
+    }
+}
+"#;
+        let v = run_conc(&[("shims/parking_lot/src/lib.rs", shim)], None);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -21,7 +21,17 @@
 //! * **R6 `no-alloc-in-episode-loop`** — code regions marked
 //!   `// lint: hot-loop` never heap-allocate (`Vec::new`, `vec![…]`,
 //!   `.clone()`, `.to_vec()`, `.to_owned()`); steady-state episode
-//!   execution draws every buffer from the `EpisodeScratch` arena.
+//!   execution draws every buffer from the `EpisodeScratch` arena;
+//! * **R7 `lock-order`** — every nested `Mutex`/`RwLock` acquisition,
+//!   resolved across files through a lightweight call map, follows the
+//!   canonical order declared in `lock-order.toml`, and the inferred
+//!   lock-acquisition graph is acyclic;
+//! * **R8 `no-blocking-while-locked`** — no `recv()`, `join()`,
+//!   `accept()`, `sleep()`, or socket/file blocking calls while any
+//!   guard is live in non-test code;
+//! * **R9 `atomic-ordering-justified`** — every non-`Relaxed` atomic
+//!   ordering (and every `Relaxed` on a non-counter atomic) carries an
+//!   `// ordering:` comment, mirroring R2's SAFETY discipline.
 //!
 //! Matching is lexer-based ([`lexer`]): string literals, char literals,
 //! raw strings, and comments can never false-positive. Violations are
@@ -37,12 +47,14 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod conc;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 pub mod workspace;
 
 pub use baseline::{Baseline, BaselineEntry};
+pub use conc::LockOrder;
 pub use report::{CheckReport, Severity, StaleEntry, Violation};
 pub use rules::{Rule, SourceFile, HOT_PATHS, RULES};
 pub use workspace::{default_root, Workspace};

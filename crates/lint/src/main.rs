@@ -1,8 +1,9 @@
 //! `roulette-lint` — the workspace invariant linter's CLI.
 //!
 //! ```text
-//! roulette-lint check    [--format text|json] [--baseline PATH] [--root PATH] [--warn RULE]...
-//! roulette-lint baseline [--baseline PATH] [--root PATH]
+//! roulette-lint check    [--format text|json] [--baseline PATH] [--root PATH]
+//!                        [--lock-order PATH] [--warn RULE]...
+//! roulette-lint baseline [--baseline PATH] [--root PATH] [--lock-order PATH]
 //! roulette-lint rules
 //! ```
 //!
@@ -11,18 +12,19 @@
 
 #![forbid(unsafe_code)]
 
-use roulette_lint::{Baseline, Workspace, RULES};
+use roulette_lint::{Baseline, LockOrder, Workspace, RULES};
 use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: roulette-lint <check|baseline|rules> \
-    [--format text|json] [--baseline PATH] [--root PATH] [--warn RULE]...";
+    [--format text|json] [--baseline PATH] [--root PATH] [--lock-order PATH] [--warn RULE]...";
 
 struct Opts {
     cmd: String,
     root: PathBuf,
     baseline: PathBuf,
+    lock_order: Option<PathBuf>,
     format: String,
     demote: HashSet<String>,
 }
@@ -32,6 +34,7 @@ fn parse_args() -> Result<Opts, String> {
     let cmd = args.next().ok_or(USAGE)?;
     let mut root = roulette_lint::default_root();
     let mut baseline: Option<PathBuf> = None;
+    let mut lock_order: Option<PathBuf> = None;
     let mut format = "text".to_string();
     let mut demote = HashSet::new();
     while let Some(a) = args.next() {
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Opts, String> {
         match a.as_str() {
             "--root" => root = PathBuf::from(value("--root")?),
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--lock-order" => lock_order = Some(PathBuf::from(value("--lock-order")?)),
             "--format" => {
                 format = value("--format")?;
                 if format != "text" && format != "json" {
@@ -58,7 +62,20 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
-    Ok(Opts { cmd, root, baseline, format, demote })
+    Ok(Opts { cmd, root, baseline, lock_order, format, demote })
+}
+
+/// Loads the workspace, overriding the default `<root>/lock-order.toml`
+/// with an explicit `--lock-order PATH` when one was given.
+fn load_workspace(opts: &Opts) -> Result<Workspace, String> {
+    let mut ws = Workspace::load(&opts.root)
+        .map_err(|e| format!("loading workspace at {}: {e}", opts.root.display()))?;
+    if let Some(p) = &opts.lock_order {
+        let text =
+            std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+        ws.lock_order = Some(LockOrder::parse(&text)?);
+    }
+    Ok(ws)
 }
 
 fn main() -> ExitCode {
@@ -87,8 +104,7 @@ fn run(opts: &Opts) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "baseline" => {
-            let ws = Workspace::load(&opts.root)
-                .map_err(|e| format!("loading workspace at {}: {e}", opts.root.display()))?;
+            let ws = load_workspace(opts)?;
             let violations = ws.analyze();
             let b = Baseline::from_violations(&violations);
             std::fs::write(&opts.baseline, b.to_toml())
@@ -102,8 +118,7 @@ fn run(opts: &Opts) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "check" => {
-            let ws = Workspace::load(&opts.root)
-                .map_err(|e| format!("loading workspace at {}: {e}", opts.root.display()))?;
+            let ws = load_workspace(opts)?;
             let baseline = match std::fs::read_to_string(&opts.baseline) {
                 Ok(text) => Baseline::parse(&text)
                     .map_err(|e| format!("{}: {e}", opts.baseline.display()))?,

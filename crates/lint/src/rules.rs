@@ -1,6 +1,6 @@
 //! The rule set and the per-file analysis context.
 //!
-//! Six rules, each enforcing one workspace invariant:
+//! Nine rules, each enforcing one workspace invariant:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -10,6 +10,12 @@
 //! | `shim-surface-drift` | shims export only what the workspace uses |
 //! | `config-docs` | every public `EngineConfig` field is documented |
 //! | `no-alloc-in-episode-loop` | `// lint: hot-loop` regions never allocate |
+//! | `lock-order` | nested lock acquisitions follow `lock-order.toml` |
+//! | `no-blocking-while-locked` | no indefinite blocking while a guard is live |
+//! | `atomic-ordering-justified` | atomic orderings carry `// ordering:` comments |
+//!
+//! R1–R6 are per-file; R7–R9 are the cross-file concurrency analysis in
+//! [`crate::conc`].
 //!
 //! Rules operate on the token stream of [`crate::lexer`], so matches inside
 //! strings, chars, and comments are structurally impossible. Violations can
@@ -43,8 +49,14 @@ pub const SHIM_SURFACE_DRIFT: &str = "shim-surface-drift";
 pub const CONFIG_DOCS: &str = "config-docs";
 /// Rule R6.
 pub const NO_ALLOC_IN_EPISODE_LOOP: &str = "no-alloc-in-episode-loop";
+/// Rule R7.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule R8.
+pub const NO_BLOCKING_WHILE_LOCKED: &str = "no-blocking-while-locked";
+/// Rule R9.
+pub const ATOMIC_ORDERING_JUSTIFIED: &str = "atomic-ordering-justified";
 
-/// The rule registry, in R1..R5 order.
+/// The rule registry, in R1..R9 order.
 pub const RULES: &[Rule] = &[
     Rule {
         name: NO_PANIC_HOT_PATH,
@@ -79,6 +91,25 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Deny,
         summary: "Vec::new/vec![/.clone()/.to_vec() are banned inside `// lint: hot-loop` \
                   regions of hot-path modules; draw from the EpisodeScratch arena instead",
+    },
+    Rule {
+        name: LOCK_ORDER,
+        severity: Severity::Deny,
+        summary: "nested lock acquisitions (direct or through calls) must follow the \
+                  canonical order declared in lock-order.toml, and the inferred \
+                  acquisition graph must be acyclic",
+    },
+    Rule {
+        name: NO_BLOCKING_WHILE_LOCKED,
+        severity: Severity::Deny,
+        summary: "recv/recv_timeout/join/sleep/accept/socket reads and writes are banned \
+                  while any Mutex/RwLock guard is live in non-test code",
+    },
+    Rule {
+        name: ATOMIC_ORDERING_JUSTIFIED,
+        severity: Severity::Deny,
+        summary: "every non-Relaxed atomic ordering (and Relaxed on non-counter atomics) \
+                  needs an `// ordering:` comment naming the access it pairs with",
     },
 ];
 
@@ -151,6 +182,25 @@ pub struct SourceFile {
     pub allows: HashMap<u32, Vec<String>>,
     /// Lines covered by a comment (or doc comment) containing `SAFETY:`.
     pub safety_lines: HashSet<u32>,
+    /// Lines covered by a comment (or doc comment) containing `ordering:`,
+    /// the R9 justification marker.
+    pub ordering_lines: HashSet<u32>,
+}
+
+/// Grows `marked` through every contiguous run of comment lines (`all`)
+/// touching a marked line, in both directions.
+fn extend_through_block(marked: &mut HashSet<u32>, all: &HashSet<u32>) {
+    let seeds: Vec<u32> = marked.iter().copied().collect();
+    for s in seeds {
+        let mut l = s + 1;
+        while all.contains(&l) && marked.insert(l) {
+            l += 1;
+        }
+        let mut l = s.saturating_sub(1);
+        while l > 0 && all.contains(&l) && marked.insert(l) {
+            l -= 1;
+        }
+    }
 }
 
 impl SourceFile {
@@ -161,6 +211,7 @@ impl SourceFile {
         let test_spans = find_test_spans(&lexed.toks);
         let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
         let mut safety_lines = HashSet::new();
+        let mut ordering_lines = HashSet::new();
         for c in &lexed.comments {
             for rule in parse_allows(&c.text) {
                 allows.entry(c.end_line).or_default().push(rule);
@@ -168,13 +219,35 @@ impl SourceFile {
             if c.text.contains("SAFETY:") {
                 safety_lines.extend(c.line..=c.end_line);
             }
-        }
-        for t in &lexed.toks {
-            if t.kind == TokKind::DocComment && t.text.contains("SAFETY:") {
-                safety_lines.insert(t.line);
+            if c.text.contains("ordering:") {
+                ordering_lines.extend(c.line..=c.end_line);
             }
         }
-        SourceFile { rel_path: rel_path.into(), lexed, test_spans, allows, safety_lines }
+        // A marker covers its whole contiguous run of line comments, not
+        // just its own line: justification prose wraps, and the rule
+        // windows measure from the block's last line.
+        let comment_lines: HashSet<u32> =
+            lexed.comments.iter().flat_map(|c| c.line..=c.end_line).collect();
+        extend_through_block(&mut safety_lines, &comment_lines);
+        extend_through_block(&mut ordering_lines, &comment_lines);
+        for t in &lexed.toks {
+            if t.kind == TokKind::DocComment {
+                if t.text.contains("SAFETY:") {
+                    safety_lines.insert(t.line);
+                }
+                if t.text.contains("ordering:") {
+                    ordering_lines.insert(t.line);
+                }
+            }
+        }
+        SourceFile {
+            rel_path: rel_path.into(),
+            lexed,
+            test_spans,
+            allows,
+            safety_lines,
+            ordering_lines,
+        }
     }
 
     /// True when token `idx` falls inside a `#[cfg(test)]` item.
@@ -249,7 +322,7 @@ fn find_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
 
 /// Given the index of an opening delimiter, returns the index of its
 /// matching closer.
-fn matching_close(toks: &[Tok], open: usize, oc: char, cc: char) -> Option<usize> {
+pub(crate) fn matching_close(toks: &[Tok], open: usize, oc: char, cc: char) -> Option<usize> {
     let mut depth = 0usize;
     for (j, t) in toks.iter().enumerate().skip(open) {
         if t.is_punct(oc) {

@@ -2,11 +2,14 @@
 //!
 //! Walks `crates/`, `shims/`, `src/`, `tests/`, and `examples/` under the
 //! workspace root, lexes every `.rs` file once, and runs the rule set:
-//! per-file rules directly, plus the two cross-file analyses — crate-level
-//! `#![forbid(unsafe_code)]` coverage (R2) and shim surface matching
-//! against the non-shim reference corpus (R4).
+//! per-file rules directly, plus the cross-file analyses — crate-level
+//! `#![forbid(unsafe_code)]` coverage (R2), shim surface matching against
+//! the non-shim reference corpus (R4), and the concurrency model behind
+//! R7/R8/R9 (lock-order against `lock-order.toml`, blocking-while-locked,
+//! and atomic-ordering justification; see [`crate::conc`]).
 
 use crate::baseline::Baseline;
+use crate::conc::{self, LockOrder};
 use crate::report::{CheckReport, Severity, StaleEntry, Violation};
 use crate::rules::{
     self, has_forbid_unsafe, rule_by_name, uses_unsafe, SourceFile, UNSAFE_NEEDS_SAFETY_COMMENT,
@@ -27,6 +30,9 @@ pub struct Workspace {
     pub root: PathBuf,
     /// Files in sorted path order.
     pub files: Vec<SourceFile>,
+    /// The canonical lock order from `<root>/lock-order.toml`, when the
+    /// file exists. `None` makes every multi-lock nesting an R7 violation.
+    pub lock_order: Option<LockOrder>,
 }
 
 impl Workspace {
@@ -52,7 +58,17 @@ impl Workspace {
             let src = std::fs::read_to_string(&p)?;
             files.push(SourceFile::new(rel, &src));
         }
-        Ok(Workspace { root: root.to_path_buf(), files })
+        let order_path = root.join("lock-order.toml");
+        let lock_order = if order_path.is_file() {
+            let text = std::fs::read_to_string(&order_path)?;
+            Some(
+                LockOrder::parse(&text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            )
+        } else {
+            None
+        };
+        Ok(Workspace { root: root.to_path_buf(), files, lock_order })
     }
 
     /// Runs every rule and returns all violations not suppressed by an
@@ -68,6 +84,8 @@ impl Workspace {
         }
         self.check_forbid_unsafe(&mut out);
         self.check_shim_surfaces(&mut out);
+        conc::check_concurrency(&self.files, self.lock_order.as_ref(), &mut out);
+        conc::check_atomic_orderings(&self.files, &mut out);
         // Apply inline escapes.
         let by_path: HashMap<&str, &SourceFile> =
             self.files.iter().map(|f| (f.rel_path.as_str(), f)).collect();

@@ -5,7 +5,7 @@
 //! removing (or shrinking) any entry whose violations still exist makes
 //! the check fail, so stale headroom can never accumulate.
 
-use roulette_lint::{default_root, Baseline, Workspace};
+use roulette_lint::{default_root, Baseline, LockOrder, Workspace};
 use std::collections::HashSet;
 
 fn load() -> (Workspace, Baseline) {
@@ -61,6 +61,93 @@ fn shrinking_a_baseline_count_fails_the_check() {
     entry.count -= 1;
     let report = ws.check(&shrunk, &HashSet::new());
     assert!(!report.ok(), "an under-counted baseline entry must fail the check");
+}
+
+#[test]
+fn lock_order_is_committed_and_loaded() {
+    let root = default_root();
+    let text = std::fs::read_to_string(root.join("lock-order.toml"))
+        .expect("lock-order.toml is committed at the workspace root");
+    let order = LockOrder::parse(&text).expect("committed lock order parses");
+    assert!(order.order.len() >= 5, "suspiciously short canonical order");
+    let (ws, _) = load();
+    assert!(ws.lock_order.is_some(), "workspace did not pick up lock-order.toml");
+}
+
+/// A violating mini-workspace round-trips through the full pipeline:
+/// analysis finds all three concurrency rules, the JSON report names
+/// them, and freezing + re-checking against the frozen baseline is clean.
+#[test]
+fn concurrency_rules_round_trip_through_json_and_baseline() {
+    let root = std::env::temp_dir().join(format!("roulette-lint-rt-{}", std::process::id()));
+    let src_dir = root.join("crates/demo/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        root.join("lock-order.toml"),
+        "version = 1\norder = [\"S.a\", \"S.b\"]\n",
+    )
+    .expect("write lock order");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+    pub n: AtomicU64,
+}
+
+impl S {
+    pub fn bad_order(&self) {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        let _ = (*gb, *ga);
+    }
+
+    pub fn blocks(&self, rx: &std::sync::mpsc::Receiver<u64>) {
+        let g = self.a.lock().unwrap();
+        let _ = rx.recv();
+        let _ = *g;
+    }
+
+    pub fn unjustified(&self) -> u64 {
+        self.n.load(Ordering::Acquire)
+    }
+}
+"#,
+    )
+    .expect("write fixture");
+
+    let ws = Workspace::load(&root).expect("fixture workspace loads");
+    assert!(ws.lock_order.is_some(), "fixture lock-order.toml not picked up");
+    let violations = ws.analyze();
+    for rule in ["lock-order", "no-blocking-while-locked", "atomic-ordering-justified"] {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "fixture should trip {rule}, got: {violations:?}"
+        );
+    }
+
+    // The JSON report names every violated rule (this is the artifact the
+    // CI jobs upload).
+    let report = ws.check(&Baseline::default(), &HashSet::new());
+    assert!(!report.ok());
+    let json = report.render_json();
+    for rule in ["lock-order", "no-blocking-while-locked", "atomic-ordering-justified"] {
+        assert!(json.contains(&format!("\"{rule}\"")), "JSON report missing {rule}: {json}");
+    }
+
+    // Freeze → serialize → parse → re-check: the two-way ratchet holds
+    // for the concurrency rules exactly as it does for the per-file ones.
+    let frozen = Baseline::from_violations(&violations);
+    let reparsed = Baseline::parse(&frozen.to_toml()).expect("frozen baseline parses");
+    let clean = ws.check(&reparsed, &HashSet::new());
+    assert!(clean.ok(), "frozen baseline should make the fixture clean:\n{}", clean.render_text());
+    assert_eq!(clean.baselined, violations.len());
+
+    std::fs::remove_dir_all(&root).ok();
 }
 
 #[test]

@@ -214,20 +214,23 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport> {
         Ok(l) => l,
         Err(poisoned) => poisoned.into_inner(),
     };
+    // ordering: Acquire pairs with the workers' AcqRel tally updates; the
+    // scoped threads were joined above, so these are the final totals.
     let sent = tally.sent.load(Ordering::Acquire);
     let failed = tally.failed.load(Ordering::Acquire);
-    let shed = tally.shed.load(Ordering::Acquire);
-    let disconnects = tally.disconnects.load(Ordering::Acquire);
+    let shed = tally.shed.load(Ordering::Acquire); // ordering: as above.
+    let disconnects = tally.disconnects.load(Ordering::Acquire); // ordering: as above.
     Ok(LoadReport {
+        // ordering: Acquire — final post-join reads, as above.
         attempted: next_arrival.load(Ordering::Acquire).min(total),
         sent,
-        ok: tally.ok.load(Ordering::Acquire),
+        ok: tally.ok.load(Ordering::Acquire), // ordering: as above.
         failed,
         shed,
-        retries: tally.retries.load(Ordering::Acquire),
+        retries: tally.retries.load(Ordering::Acquire), // ordering: as above.
         disconnects,
-        deadline_exceeded: tally.deadline_exceeded.load(Ordering::Acquire),
-        rows: tally.rows.load(Ordering::Acquire),
+        deadline_exceeded: tally.deadline_exceeded.load(Ordering::Acquire), // ordering: as above.
+        rows: tally.rows.load(Ordering::Acquire), // ordering: as above.
         p50_us: lat.percentile(0.50),
         p99_us: lat.percentile(0.99),
         max_us: lat.max(),
@@ -238,6 +241,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport> {
         } else {
             0.0
         },
+        // ordering: Acquire pairs with the early-stop Release store.
         stopped_early: stop.load(Ordering::Acquire),
     })
 }
@@ -258,9 +262,13 @@ fn worker_loop(
     let mut local_lat = LatencyStats::new();
     let mut conn: Option<Client> = None;
     loop {
+        // ordering: Acquire pairs with the early-stop Release store so a
+        // stopping worker sees the tallies that tripped the rate check.
         if stop.load(Ordering::Acquire) {
             break;
         }
+        // ordering: AcqRel — arrival slots are claimed exactly once and
+        // totally ordered across workers.
         let i = next_arrival.fetch_add(1, Ordering::AcqRel);
         if i >= total {
             break;
@@ -280,33 +288,37 @@ fn worker_loop(
         let resolution = resolve(cfg, worker, &mut conn, sql, tally);
         let us = u64::try_from(sent_at.elapsed().as_micros()).unwrap_or(u64::MAX);
         local_lat.record(us);
+        // ordering: AcqRel tally updates pair with the Acquire reads in the
+        // early-stop check below and the post-join report assembly.
         tally.sent.fetch_add(1, Ordering::AcqRel);
         match resolution {
             Resolution::Ok => {
-                tally.ok.fetch_add(1, Ordering::AcqRel);
+                tally.ok.fetch_add(1, Ordering::AcqRel); // ordering: as above.
             }
             Resolution::Shed => {
-                tally.shed.fetch_add(1, Ordering::AcqRel);
+                tally.shed.fetch_add(1, Ordering::AcqRel); // ordering: as above.
             }
             Resolution::Failed { deadline } => {
-                tally.failed.fetch_add(1, Ordering::AcqRel);
+                tally.failed.fetch_add(1, Ordering::AcqRel); // ordering: as above.
                 if deadline {
-                    tally.deadline_exceeded.fetch_add(1, Ordering::AcqRel);
+                    tally.deadline_exceeded.fetch_add(1, Ordering::AcqRel); // ordering: as above.
                 }
             }
             Resolution::Disconnected => {
-                tally.disconnects.fetch_add(1, Ordering::AcqRel);
+                tally.disconnects.fetch_add(1, Ordering::AcqRel); // ordering: as above.
                 conn = None;
             }
         }
         // Early stop on failure rate, once the sample is meaningful.
+        // ordering: Acquire reads pair with the AcqRel tally updates; the
+        // Release store pairs with every worker's Acquire poll of `stop`.
         let sent = tally.sent.load(Ordering::Acquire);
         if sent >= 20 {
-            let bad = tally.failed.load(Ordering::Acquire)
-                + tally.shed.load(Ordering::Acquire)
-                + tally.disconnects.load(Ordering::Acquire);
+            let bad = tally.failed.load(Ordering::Acquire) // ordering: as above.
+                + tally.shed.load(Ordering::Acquire) // ordering: as above.
+                + tally.disconnects.load(Ordering::Acquire); // ordering: as above.
             if bad as f64 / sent as f64 > cfg.stop_failure_rate {
-                stop.store(true, Ordering::Release);
+                stop.store(true, Ordering::Release); // ordering: as above.
             }
         }
     }
@@ -352,6 +364,7 @@ fn resolve(
         };
         match c.query(sql, cfg.want_rows, cfg.deadline_ms) {
             Ok(outcome) => {
+                // ordering: AcqRel tally update; read post-join in the report.
                 tally.rows.fetch_add(outcome.rows_streamed, Ordering::AcqRel);
                 match outcome.terminal {
                     Response::Ok { .. } => return Resolution::Ok,
@@ -359,6 +372,7 @@ fn resolve(
                         if attempt == cfg.max_retries {
                             return Resolution::Shed;
                         }
+                        // ordering: AcqRel tally update; read post-join.
                         tally.retries.fetch_add(1, Ordering::AcqRel);
                         std::thread::sleep(backoff);
                         backoff = backoff.saturating_mul(2);

@@ -34,6 +34,8 @@ pub fn spawn_metrics_http(
     let handle = std::thread::Builder::new()
         .name("roulette-metrics-http".into())
         .spawn(move || loop {
+            // ordering: Acquire pairs with the Release store in main's
+            // shutdown path, ordering the stop flag before `join`.
             if stop.load(Ordering::Acquire) {
                 return;
             }

@@ -123,6 +123,8 @@ fn main() {
         std::thread::sleep(Duration::from_millis(50));
     }
     let report = server.shutdown();
+    // ordering: Release pairs with the Acquire load in the metrics HTTP
+    // accept loop; the thread exits before we join it below.
     stop_http.store(true, Ordering::Release);
     if let Some(Some(handle)) = http {
         let _ = handle.join();

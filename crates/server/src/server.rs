@@ -183,6 +183,7 @@ impl Server {
     /// Whether a drain has begun (via [`shutdown`](Server::shutdown) or a
     /// client's `DRAIN` request).
     pub fn is_draining(&self) -> bool {
+        // ordering: Acquire pairs with `begin_drain`'s AcqRel swap.
         self.shared.draining.load(Ordering::Acquire)
     }
 
@@ -199,17 +200,23 @@ impl Server {
             let _ = h.join();
         }
         let wait_until = Instant::now() + Duration::from_secs(10);
+        // ordering: Acquire pairs with the handler's AcqRel fetch_sub so a
+        // zero count proves every handler finished writing its response.
         while self.shared.active_connections.load(Ordering::Acquire) > 0
             && Instant::now() < wait_until
         {
             thread::sleep(Duration::from_millis(2));
         }
+        // ordering: Acquire — same pairing as the wait loop above.
         let lingering = self.shared.active_connections.load(Ordering::Acquire);
         self.shared.metrics.active_connections.set(lingering);
         DrainReport {
+            // ordering: Acquire pairs with the AcqRel counter updates in
+            // admission and the engine loop; both threads were joined above,
+            // so these reads see the final drain accounting.
             admitted: self.shared.admitted.load(Ordering::Acquire),
             terminal: self.shared.terminal.load(Ordering::Acquire),
-            leaked: self.shared.leaked.load(Ordering::Acquire),
+            leaked: self.shared.leaked.load(Ordering::Acquire), // ordering: as above.
             shed: self.shared.metrics.shed.total(),
             lingering_connections: lingering,
         }
@@ -217,6 +224,8 @@ impl Server {
 }
 
 fn begin_drain(shared: &Shared) {
+    // ordering: AcqRel — the winner of the swap owns the one-shot drain
+    // side effects; Acquire loads of `draining` see them after the flag.
     if shared.draining.swap(true, Ordering::AcqRel) {
         return;
     }
@@ -231,6 +240,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     loop {
         match listener.accept() {
             Ok((mut stream, _peer)) => {
+                // ordering: Acquire pairs with `begin_drain`'s AcqRel swap.
                 if shared.draining.load(Ordering::Acquire) {
                     // Refuse with a typed terminal instead of a bare RST so
                     // a client racing the drain still reads `overloaded`.
@@ -251,6 +261,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
                 }
             }
             Err(e) => {
+                // ordering: Acquire pairs with `begin_drain`'s AcqRel swap.
                 if shared.draining.load(Ordering::Acquire) {
                     return;
                 }
@@ -267,9 +278,13 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     shared.metrics.connections.inc();
+    // ordering: AcqRel on both counter edges pairs with shutdown's Acquire
+    // wait loop — count 0 proves the handler's writes are visible.
     let active = shared.active_connections.fetch_add(1, Ordering::AcqRel) + 1;
     shared.metrics.active_connections.set(active);
     let _ = serve_connection(shared, stream);
+    // ordering: AcqRel — the Release edge publishes this handler's writes
+    // to shutdown's Acquire wait loop.
     let active = shared.active_connections.fetch_sub(1, Ordering::AcqRel).saturating_sub(1);
     shared.metrics.active_connections.set(active);
 }
@@ -316,6 +331,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 // `read_line` may have buffered a partial line; keep it and
                 // retry so a slow writer is not misread as a torn request.
+                // ordering: Acquire pairs with `begin_drain`'s AcqRel swap.
                 if shared.draining.load(Ordering::Acquire) && line.is_empty() {
                     return Ok(());
                 }
@@ -384,9 +400,12 @@ fn serve_query(
 ) -> std::io::Result<bool> {
     let started = Instant::now();
     // Admission control: shed before any work is queued.
+    // ordering: Acquire on `draining` pairs with `begin_drain`'s AcqRel
+    // swap; Acquire on `pressure` pairs with the engine loop's Release
+    // store so the shed decision sees the batch that raised the level.
     let shed_reason = if shared.draining.load(Ordering::Acquire) {
         Some("server is draining; no new admissions".to_string())
-    } else if shared.pressure.load(Ordering::Acquire) >= 2 {
+    } else if shared.pressure.load(Ordering::Acquire) >= 2 { // ordering: as above.
         Some("engine memory pressure; admissions paused".to_string())
     } else {
         None
@@ -406,6 +425,8 @@ fn serve_query(
             return Ok(true);
         }
     };
+    // ordering: AcqRel drain-accounting counter; shutdown reads it with
+    // Acquire after joining the threads that update it.
     shared.admitted.fetch_add(1, Ordering::AcqRel);
     shared.metrics.admitted.inc();
     shared.metrics.queue_depth.set(depth as u64);
@@ -482,6 +503,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
             }
             Err(e) => {
                 shared.metrics.failed.inc();
+                // ordering: AcqRel drain-accounting counter; see DrainReport.
                 shared.terminal.fetch_add(1, Ordering::AcqRel);
                 let _ = job.reply.send(JobOutcome::Failed(e));
             }
@@ -492,6 +514,8 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
     }
     session.close();
     run_with_deadlines(&session, &admitted);
+    // ordering: Release pairs with admission's Acquire load so shedding
+    // observes the pressure level the finished batch produced.
     shared.pressure.store(session.stats().memory_pressure, Ordering::Release);
     for a in admitted {
         let outcome = match session.terminal_status(a.qid) {
@@ -516,6 +540,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
                 JobOutcome::Failed(err)
             }
             None => {
+                // ordering: AcqRel drain-accounting counter; see DrainReport.
                 shared.leaked.fetch_add(1, Ordering::AcqRel);
                 shared.metrics.failed.inc();
                 JobOutcome::Failed(Error::Internal(
@@ -523,6 +548,7 @@ fn process_batch(shared: &Shared, jobs: Vec<Job>) {
                 ))
             }
         };
+        // ordering: AcqRel drain-accounting counter; see DrainReport.
         shared.terminal.fetch_add(1, Ordering::AcqRel);
         let _ = a.job.reply.send(outcome);
     }
@@ -547,6 +573,9 @@ fn run_with_deadlines(session: &Session<'_>, admitted: &[Admitted]) {
     let stop = AtomicBool::new(false);
     thread::scope(|scope| {
         let sweeper = scope.spawn(|| {
+            // ordering: Acquire pairs with the Release store after
+            // `run_workers` returns; the sweeper exits having seen every
+            // terminal status the workers published.
             while !stop.load(Ordering::Acquire) {
                 let now = Instant::now();
                 for a in admitted {
@@ -566,6 +595,7 @@ fn run_with_deadlines(session: &Session<'_>, admitted: &[Admitted]) {
             }
         });
         session.run_workers();
+        // ordering: Release pairs with the sweeper's Acquire poll.
         stop.store(true, Ordering::Release);
         sweeper.thread().unpark();
     });

@@ -78,6 +78,8 @@ impl ShardedCounter {
 
     /// Sum of all shards.
     pub fn total(&self) -> u64 {
+        // ordering: monotone counter shards; a scrape may miss in-flight
+        // increments, which is the usual counter contract.
         self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
     }
 }
@@ -97,11 +99,13 @@ impl Gauge {
     /// Stores `v` (relaxed).
     #[inline]
     pub fn set(&self, v: u64) {
+        // ordering: last-write-wins gauge; no data is published through it.
         self.value.store(v, Ordering::Relaxed);
     }
 
     /// The last stored value.
     pub fn get(&self) -> u64 {
+        // ordering: gauge scrape; a stale value is acceptable.
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -121,11 +125,13 @@ impl FloatGauge {
     /// Stores `v` (relaxed).
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: last-write-wins gauge; no data is published through it.
         self.bits.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// The last stored value.
     pub fn get(&self) -> f64 {
+        // ordering: gauge scrape; a stale value is acceptable.
         f64::from_bits(self.bits.load(Ordering::Relaxed))
     }
 }

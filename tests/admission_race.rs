@@ -1,0 +1,273 @@
+//! Interleaving stress: admission racing DRAIN.
+//!
+//! Two layers, both seeded so a failure reproduces:
+//!
+//! * **Queue-level** — producer threads push jobs against a consumer and a
+//!   concurrently-fired `close()`, with per-thread jitter to vary the
+//!   interleaving. Every admitted job must receive exactly one terminal
+//!   outcome; every refused push must see a typed `Overloaded` error.
+//! * **Server-level** — wire clients race a `DRAIN` request mid-fleet, for
+//!   both the single-worker and multi-worker engine. The drain report must
+//!   account every admitted query (`leaked == 0`, `admitted == terminal`).
+//!
+//! These are the tests the nightly ThreadSanitizer job runs (see
+//! `.github/workflows/ci.yml`): the jitter explores interleavings, tsan
+//! catches the data races the lint's static model cannot see.
+
+use roulette_core::{EngineConfig, Error};
+use roulette_server::protocol::{Request, Response};
+use roulette_server::{demo_dataset, demo_sql, AdmissionQueue, Job, JobOutcome, Server, ServerConfig};
+use roulette_telemetry::Telemetry;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::sync_channel;
+use std::time::{Duration, Instant};
+
+/// Tiny deterministic PRNG (xorshift*), one per thread, so the jitter
+/// schedule is a pure function of the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// A jitter in `0..max_us` microseconds.
+    fn jitter(&mut self, max_us: u64) -> Duration {
+        Duration::from_micros(self.next() % max_us.max(1))
+    }
+}
+
+fn test_job(sql: &str) -> (Job, std::sync::mpsc::Receiver<JobOutcome>) {
+    let (tx, rx) = sync_channel(1);
+    (
+        Job {
+            sql: sql.into(),
+            want_rows: false,
+            deadline_ms: None,
+            enqueued_at: Instant::now(),
+            reply: tx,
+        },
+        rx,
+    )
+}
+
+/// What one producer thread observed across its pushes.
+#[derive(Default)]
+struct ProducerTally {
+    admitted: u64,
+    outcomes: u64,
+    refused: u64,
+}
+
+/// N producers race pushes against a consumer and a drain trigger. Checks
+/// the queue's core contract under contention: exactly one terminal
+/// outcome per admitted job, a typed refusal for every shed push, and the
+/// consumer exits only after handing out the full backlog.
+fn queue_race(seed: u64, producers: usize, pushes_per_producer: usize) {
+    let queue = AdmissionQueue::new(4);
+    let tallies = std::thread::scope(|scope| {
+        let consumer = scope.spawn(|| {
+            let mut handed_out = 0u64;
+            // Small batches so the backlog drains in several pops and the
+            // closed-and-empty exit condition is actually exercised.
+            while let Some(batch) = queue.pop_batch(3) {
+                for job in batch {
+                    handed_out += 1;
+                    let _ = job.reply.send(JobOutcome::Done {
+                        rows: 0,
+                        checksum: 0,
+                        collected: Vec::new(),
+                    });
+                }
+            }
+            handed_out
+        });
+        let producers: Vec<_> = (0..producers)
+            .map(|p| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut rng = Rng::new(seed.wrapping_add(p as u64));
+                    let mut tally = ProducerTally::default();
+                    for i in 0..pushes_per_producer {
+                        std::thread::sleep(rng.jitter(50));
+                        let (job, rx) = test_job(&format!("push {p}:{i}"));
+                        match queue.push(job) {
+                            Ok(depth) => {
+                                assert!(depth >= 1 && depth <= queue.capacity());
+                                tally.admitted += 1;
+                                // The rendezvous must deliver exactly one
+                                // outcome even when close() races the pop.
+                                rx.recv().expect("admitted job lost its outcome");
+                                assert!(
+                                    rx.try_recv().is_err(),
+                                    "admitted job got a second outcome"
+                                );
+                                tally.outcomes += 1;
+                            }
+                            Err(Error::Overloaded(_)) => tally.refused += 1,
+                            Err(other) => panic!("push refused with non-overload: {other}"),
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        // Fire the drain from a racing thread mid-stream, after a seeded
+        // delay, so close() lands between pushes, pops, and replies.
+        let drainer = scope.spawn(|| {
+            let mut rng = Rng::new(seed ^ 0xd5a1);
+            std::thread::sleep(rng.jitter(400));
+            queue.close();
+        });
+        drainer.join().expect("drainer");
+        let tallies: Vec<ProducerTally> =
+            producers.into_iter().map(|h| h.join().expect("producer")).collect();
+        let handed_out = consumer.join().expect("consumer");
+        let admitted: u64 = tallies.iter().map(|t| t.admitted).sum();
+        assert_eq!(handed_out, admitted, "consumer handed out a different count than admitted");
+        tallies
+    });
+    for (p, t) in tallies.iter().enumerate() {
+        assert_eq!(
+            t.admitted, t.outcomes,
+            "producer {p}: admitted jobs without exactly one terminal outcome"
+        );
+        assert_eq!(t.admitted + t.refused, pushes_per_producer as u64, "producer {p}: lost pushes");
+    }
+    assert!(queue.is_closed());
+    assert_eq!(queue.depth(), 0, "drain left jobs behind");
+}
+
+#[test]
+fn queue_admission_races_drain_across_seeds() {
+    for seed in [7, 1013, 65537] {
+        queue_race(seed, 8, 24);
+    }
+}
+
+/// What one wire client observed for its query.
+enum Observed {
+    Completed,
+    Refused(String),
+    Dropped,
+}
+
+/// Runs one query and reads to the terminal line.
+fn run_query(addr: std::net::SocketAddr, sql: &str) -> Observed {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return Observed::Dropped;
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let req = Request::Query { sql: sql.to_string(), want_rows: false, deadline_ms: None };
+    if writer.write_all(format!("{}\n", req.encode()).as_bytes()).is_err() {
+        return Observed::Dropped;
+    }
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return Observed::Dropped,
+            Ok(_) => {}
+        }
+        match Response::parse(&line).expect("parse response") {
+            Response::Row(_) => {}
+            Response::Ok { .. } => return Observed::Completed,
+            Response::Err(err) => return Observed::Refused(err.wire_code().to_string()),
+            other => panic!("unexpected mid-query response {other:?}"),
+        }
+    }
+}
+
+/// Sends a wire `DRAIN` and waits for its acknowledgement.
+fn send_drain(addr: std::net::SocketAddr) {
+    let stream = TcpStream::connect(addr).expect("connect for drain");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("set timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"DRAIN\n").expect("send drain");
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line);
+}
+
+/// A fleet of jittered clients races a wire `DRAIN`: the report must
+/// account every admitted query with a terminal outcome and leak nothing,
+/// and every refusal must be typed `overloaded`.
+fn admission_races_wire_drain(workers: usize, seed: u64) {
+    let pool = demo_sql(11, 12).expect("demo workload");
+    let ds = demo_dataset(11);
+    let config = ServerConfig {
+        batch_max: 4,
+        engine: EngineConfig::default().with_workers(workers).expect("engine config"),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::start(config, ds.catalog, Telemetry::with_defaults()).expect("start server");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 16;
+    let observations = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let sql = pool[i % pool.len()].clone();
+                scope.spawn(move || {
+                    let mut rng = Rng::new(seed.wrapping_add(i as u64));
+                    std::thread::sleep(rng.jitter(2_000));
+                    run_query(addr, &sql)
+                })
+            })
+            .collect();
+        // The drain races the fleet from a client connection, exactly as a
+        // production operator would fire it.
+        let drainer = scope.spawn(move || {
+            let mut rng = Rng::new(seed ^ 0xd5a1);
+            std::thread::sleep(rng.jitter(1_500));
+            send_drain(addr);
+        });
+        drainer.join().expect("drainer");
+        handles.into_iter().map(|h| h.join().expect("client")).collect::<Vec<_>>()
+    });
+    assert!(server.is_draining(), "wire DRAIN did not begin a drain");
+    let report = server.shutdown();
+    assert_eq!(report.leaked, 0, "drain leaked queries: {report:?}");
+    assert_eq!(
+        report.admitted, report.terminal,
+        "admitted queries without terminal outcomes: {report:?}"
+    );
+    assert_eq!(report.lingering_connections, 0, "handlers left running: {report:?}");
+    let mut completed = 0u64;
+    for obs in &observations {
+        match obs {
+            Observed::Completed => completed += 1,
+            Observed::Refused(code) => {
+                assert_eq!(code, "overloaded", "refusals during drain must be typed overloaded");
+            }
+            Observed::Dropped => {}
+        }
+    }
+    // Every completion seen at the wire is an admitted query; the server
+    // cannot have completed more than it admitted.
+    assert!(
+        completed <= report.admitted,
+        "more wire completions than admissions: {completed} > {}",
+        report.admitted
+    );
+}
+
+#[test]
+fn admission_races_drain_single_worker() {
+    admission_races_wire_drain(1, 29);
+}
+
+#[test]
+fn admission_races_drain_multi_worker() {
+    admission_races_wire_drain(4, 31);
+}
