@@ -2,7 +2,8 @@
 //!
 //! Dependency-free, fixed-seed, median-of-k wall-clock benchmarks over the
 //! engine's hot loops: end-to-end episode throughput on the synthetic chain
-//! workload, STeM insert and probe, grouped-filter masking, and output
+//! workload, STeM insert and probe, windowed-relation expiry (the
+//! streaming layer's reclamation path), grouped-filter masking, and output
 //! routing. Emits `BENCH_perf.json` so successive PRs accumulate a
 //! performance trajectory (no thresholds here — CI only checks the file is
 //! well-formed).
@@ -152,6 +153,34 @@ fn bench_stem_probe(quick: bool, runs: usize) -> BenchResult {
     })
 }
 
+/// Window expiry: sliding a one-tick window over a pre-built windowed
+/// relation, measuring tuples reclaimed per second through the prefix
+/// compaction that backs the streaming layer's STeM reclamation.
+fn bench_stem_expiry(quick: bool, runs: usize) -> BenchResult {
+    let ticks: u64 = 64;
+    let per_tick: usize = if quick { 1 << 10 } else { 1 << 13 };
+    let total = ticks * per_tick as u64;
+    let rows: Vec<Vec<i64>> = (0..per_tick)
+        .map(|i| vec![i as i64, (i as i64).wrapping_mul(31), i as i64 % 97, -(i as i64)])
+        .collect();
+    let mut base = roulette_stream::WindowedRelation::new("t", &["a", "b", "c", "d"]);
+    for t in 1..=ticks {
+        base.append(t, &rows).expect("append");
+    }
+    bench("stem_expiry", "tuples", runs, || {
+        let mut rel = base.clone();
+        let mut reclaimed = 0u64;
+        // Slide a one-tick window across the buffer: each advance expires
+        // exactly one tick's tuples and compacts the live prefix.
+        for now in 2..=ticks + 1 {
+            reclaimed += rel.expire(now, 1);
+        }
+        assert_eq!(reclaimed, total);
+        std::hint::black_box(rel.len());
+        reclaimed
+    })
+}
+
 /// Grouped-filter masking: range lookups over a 64-query group.
 fn bench_filter_mask(quick: bool, runs: usize) -> BenchResult {
     let n: usize = if quick { 1 << 18 } else { 1 << 21 };
@@ -287,6 +316,7 @@ fn main() {
         bench_episode_chains(quick, runs),
         bench_stem_insert(quick, runs),
         bench_stem_probe(quick, runs),
+        bench_stem_expiry(quick, runs),
         bench_filter_mask(quick, runs),
         bench_routing(quick, runs),
     ];

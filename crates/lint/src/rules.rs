@@ -153,6 +153,15 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/loadgen/src/lib.rs",
     "crates/loadgen/src/client.rs",
     "crates/loadgen/src/stats.rs",
+    // The streaming layer runs continuous sessions: a panic in the epoch
+    // loop, the window clock, or the recovery meter kills a long-lived
+    // stream mid-flight.
+    "crates/stream/src/config.rs",
+    "crates/stream/src/drift.rs",
+    "crates/stream/src/driver.rs",
+    "crates/stream/src/recovery.rs",
+    "crates/stream/src/window.rs",
+    "crates/stream/src/workload.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

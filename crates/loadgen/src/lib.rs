@@ -17,6 +17,16 @@
 //!
 //! `--chaos` arms every connection with a seeded deterministic wire-fault
 //! plan (`CHAOS <seed+i>`), so chaos runs are reproducible.
+//!
+//! `--churn` models continuous-query churn over the SQL pool: an *active
+//! set* of pool entries starts at half the pool, and a seeded Poisson
+//! process (at the configured events/second) admits inactive entries and
+//! departs active ones while the run progresses; each open-loop arrival
+//! draws its query from the set active at that moment. Against a
+//! `--stream` server this drives the windowed star workload with a
+//! churning query mix end to end. The whole churn schedule is
+//! precomputed from the workload seed, so runs stay reproducible and
+//! workers never share an RNG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +37,11 @@ pub mod stats;
 pub use client::{Client, QueryOutcome};
 pub use stats::{percentile, LatencyStats};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use roulette_core::{Error, Result};
 use roulette_server::protocol::Response;
-use roulette_server::workload::demo_sql;
+use roulette_server::workload::{demo_sql, stream_demo_sql};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -55,6 +67,13 @@ pub struct LoadgenConfig {
     pub workload_seed: u64,
     /// Distinct queries drawn round-robin from the demo pool.
     pub pool_size: usize,
+    /// Draw the pool from the STREAM demo workload (star schema) instead
+    /// of the static chains catalog — pair with `roulette-server
+    /// --stream`.
+    pub stream: bool,
+    /// Continuous-query churn events per second (Poisson); 0 disables
+    /// churn and arrivals walk the pool round-robin.
+    pub churn_rate: f64,
     /// Retries (with backoff) granted to an `overloaded` response.
     pub max_retries: u32,
     /// Initial backoff; doubles per retry.
@@ -81,6 +100,8 @@ impl Default for LoadgenConfig {
             chaos_seed: None,
             workload_seed: 11,
             pool_size: 16,
+            stream: false,
+            churn_rate: 0.0,
             max_retries: 3,
             backoff: Duration::from_millis(2),
             stop_failure_rate: 0.5,
@@ -171,10 +192,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport> {
     if cfg.target_rps <= 0.0 || cfg.target_rps.is_nan() {
         return Err(Error::InvalidQuery("target_rps must be positive".into()));
     }
-    let pool = demo_sql(cfg.workload_seed, cfg.pool_size.max(1))?;
+    let pool = if cfg.stream {
+        stream_demo_sql(cfg.workload_seed, cfg.pool_size.max(1))?
+    } else {
+        demo_sql(cfg.workload_seed, cfg.pool_size.max(1))?
+    };
     // Fail fast (with a typed error) when nothing is listening.
     Client::connect(&cfg.addr)?.ping()?;
     let total = (cfg.target_rps * cfg.duration.as_secs_f64()).ceil() as u64;
+    let churn = churn_schedule(cfg, total, pool.len());
     let interval = Duration::from_secs_f64(1.0 / cfg.target_rps);
     let next_arrival = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
@@ -184,6 +210,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport> {
     std::thread::scope(|scope| {
         for worker in 0..cfg.concurrency.max(1) {
             let pool = &pool;
+            let churn = churn.as_deref();
             let tally = &tally;
             let next_arrival = &next_arrival;
             let stop = &stop;
@@ -193,6 +220,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport> {
                     cfg,
                     worker as u64,
                     pool,
+                    churn,
                     start,
                     total,
                     interval,
@@ -246,11 +274,61 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadReport> {
     })
 }
 
+/// Precomputes the arrival→pool-entry assignment for churn mode, or
+/// `None` when churn is off. The active set starts at the first half of
+/// the pool; between consecutive arrivals a Poisson number of churn
+/// events fire (rate scaled from events/second to events/arrival), each
+/// admitting a random inactive entry or departing a random active one —
+/// departures never empty the active set, admissions cap at the pool.
+fn churn_schedule(cfg: &LoadgenConfig, total: u64, pool_len: usize) -> Option<Vec<usize>> {
+    if cfg.churn_rate <= 0.0 || !cfg.churn_rate.is_finite() || pool_len == 0 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.workload_seed ^ 0xC4A1_1F10_AD00_57E3);
+    let per_arrival = (cfg.churn_rate / cfg.target_rps).clamp(0.0, 16.0);
+    let mut active: Vec<usize> = (0..pool_len.div_ceil(2)).collect();
+    let mut inactive: Vec<usize> = (active.len()..pool_len).collect();
+    let mut out = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+    for _ in 0..total {
+        for _ in 0..poisson(&mut rng, per_arrival) {
+            if rng.gen_bool(0.5) && active.len() > 1 {
+                let i = rng.gen_range(0..active.len());
+                inactive.push(active.swap_remove(i));
+            } else if !inactive.is_empty() {
+                let i = rng.gen_range(0..inactive.len());
+                active.push(inactive.swap_remove(i));
+            }
+        }
+        let i = rng.gen_range(0..active.len());
+        out.push(active.get(i).copied().unwrap_or(0));
+    }
+    Some(out)
+}
+
+/// Samples `Poisson(lambda)` by Knuth's product method — fine for the
+/// small per-arrival churn rates used here.
+fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 64 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     cfg: &LoadgenConfig,
     worker: u64,
     pool: &[String],
+    churn: Option<&[usize]>,
     start: Instant,
     total: u64,
     interval: Duration,
@@ -280,7 +358,14 @@ fn worker_loop(
         if due > now {
             std::thread::sleep(due - now);
         }
-        let sql = match pool.get((i % pool.len().max(1) as u64) as usize) {
+        let pool_idx = match churn {
+            Some(schedule) => schedule
+                .get(usize::try_from(i).unwrap_or(usize::MAX))
+                .copied()
+                .unwrap_or(0),
+            None => (i % pool.len().max(1) as u64) as usize,
+        };
+        let sql = match pool.get(pool_idx) {
             Some(s) => s,
             None => continue,
         };
@@ -419,6 +504,41 @@ mod tests {
         assert!(report.violations(&cfg).is_empty());
         report.sent = 0;
         assert_eq!(report.violations(&cfg).len(), 1);
+    }
+
+    #[test]
+    fn churn_schedule_is_seeded_and_bounded() {
+        let cfg = LoadgenConfig {
+            churn_rate: 20.0,
+            target_rps: 50.0,
+            ..LoadgenConfig::default()
+        };
+        let a = churn_schedule(&cfg, 500, 8).unwrap();
+        let b = churn_schedule(&cfg, 500, 8).unwrap();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|&i| i < 8));
+        // The churn process must actually move the mix: arrivals touch
+        // entries outside the initial active half of the pool.
+        assert!(a.iter().any(|&i| i >= 4), "churn admitted new queries");
+        let distinct: std::collections::HashSet<usize> = a.iter().copied().collect();
+        assert!(distinct.len() > 1, "draws spread over the active set");
+        // A different seed produces a different schedule.
+        let other = churn_schedule(
+            &LoadgenConfig { workload_seed: 12, ..cfg.clone() },
+            500,
+            8,
+        )
+        .unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn churn_disabled_means_no_schedule() {
+        let cfg = LoadgenConfig::default();
+        assert!(churn_schedule(&cfg, 100, 8).is_none());
+        let neg = LoadgenConfig { churn_rate: -1.0, ..LoadgenConfig::default() };
+        assert!(churn_schedule(&neg, 100, 8).is_none());
     }
 
     #[test]

@@ -6,8 +6,13 @@
 //!                  [--concurrency 4] [--deadline-ms N] [--rows]
 //!                  [--chaos SEED] [--seed 11] [--pool 16] [--retries 3]
 //!                  [--stop-failure-rate 0.5] [--stop-median-ms 1000]
-//!                  [--drain]
+//!                  [--drain] [--stream] [--churn RATE]
 //! ```
+//!
+//! `--stream` draws the pool from the STREAM demo workload (pair with
+//! `roulette-server --stream` and the same `--seed`); `--churn RATE`
+//! churns the active query set with seeded Poisson arrivals/departures at
+//! RATE events per second.
 //!
 //! Exits 0 when the run passes its stop thresholds, 1 when it violates
 //! them (or the server leaked), 2 on usage errors.
@@ -63,6 +68,10 @@ fn parse_args() -> Result<LoadgenConfig, String> {
                     .map_err(|e| format!("--stop-median-ms: {e}"))?
             }
             "--drain" => cfg.drain_at_end = true,
+            "--stream" => cfg.stream = true,
+            "--churn" => {
+                cfg.churn_rate = val("--churn")?.parse().map_err(|e| format!("--churn: {e}"))?
+            }
             "--help" | "-h" => return Err("see module docs for usage".into()),
             other => return Err(format!("unknown flag {other}")),
         }

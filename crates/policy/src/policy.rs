@@ -49,6 +49,20 @@ pub trait Policy: Send {
     fn probe(&self) -> Option<PolicyProbe> {
         None
     }
+
+    /// The current exploration rate (ε), if the policy has one.
+    fn exploration(&self) -> Option<f64> {
+        None
+    }
+
+    /// Overrides the exploration rate (clamped to `[0, 1]`); returns
+    /// whether the policy supports the knob. Drift-recovery heuristics use
+    /// this to boost ε after a detected distribution shift and to decay it
+    /// back once the policy re-converges. The default (policies without an
+    /// exploration knob) ignores the request.
+    fn set_exploration(&mut self, _epsilon: f64) -> bool {
+        false
+    }
 }
 
 /// Chooses uniformly at random; learns nothing.

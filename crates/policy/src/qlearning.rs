@@ -263,6 +263,15 @@ impl Policy for QLearningPolicy {
             reward_max,
         })
     }
+
+    fn exploration(&self) -> Option<f64> {
+        Some(self.epsilon)
+    }
+
+    fn set_exploration(&mut self, epsilon: f64) -> bool {
+        self.epsilon = epsilon.clamp(0.0, 1.0);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +431,27 @@ mod tests {
         assert_eq!(probe.decisions, 20);
         assert_eq!(probe.explorations, 20);
         assert_eq!(probe.exploration_share(), 1.0);
+    }
+
+    #[test]
+    fn exploration_knob_boosts_and_clamps() {
+        let space = ToySpace::uniform(3, 1);
+        // ε = 0 initially: purely greedy.
+        let mut p = QLearningPolicy::new(CostModel::default(), &config());
+        assert_eq!(p.exploration(), Some(0.0));
+        // Boost past 1.0 clamps to fully random.
+        assert!(p.set_exploration(2.5));
+        assert_eq!(p.exploration(), Some(1.0));
+        let qs = QuerySet::full(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(p.choose(Scope::JOIN, 0, &qs, &[0, 1, 2], &space));
+        }
+        assert_eq!(seen.len(), 3, "boosted ε explores every candidate");
+        // And RandomPolicy has no knob.
+        let mut r = crate::RandomPolicy::new(1);
+        assert!(!crate::Policy::set_exploration(&mut r, 0.5));
+        assert_eq!(crate::Policy::exploration(&r), None);
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //! * **chaos** — the deterministic wire-layer fault sites
 //!   (`wire-torn-read`, `wire-slow-client`, `wire-disconnect`) reuse the
 //!   engine's [`roulette_exec::FaultInjector`], so a seeded chaos run is
-//!   reproducible end to end ([`protocol`], `CHAOS <seed>`).
+//!   reproducible end to end ([`protocol`], `CHAOS <seed>`);
+//! * **STREAM demo mode** — [`Server::start_stream`] hosts the churning
+//!   streaming star workload instead of a static catalog: a background
+//!   epoch thread lands seeded arrivals, expires aged tuples out of the
+//!   time window, and swaps fresh snapshots in, while batches stay
+//!   snapshot-isolated ([`StreamServeConfig`],
+//!   [`workload::stream_demo_sql`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,5 +42,5 @@ pub use admission::{AdmissionQueue, Job, JobOutcome};
 pub use http::spawn_metrics_http;
 pub use metrics::ServerMetrics;
 pub use protocol::{Request, Response};
-pub use server::{DrainReport, Server, ServerConfig};
-pub use workload::{demo_dataset, demo_sql, DEMO_PARAMS};
+pub use server::{DrainReport, Server, ServerConfig, StreamServeConfig};
+pub use workload::{demo_dataset, demo_sql, stream_demo_sql, DEMO_PARAMS};

@@ -5,14 +5,23 @@
 //! roulette-server [--addr 127.0.0.1:7878] [--queue 64] [--batch 8]
 //!                 [--workers 1] [--deadline-ms N] [--chaos SEED]
 //!                 [--metrics-addr 127.0.0.1:0] [--workload-seed 11]
-//!                 [--duration-s N]
+//!                 [--duration-s N] [--stream] [--stream-epoch-ms 50]
+//!                 [--stream-window 8]
 //! ```
 //!
 //! With `--duration-s` the server drains itself after N seconds (CI smoke
-//! runs); otherwise it serves until a client sends `DRAIN`.
+//! runs); otherwise it serves until a client sends `DRAIN`. `--stream`
+//! switches to the STREAM demo mode: instead of the static chains
+//! catalog, the server hosts the churning streaming star workload
+//! (arrivals every `--stream-epoch-ms`, tuples expiring after
+//! `--stream-window` epochs), so a load generator run with `--stream`
+//! and the same `--workload-seed` drives a windowed continuous workload
+//! end to end.
 
 use roulette_core::EngineConfig;
-use roulette_server::{demo_dataset, spawn_metrics_http, Server, ServerConfig};
+use roulette_server::{
+    demo_dataset, spawn_metrics_http, Server, ServerConfig, StreamServeConfig,
+};
 use roulette_telemetry::Telemetry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -24,6 +33,7 @@ struct Args {
     workload_seed: u64,
     metrics_addr: Option<String>,
     duration_s: Option<u64>,
+    stream: Option<StreamServeConfig>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         workload_seed: 11,
         metrics_addr: None,
         duration_s: None,
+        stream: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,6 +78,21 @@ fn parse_args() -> Result<Args, String> {
                 args.duration_s =
                     Some(val("--duration-s")?.parse().map_err(|e| format!("--duration-s: {e}"))?)
             }
+            "--stream" => {
+                args.stream.get_or_insert_with(StreamServeConfig::default);
+            }
+            "--stream-epoch-ms" => {
+                args.stream.get_or_insert_with(StreamServeConfig::default).epoch_ms =
+                    val("--stream-epoch-ms")?
+                        .parse()
+                        .map_err(|e| format!("--stream-epoch-ms: {e}"))?
+            }
+            "--stream-window" => {
+                args.stream.get_or_insert_with(StreamServeConfig::default).window =
+                    val("--stream-window")?
+                        .parse()
+                        .map_err(|e| format!("--stream-window: {e}"))?
+            }
             "--help" | "-h" => return Err("see module docs for usage".into()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -90,8 +116,17 @@ fn main() {
         }
     };
     let telemetry = Telemetry::with_defaults();
-    let ds = demo_dataset(args.workload_seed);
-    let server = match Server::start(args.config, ds.catalog, Arc::clone(&telemetry)) {
+    let started = match args.stream {
+        Some(mut stream) => {
+            stream.seed = args.workload_seed;
+            Server::start_stream(args.config, stream, Arc::clone(&telemetry))
+        }
+        None => {
+            let ds = demo_dataset(args.workload_seed);
+            Server::start(args.config, ds.catalog, Arc::clone(&telemetry))
+        }
+    };
+    let server = match started {
         Ok(s) => s,
         Err(e) => {
             eprintln!("roulette-server: {e}");

@@ -35,12 +35,13 @@ use roulette_core::{EngineConfig, Error, QueryId, QuerySet, Result};
 use roulette_exec::{CompletionStatus, FaultInjector, FaultSite, RouletteEngine, Session};
 use roulette_query::parse;
 use roulette_storage::Catalog;
-use roulette_telemetry::Telemetry;
+use roulette_stream::{ArrivalGen, Tick, WindowedStore, WorkloadParams};
+use roulette_telemetry::{EventKind, Recorder, Telemetry};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -77,6 +78,31 @@ impl Default for ServerConfig {
     }
 }
 
+/// Knobs for the STREAM demo mode ([`Server::start_stream`]): the server
+/// hosts the streaming star workload instead of a static catalog, and a
+/// background epoch thread keeps the hosted snapshot churning — one epoch
+/// of seeded arrivals lands, the window clock advances (expiring aged
+/// tuples, with `window-expiry` telemetry), and the fresh snapshot is
+/// swapped in for subsequent batches. Batches are snapshot-isolated: each
+/// micro-batch parses and executes against the one snapshot that was
+/// current at batch start.
+#[derive(Debug, Clone)]
+pub struct StreamServeConfig {
+    /// Seed shared with clients; both sides derive the same star schema
+    /// (and the client a valid SQL pool) from it.
+    pub seed: u64,
+    /// Milliseconds between stream epochs (arrivals + expiry + swap).
+    pub epoch_ms: u64,
+    /// Window width in epochs; tuples older than this expire.
+    pub window: Tick,
+}
+
+impl Default for StreamServeConfig {
+    fn default() -> Self {
+        StreamServeConfig { seed: 11, epoch_ms: 50, window: 8 }
+    }
+}
+
 /// Terminal accounting returned by [`Server::shutdown`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DrainReport {
@@ -95,7 +121,11 @@ pub struct DrainReport {
 
 struct Shared {
     config: ServerConfig,
-    catalog: Catalog,
+    /// The hosted snapshot. Static serving never swaps it; the STREAM
+    /// epoch thread replaces the `Arc` wholesale, so a batch that cloned
+    /// the `Arc` at pop time keeps a consistent snapshot for its whole
+    /// lifetime (parse and execution see the same catalog).
+    catalog: RwLock<Arc<Catalog>>,
     addr: SocketAddr,
     queue: AdmissionQueue,
     metrics: ServerMetrics,
@@ -116,6 +146,7 @@ pub struct Server {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     engine: Option<JoinHandle<()>>,
+    stream: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -127,6 +158,33 @@ impl Server {
         catalog: Catalog,
         telemetry: Arc<Telemetry>,
     ) -> Result<Server> {
+        Server::start_inner(config, catalog, telemetry, None)
+    }
+
+    /// Starts the server in STREAM demo mode: the hosted dataset is the
+    /// streaming star workload derived from `stream.seed`, and a
+    /// background epoch thread keeps it churning (arrivals, window
+    /// expiry, snapshot swap) until drain. Clients with the same seed can
+    /// generate SQL against the schema without any exchange — see
+    /// [`crate::workload::stream_demo_sql`].
+    pub fn start_stream(
+        config: ServerConfig,
+        stream: StreamServeConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Server> {
+        let mut gen = ArrivalGen::new(WorkloadParams::default(), stream.seed);
+        let mut store = gen.store()?;
+        // Pre-populate one epoch so the first batches see data.
+        gen.generate(&mut store, 1)?;
+        Server::start_inner(config, store.snapshot()?, telemetry, Some((stream, gen, store)))
+    }
+
+    fn start_inner(
+        config: ServerConfig,
+        catalog: Catalog,
+        telemetry: Arc<Telemetry>,
+        stream: Option<(StreamServeConfig, ArrivalGen, WindowedStore)>,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| Error::Internal(format!("bind {}: {e}", config.addr)))?;
         let addr = listener
@@ -136,7 +194,7 @@ impl Server {
         let queue = AdmissionQueue::new(config.queue_capacity);
         let shared = Arc::new(Shared {
             config,
-            catalog,
+            catalog: RwLock::new(Arc::new(catalog)),
             addr,
             queue,
             metrics,
@@ -162,7 +220,19 @@ impl Server {
                 .spawn(move || accept_loop(&s, listener))
                 .map_err(|e| Error::Internal(format!("spawn accept loop: {e}")))?
         };
-        Ok(Server { shared, accept: Some(accept), engine: Some(engine) })
+        let stream = match stream {
+            Some((scfg, gen, store)) => {
+                let s = Arc::clone(&shared);
+                Some(
+                    thread::Builder::new()
+                        .name("roulette-stream".into())
+                        .spawn(move || stream_loop(&s, scfg, gen, store))
+                        .map_err(|e| Error::Internal(format!("spawn stream loop: {e}")))?,
+                )
+            }
+            None => None,
+        };
+        Ok(Server { shared, accept: Some(accept), engine: Some(engine), stream })
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -199,6 +269,9 @@ impl Server {
         if let Some(h) = self.engine.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.stream.take() {
+            let _ = h.join();
+        }
         let wait_until = Instant::now() + Duration::from_secs(10);
         // ordering: Acquire pairs with the handler's AcqRel fetch_sub so a
         // zero count proves every handler finished writing its response.
@@ -219,6 +292,55 @@ impl Server {
             leaked: self.shared.leaked.load(Ordering::Acquire), // ordering: as above.
             shed: self.shared.metrics.shed.total(),
             lingering_connections: lingering,
+        }
+    }
+}
+
+impl Shared {
+    /// Clones the current hosted snapshot. Batches call this once at pop
+    /// time so parse and execution share one consistent catalog even
+    /// while the stream thread swaps in newer snapshots.
+    fn snapshot_catalog(&self) -> Arc<Catalog> {
+        match self.catalog.read() {
+            Ok(c) => Arc::clone(&c),
+            Err(poisoned) => Arc::clone(&poisoned.into_inner()),
+        }
+    }
+}
+
+/// The STREAM epoch thread: every `epoch_ms`, one epoch of seeded
+/// arrivals lands, the window clock advances (expiry events +
+/// `roulette_window_expired_tuples_total`), and the fresh snapshot
+/// replaces the hosted catalog. Exits at drain.
+fn stream_loop(
+    shared: &Shared,
+    scfg: StreamServeConfig,
+    mut gen: ArrivalGen,
+    mut store: WindowedStore,
+) {
+    // Epoch 1 was pre-populated before the server started.
+    let mut now: Tick = 1;
+    loop {
+        thread::sleep(Duration::from_millis(scfg.epoch_ms.max(1)));
+        // ordering: Acquire pairs with `begin_drain`'s AcqRel swap.
+        if shared.draining.load(Ordering::Acquire) {
+            return;
+        }
+        now += 1;
+        if gen.generate(&mut store, now).is_err() {
+            return;
+        }
+        for (relation, expired) in store.advance(now, scfg.window.max(1)) {
+            shared
+                .telemetry
+                .record_event(now, EventKind::WindowExpiry { relation, expired });
+        }
+        match store.snapshot() {
+            Ok(c) => match shared.catalog.write() {
+                Ok(mut slot) => *slot = Arc::new(c),
+                Err(poisoned) => *poisoned.into_inner() = Arc::new(c),
+            },
+            Err(_) => return,
         }
     }
 }
@@ -487,14 +609,15 @@ fn engine_loop(shared: &Shared) {
 }
 
 fn process_batch(shared: &Shared, jobs: Vec<Job>) {
-    let mut engine = RouletteEngine::new(&shared.catalog, shared.config.engine.clone());
+    let catalog = shared.snapshot_catalog();
+    let mut engine = RouletteEngine::new(&catalog, shared.config.engine.clone());
     engine.set_recorder(shared.telemetry.clone());
     let mut session = engine.session(jobs.len());
     let collecting =
         jobs.iter().any(|j| j.want_rows) && session.collect_rows().is_ok();
     let mut admitted: Vec<Admitted> = Vec::new();
     for job in jobs {
-        match parse(&shared.catalog, &job.sql).and_then(|q| session.admit(q)) {
+        match parse(&catalog, &job.sql).and_then(|q| session.admit(q)) {
             Ok(qid) => {
                 let budget_ms = job.deadline_ms.or(shared.config.default_deadline_ms);
                 let deadline =
@@ -803,6 +926,47 @@ mod tests {
                 }
             }
         }
+        let report = server.shutdown();
+        assert_eq!(report.leaked, 0, "{report:?}");
+        assert_eq!(report.admitted, report.terminal, "{report:?}");
+    }
+
+    #[test]
+    fn stream_mode_serves_churning_snapshots_without_leaks() {
+        let stream = StreamServeConfig { seed: 11, epoch_ms: 5, window: 3 };
+        let server = Server::start_stream(
+            ServerConfig::default(),
+            stream,
+            Telemetry::with_defaults(),
+        )
+        .unwrap();
+        let pool = crate::workload::stream_demo_sql(11, 6).unwrap();
+        let mut c = Client::connect(server.local_addr());
+        // Drive queries across many epoch swaps; the pool must stay valid
+        // against every snapshot and every query must terminate cleanly.
+        let deadline = Instant::now() + Duration::from_millis(300);
+        let mut ok = 0u64;
+        while Instant::now() < deadline {
+            for sql in &pool {
+                c.send(&Request::Query {
+                    sql: sql.clone(),
+                    want_rows: false,
+                    deadline_ms: None,
+                });
+                match c.recv_result() {
+                    (_, Response::Ok { .. }) => ok += 1,
+                    (_, other) => panic!("stream query failed: {other:?}"),
+                }
+            }
+        }
+        assert!(ok >= pool.len() as u64, "at least one full pass served");
+        // The epoch thread expired tuples out of the window while serving.
+        let expired = server
+            .telemetry()
+            .registry()
+            .counter("roulette_window_expired_tuples_total", "")
+            .total();
+        assert!(expired > 0, "window expiry ran during the serve");
         let report = server.shutdown();
         assert_eq!(report.leaked, 0, "{report:?}");
         assert_eq!(report.admitted, report.terminal, "{report:?}");

@@ -9,6 +9,7 @@ use roulette_core::Result;
 use roulette_query::generator::chains_queries;
 use roulette_query::to_sql;
 use roulette_storage::datagen::chains::{generate, ChainsDataset, ChainsParams};
+use roulette_stream::{ArrivalGen, WorkloadParams};
 
 /// Parameters of the hosted demo dataset: a small Fig. 15 chains schema
 /// (hub + 2 chains of 2 relations), sized to keep per-query work in the
@@ -37,6 +38,26 @@ pub fn demo_sql(seed: u64, n: usize) -> Result<Vec<String>> {
     Ok(queries.iter().map(|q| to_sql(&ds.catalog, q)).collect())
 }
 
+/// Generates `n` SQL strings against the STREAM demo mode's star schema
+/// (see [`crate::StreamServeConfig`]). The schema is derived from `seed`
+/// exactly as the server derives it, and only relation/column *names* go
+/// into the SQL, so the pool stays valid across every churning snapshot.
+/// Every other query is demoted to `count(*)` so `ROWS` mode has both
+/// streaming and counting traffic.
+pub fn stream_demo_sql(seed: u64, n: usize) -> Result<Vec<String>> {
+    let mut gen = ArrivalGen::new(WorkloadParams::default(), seed);
+    let mut store = gen.store()?;
+    gen.generate(&mut store, 1)?;
+    let catalog = store.snapshot()?;
+    let mut queries = gen.queries(&catalog, n)?;
+    for (i, q) in queries.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            q.projections.clear();
+        }
+    }
+    Ok(queries.iter().map(|q| to_sql(&catalog, q)).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +83,30 @@ mod tests {
     fn same_seed_same_pool() {
         assert_eq!(demo_sql(3, 4).unwrap(), demo_sql(3, 4).unwrap());
         assert_ne!(demo_sql(3, 4).unwrap(), demo_sql(4, 4).unwrap());
+    }
+
+    #[test]
+    fn stream_demo_sql_parses_and_mixes_rows_with_counts() {
+        let pool = stream_demo_sql(11, 8).unwrap();
+        assert_eq!(pool.len(), 8);
+        assert_eq!(stream_demo_sql(11, 8).unwrap(), pool, "seed-deterministic");
+        // The pool must parse against a *later* churned snapshot, not just
+        // the epoch-1 catalog it was generated from.
+        let mut gen = ArrivalGen::new(WorkloadParams::default(), 11);
+        let mut store = gen.store().unwrap();
+        for now in 1..=3 {
+            gen.generate(&mut store, now).unwrap();
+            store.advance(now, 2);
+        }
+        let catalog = store.snapshot().unwrap();
+        let mut with_rows = 0;
+        for sql in &pool {
+            let q = parse(&catalog, sql).unwrap();
+            q.validate(&catalog).unwrap();
+            if !q.projections.is_empty() {
+                with_rows += 1;
+            }
+        }
+        assert_eq!(with_rows, 4, "half the pool streams rows");
     }
 }

@@ -1,0 +1,111 @@
+//! Configuration for a continuous streaming run.
+
+use crate::recovery::RecoveryConfig;
+use crate::workload::WorkloadParams;
+use roulette_core::EngineConfig;
+
+/// Everything a [`StreamDriver`](crate::StreamDriver) run needs: the
+/// window geometry, churn rates, drift schedule size, the wrapped batch
+/// engine configuration, and the recovery meter's tuning.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of epochs to run (the clock advances one tick per epoch).
+    pub epochs: u64,
+    /// Window length in ticks; a tuple appended at tick `t` is live while
+    /// `now − t < window`.
+    pub window: u64,
+    /// Epochs before the first drift may fire (lets the policy converge
+    /// and the recovery meter build a baseline).
+    pub warmup: u64,
+    /// Steady-state number of live continuous queries the churn process
+    /// steers toward.
+    pub target_queries: usize,
+    /// Expected query arrivals per epoch (Poisson-ish Bernoulli thinning).
+    pub arrival_rate: f64,
+    /// Per-query probability of departing mid-epoch.
+    pub departure_rate: f64,
+    /// Number of scripted drift events spread over the run.
+    pub drift_events: usize,
+    /// Seed for the workload, churn, and drift schedule streams.
+    pub seed: u64,
+    /// Configuration for the per-epoch batch engine sessions.
+    pub engine: EngineConfig,
+    /// Arrival workload shape.
+    pub workload: WorkloadParams,
+    /// Recovery meter tuning.
+    pub recovery: RecoveryConfig,
+    /// Arms the TD-spike-triggered exploration-boost reset heuristic.
+    pub reset_heuristic: bool,
+    /// ε multiplier applied when a spike fires (clamped to 1 by the
+    /// policy).
+    pub boost_epsilon: f64,
+    /// Per-epoch multiplicative decay pulling a boosted ε back toward the
+    /// configured baseline.
+    pub boost_decay: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            epochs: 24,
+            window: 8,
+            warmup: 8,
+            target_queries: 8,
+            arrival_rate: 2.0,
+            departure_rate: 0.1,
+            drift_events: 2,
+            seed: 0x5EED_57E3,
+            engine: EngineConfig::default(),
+            workload: WorkloadParams::default(),
+            recovery: RecoveryConfig::default(),
+            reset_heuristic: false,
+            boost_epsilon: 20.0,
+            boost_decay: 0.5,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Sets the run length in epochs.
+    pub fn with_epochs(mut self, epochs: u64) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the window length in ticks.
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Sets the master seed (also folded into the engine seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.engine = self.engine.with_seed(seed ^ 0x0E0C_4A11);
+        self
+    }
+
+    /// Arms the exploration-boost reset heuristic.
+    pub fn with_reset_heuristic(mut self, on: bool) -> Self {
+        self.reset_heuristic = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_and_builders_compose() {
+        let c = StreamConfig::default()
+            .with_epochs(10)
+            .with_window(0)
+            .with_seed(42)
+            .with_reset_heuristic(true);
+        assert_eq!(c.epochs, 10);
+        assert_eq!(c.window, 1, "window clamps to at least one tick");
+        assert!(c.reset_heuristic);
+        assert_ne!(c.engine.seed, EngineConfig::default().seed);
+    }
+}

@@ -1,0 +1,156 @@
+//! Scripted drift injection on a deterministic seeded schedule.
+//!
+//! Drift events mutate the *arrival distribution* (never data already in
+//! the window), so each one shows up to the policy as a gradual shift of
+//! the live window's statistics — exactly the staleness regime the
+//! recovery meter quantifies. Three injector kinds cover the axes the
+//! learned policy keys on:
+//!
+//! * **selectivity flip** — the hub's `sel` column flips between a
+//!   low-band-heavy and a high-band-heavy mixture, inverting the
+//!   selectivity of the continuous queries' fixed range predicates;
+//! * **join-key skew flip** — dimension join keys flip between uniform and
+//!   hot-key-skewed draws, changing per-probe fan-out and therefore every
+//!   learned per-tuple cost;
+//! * **hot-relation swap** — the arrival-volume multiplier moves to the
+//!   next dimension relation, shifting which scans dominate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The drift-injector kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// Flip the hub `sel` mixture between low- and high-band-heavy.
+    SelectivityFlip,
+    /// Flip dimension join keys between uniform and hot-key-skewed.
+    JoinSkewFlip,
+    /// Move the arrival-volume multiplier to the next dimension.
+    HotRelationSwap,
+}
+
+impl DriftKind {
+    /// All kinds, in the order the seeded schedule cycles through them.
+    pub const ALL: [DriftKind; 3] =
+        [DriftKind::SelectivityFlip, DriftKind::JoinSkewFlip, DriftKind::HotRelationSwap];
+
+    /// Stable kebab-case name used by telemetry and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriftKind::SelectivityFlip => "selectivity-flip",
+            DriftKind::JoinSkewFlip => "join-skew-flip",
+            DriftKind::HotRelationSwap => "hot-relation-swap",
+        }
+    }
+}
+
+/// One scheduled drift event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftEvent {
+    /// Epoch at which the injector fires (before that epoch's arrivals).
+    pub epoch: u64,
+    /// Which injector fires.
+    pub kind: DriftKind,
+}
+
+/// A deterministic schedule of drift events, sorted by epoch.
+#[derive(Debug, Clone, Default)]
+pub struct DriftSchedule {
+    events: Vec<DriftEvent>,
+}
+
+impl DriftSchedule {
+    /// A schedule from explicit events (sorted by epoch).
+    pub fn new(mut events: Vec<DriftEvent>) -> Self {
+        events.sort_by_key(|e| e.epoch);
+        DriftSchedule { events }
+    }
+
+    /// An empty schedule (no drift).
+    pub fn none() -> Self {
+        DriftSchedule::default()
+    }
+
+    /// A seeded schedule of `count` events spread evenly over
+    /// `(warmup, epochs]`, with the kind cycle's starting point drawn from
+    /// `seed`. Even spacing (rather than random placement) guarantees the
+    /// recovery meter sees a quiet re-convergence interval after every
+    /// event; the seed still varies which injector fires where.
+    pub fn seeded(seed: u64, epochs: u64, warmup: u64, count: usize) -> Self {
+        if count == 0 || epochs <= warmup.saturating_add(1) {
+            return DriftSchedule::none();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD61F_7E11_5EED_CAFE);
+        let start = rng.gen_range(0..DriftKind::ALL.len());
+        let span = epochs - warmup;
+        let events = (0..count)
+            .map(|i| {
+                // Event i fires at warmup + (i+1)·span/(count+1), clamped
+                // into the run.
+                let epoch =
+                    warmup + ((i as u64 + 1) * span) / (count as u64 + 1);
+                let kind = DriftKind::ALL
+                    .iter()
+                    .cycle()
+                    .nth(start + i)
+                    .copied()
+                    .unwrap_or(DriftKind::SelectivityFlip);
+                DriftEvent { epoch: epoch.min(epochs), kind }
+            })
+            .collect();
+        DriftSchedule::new(events)
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[DriftEvent] {
+        &self.events
+    }
+
+    /// Events firing at exactly `epoch`.
+    pub fn at(&self, epoch: u64) -> impl Iterator<Item = &DriftEvent> {
+        self.events.iter().filter(move |e| e.epoch == epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DriftKind::SelectivityFlip.name(), "selectivity-flip");
+        assert_eq!(DriftKind::JoinSkewFlip.name(), "join-skew-flip");
+        assert_eq!(DriftKind::HotRelationSwap.name(), "hot-relation-swap");
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_and_spread() {
+        let a = DriftSchedule::seeded(9, 40, 10, 3);
+        let b = DriftSchedule::seeded(9, 40, 10, 3);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 3);
+        for e in a.events() {
+            assert!(e.epoch > 10 && e.epoch <= 40, "{e:?}");
+        }
+        // Evenly spread: consecutive events are separated.
+        let gaps: Vec<u64> =
+            a.events().windows(2).map(|w| w[1].epoch - w[0].epoch).collect();
+        assert!(gaps.iter().all(|&g| g >= 5), "{gaps:?}");
+    }
+
+    #[test]
+    fn different_seeds_can_start_on_different_kinds() {
+        let kinds: std::collections::HashSet<&str> = (0..8)
+            .filter_map(|s| DriftSchedule::seeded(s, 40, 10, 1).events().first().copied())
+            .map(|e| e.kind.name())
+            .collect();
+        assert!(kinds.len() > 1, "{kinds:?}");
+    }
+
+    #[test]
+    fn degenerate_schedules_are_empty() {
+        assert!(DriftSchedule::seeded(1, 5, 5, 3).events().is_empty());
+        assert!(DriftSchedule::seeded(1, 40, 10, 0).events().is_empty());
+        assert!(DriftSchedule::none().at(3).next().is_none());
+    }
+}

@@ -1,0 +1,352 @@
+//! Drift-aware policy re-convergence metering.
+//!
+//! [`Policy::probe`](roulette_policy::Policy::probe) reports *cumulative*
+//! tallies (sums and counts since the policy was constructed), so the meter
+//! differences successive probes into per-epoch deltas: the TD-error mean
+//! over exactly the observations folded in during one epoch. Around each
+//! drift event it then measures how long the policy takes to re-converge.
+//!
+//! The meter tracks the *reward-normalized* TD error
+//! ([`PolicyDelta::relative_td`]): the per-epoch TD mean divided by the
+//! epoch's mean absolute reward. Absolute TD error scales with episode
+//! cost — a drift that multiplies join fan-out (e.g. a hot-key skew flip)
+//! multiplies both rewards and TD errors, so a converged policy on the
+//! post-drift workload would never re-enter an *absolute* pre-drift
+//! threshold. Normalizing by reward magnitude measures what recovery
+//! actually means: the policy's predictions are again accurate relative
+//! to the size of the returns it is predicting.
+//!
+//! 1. every quiet epoch feeds a trailing window of per-epoch
+//!    reward-normalized TD means;
+//! 2. when a drift fires, the trailing mean is frozen as that event's
+//!    *baseline* (clamped below by a floor so a perfectly-converged
+//!    baseline of ~0 does not make recovery unreachable);
+//! 3. subsequent epochs append to the event's [`RecoveryCurve`] until the
+//!    normalized TD mean drops back within `recovery_factor ×` baseline,
+//!    at which point `recovered_after` records the epoch count.
+//!
+//! The same trailing mean powers the optional reset heuristic: an epoch
+//! whose normalized TD mean exceeds `spike_factor ×` the trailing mean is
+//! flagged as a spike, which the driver can answer with an exploration
+//! boost.
+
+use roulette_telemetry::PolicyProbe;
+use std::collections::VecDeque;
+
+/// Tuning for the recovery meter and the spike detector.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// A drift counts as recovered once the per-epoch reward-normalized
+    /// TD mean is within this factor of the pre-drift baseline.
+    pub recovery_factor: f64,
+    /// Number of trailing quiet epochs averaged into the baseline.
+    pub baseline_window: usize,
+    /// An epoch spikes when its normalized TD mean exceeds this factor of
+    /// the trailing mean (drives the ε-boost reset heuristic).
+    pub spike_factor: f64,
+    /// Lower clamp for baselines, so near-zero pre-drift TD error does not
+    /// make the recovery threshold unreachable.
+    pub baseline_floor: f64,
+    /// Curves are closed unrecovered after this many post-drift epochs.
+    pub max_curve: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            recovery_factor: 2.0,
+            baseline_window: 8,
+            spike_factor: 3.0,
+            baseline_floor: 1e-6,
+            max_curve: 64,
+        }
+    }
+}
+
+/// Per-epoch deltas differenced out of two successive cumulative probes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyDelta {
+    /// Reward observations folded into the policy during the epoch.
+    pub observations: u64,
+    /// Mean absolute TD error across exactly those observations.
+    pub td_mean: f64,
+    /// Mean reward across exactly those observations.
+    pub reward_mean: f64,
+}
+
+impl PolicyDelta {
+    /// TD error normalized by the epoch's mean absolute reward (clamped
+    /// below at 1 so near-zero rewards do not explode the ratio). This is
+    /// the scale-invariant metric the recovery meter tracks: absolute TD
+    /// error grows with episode cost, so only the ratio is comparable
+    /// across drifts that change join fan-out.
+    pub fn relative_td(&self) -> f64 {
+        self.td_mean / self.reward_mean.abs().max(1.0)
+    }
+}
+
+/// The recovery record for one drift event.
+#[derive(Debug, Clone)]
+pub struct RecoveryCurve {
+    /// Stable name of the drift kind that fired.
+    pub kind: String,
+    /// Epoch at which the drift fired.
+    pub epoch: u64,
+    /// Frozen pre-drift baseline (trailing reward-normalized TD mean,
+    /// floored).
+    pub baseline: f64,
+    /// Per-epoch reward-normalized TD means observed after the drift, in
+    /// order.
+    pub curve: Vec<f64>,
+    /// Epochs until the normalized TD mean re-entered
+    /// `recovery_factor × baseline`, or `None` if the curve closed
+    /// unrecovered.
+    pub recovered_after: Option<usize>,
+}
+
+impl RecoveryCurve {
+    /// Whether the curve closed within its recovery threshold.
+    pub fn recovered(&self) -> bool {
+        self.recovered_after.is_some()
+    }
+}
+
+/// Differences cumulative policy probes and tracks per-drift recovery.
+#[derive(Debug, Default)]
+pub struct RecoveryMeter {
+    config: RecoveryConfig,
+    last: Option<PolicyProbe>,
+    trailing: VecDeque<f64>,
+    curves: Vec<RecoveryCurve>,
+    /// Index into `curves` of the drift currently awaiting recovery.
+    open: Option<usize>,
+}
+
+impl RecoveryMeter {
+    /// A meter with the given tuning.
+    pub fn new(config: RecoveryConfig) -> Self {
+        RecoveryMeter {
+            config,
+            last: None,
+            trailing: VecDeque::new(),
+            curves: Vec::new(),
+            open: None,
+        }
+    }
+
+    /// The trailing mean of recent per-epoch reward-normalized TD means
+    /// (the quiet baseline), or `None` before any epoch with observations.
+    pub fn trailing_mean(&self) -> Option<f64> {
+        if self.trailing.is_empty() {
+            return None;
+        }
+        let sum: f64 = self.trailing.iter().sum();
+        Some(sum / self.trailing.len() as f64)
+    }
+
+    /// Marks a drift event: freezes the current trailing mean as the
+    /// event's baseline and opens a fresh recovery curve. An already-open
+    /// curve is closed unrecovered first.
+    pub fn note_drift(&mut self, epoch: u64, kind: &str) {
+        self.open = None;
+        let baseline = self
+            .trailing_mean()
+            .unwrap_or(self.config.baseline_floor)
+            .max(self.config.baseline_floor);
+        self.curves.push(RecoveryCurve {
+            kind: kind.to_string(),
+            epoch,
+            baseline,
+            curve: Vec::new(),
+            recovered_after: None,
+        });
+        self.open = Some(self.curves.len() - 1);
+    }
+
+    /// Folds one end-of-epoch cumulative probe into the meter. Returns the
+    /// differenced per-epoch delta, or `None` when the epoch contributed
+    /// no new observations (nothing ran).
+    pub fn observe(&mut self, probe: &PolicyProbe) -> Option<PolicyDelta> {
+        let delta = self.difference(probe);
+        self.last = Some(*probe);
+        let delta = delta?;
+        let metric = delta.relative_td();
+        self.advance_open_curve(metric);
+        // Quiet epochs (no open curve) refine the baseline window.
+        if self.open.is_none() {
+            self.trailing.push_back(metric);
+            while self.trailing.len() > self.config.baseline_window.max(1) {
+                self.trailing.pop_front();
+            }
+        }
+        Some(delta)
+    }
+
+    /// Whether a reward-normalized TD mean ([`PolicyDelta::relative_td`])
+    /// spikes past the trailing baseline — the trigger for the ε-boost
+    /// reset heuristic.
+    pub fn is_spike(&self, relative_td: f64) -> bool {
+        match self.trailing_mean() {
+            Some(base) => {
+                relative_td > self.config.spike_factor * base.max(self.config.baseline_floor)
+            }
+            None => false,
+        }
+    }
+
+    /// All recovery curves recorded so far, in drift order.
+    pub fn curves(&self) -> &[RecoveryCurve] {
+        &self.curves
+    }
+
+    /// Whether every recorded drift recovered within its threshold.
+    pub fn all_recovered(&self) -> bool {
+        self.curves.iter().all(RecoveryCurve::recovered)
+    }
+
+    fn difference(&self, probe: &PolicyProbe) -> Option<PolicyDelta> {
+        let (prev_obs, prev_td_sum, prev_reward_sum) = match &self.last {
+            Some(p) => (
+                p.observations,
+                p.td_error_mean * p.observations as f64,
+                p.reward_mean * p.observations as f64,
+            ),
+            None => (0, 0.0, 0.0),
+        };
+        let obs = probe.observations.checked_sub(prev_obs)?;
+        if obs == 0 {
+            return None;
+        }
+        let td_sum = probe.td_error_mean * probe.observations as f64 - prev_td_sum;
+        let reward_sum = probe.reward_mean * probe.observations as f64 - prev_reward_sum;
+        Some(PolicyDelta {
+            observations: obs,
+            td_mean: (td_sum / obs as f64).max(0.0),
+            reward_mean: reward_sum / obs as f64,
+        })
+    }
+
+    fn advance_open_curve(&mut self, relative_td: f64) {
+        let Some(idx) = self.open else { return };
+        let max_curve = self.config.max_curve.max(1);
+        let factor = self.config.recovery_factor;
+        let Some(curve) = self.curves.get_mut(idx) else {
+            self.open = None;
+            return;
+        };
+        curve.curve.push(relative_td);
+        if relative_td <= factor * curve.baseline {
+            curve.recovered_after = Some(curve.curve.len());
+            self.open = None;
+        } else if curve.curve.len() >= max_curve {
+            self.open = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The cumulative reward mean is pinned at -1.0 so the per-epoch
+    // reward delta is always -1.0 and the normalized metric equals the
+    // raw per-epoch TD mean — the tests below reason in raw TD units.
+    fn probe(observations: u64, td_mean: f64) -> PolicyProbe {
+        PolicyProbe {
+            q_entries: 1,
+            decisions: observations,
+            explorations: 0,
+            observations,
+            td_error_mean: td_mean,
+            td_error_max: td_mean,
+            reward_mean: -1.0,
+            reward_min: -td_mean,
+            reward_max: 0.0,
+        }
+    }
+
+    #[test]
+    fn differences_cumulative_probes() {
+        let mut m = RecoveryMeter::new(RecoveryConfig::default());
+        // 10 observations at mean 4.0 → cumulative sum 40.
+        let d = m.observe(&probe(10, 4.0)).unwrap();
+        assert_eq!(d.observations, 10);
+        assert!((d.td_mean - 4.0).abs() < 1e-12);
+        // 10 more at mean 2.0 → cumulative mean (40+20)/20 = 3.0, but the
+        // per-epoch delta must recover the 2.0.
+        let d = m.observe(&probe(20, 3.0)).unwrap();
+        assert_eq!(d.observations, 10);
+        assert!((d.td_mean - 2.0).abs() < 1e-9, "{}", d.td_mean);
+    }
+
+    #[test]
+    fn idle_epoch_is_none() {
+        let mut m = RecoveryMeter::new(RecoveryConfig::default());
+        assert!(m.observe(&probe(5, 1.0)).is_some());
+        assert!(m.observe(&probe(5, 1.0)).is_none());
+    }
+
+    #[test]
+    fn drift_freezes_baseline_and_counts_recovery() {
+        let mut m = RecoveryMeter::new(RecoveryConfig::default());
+        // Five quiet epochs at TD mean 1.0.
+        let mut total = 0;
+        for _ in 0..5 {
+            total += 10;
+            m.observe(&probe(total, 1.0));
+        }
+        assert!((m.trailing_mean().unwrap() - 1.0).abs() < 1e-9);
+        m.note_drift(5, "selectivity-flip");
+        // Post-drift per-epoch means: spike to 10, then 5, then 1.9 (< 2×1).
+        // Feed the meter the *cumulative* mean each time; it must recover
+        // the per-epoch values by differencing.
+        let mut cum_sum = 50.0;
+        for td in [10.0, 5.0, 1.9] {
+            total += 10;
+            cum_sum += td * 10.0;
+            m.observe(&probe(total, cum_sum / total as f64));
+        }
+        let c = &m.curves()[0];
+        assert_eq!(c.kind, "selectivity-flip");
+        assert!((c.baseline - 1.0).abs() < 1e-9);
+        assert_eq!(c.recovered_after, Some(3), "{:?}", c.curve);
+        assert!(m.all_recovered());
+    }
+
+    #[test]
+    fn unrecovered_curve_closes_at_max() {
+        let cfg = RecoveryConfig { max_curve: 2, ..RecoveryConfig::default() };
+        let mut m = RecoveryMeter::new(cfg);
+        let mut total = 10;
+        m.observe(&probe(total, 1.0));
+        m.note_drift(1, "join-skew-flip");
+        for _ in 0..4 {
+            total += 10;
+            // A flat cumulative mean of 50 keeps every per-epoch delta high.
+            m.observe(&probe(total, 50.0));
+        }
+        let c = &m.curves()[0];
+        assert_eq!(c.curve.len(), 2);
+        assert!(!c.recovered());
+        assert!(!m.all_recovered());
+    }
+
+    #[test]
+    fn relative_td_normalizes_by_reward_scale() {
+        let d = PolicyDelta { observations: 10, td_mean: 500.0, reward_mean: -1000.0 };
+        assert!((d.relative_td() - 0.5).abs() < 1e-12);
+        // Near-zero rewards clamp the denominator at 1 instead of
+        // exploding the ratio.
+        let small = PolicyDelta { observations: 10, td_mean: 0.5, reward_mean: -0.01 };
+        assert!((small.relative_td() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_detector_uses_trailing_mean() {
+        let mut m = RecoveryMeter::new(RecoveryConfig::default());
+        assert!(!m.is_spike(100.0)); // no history yet
+        m.observe(&probe(10, 1.0));
+        assert!(m.is_spike(3.5));
+        assert!(!m.is_spike(2.9));
+    }
+}

@@ -1,0 +1,345 @@
+//! Seeded arrival and continuous-query generation for the stream driver.
+//!
+//! The shape is a star: one hub relation `s_fact` with a foreign key per
+//! dimension plus a `sel` column, and dimensions `s_dim0..s_dimN` each with
+//! a `key` and a `sel` column. Continuous queries join the hub to a random
+//! subset of dimensions and carry a *fixed* range predicate on the hub's
+//! low selectivity band — the arrival mixture, not the query, is what the
+//! drift injectors mutate, so a [`DriftKind`] event shifts the live
+//! window's statistics gradually as old tuples expire and new ones arrive:
+//!
+//! * [`DriftKind::SelectivityFlip`] flips hub `sel` draws between
+//!   low-band-heavy (predicates ~90% selective) and high-band-heavy
+//!   (~10%);
+//! * [`DriftKind::JoinSkewFlip`] moves the hot join key. Key draws (hub
+//!   foreign keys and dimension keys alike) are *always* skewed — ~20% of
+//!   the mass lands on the current hot key, enough to multiply probe
+//!   fan-out there without a cross-product blow-up in multi-dimension
+//!   joins — and the flip relocates that mass to a different key. Keeping
+//!   the skew always-on is deliberate: a skewed key distribution has a
+//!   permanently higher TD-error noise floor (episode costs are bimodal),
+//!   so toggling skew on would move the policy to a floor no pre-drift
+//!   baseline can ever certify as "recovered". Moving the hot key instead
+//!   invalidates learned state while leaving the achievable floor
+//!   unchanged, so re-convergence is measurable;
+//! * [`DriftKind::HotRelationSwap`] rotates the arrival-volume multiplier
+//!   to the next dimension.
+
+use crate::drift::DriftKind;
+use crate::window::{Tick, WindowedRelation, WindowedStore};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use roulette_core::Result;
+use roulette_query::SpjQuery;
+use roulette_storage::Catalog;
+
+/// Shape and volume knobs for the streaming star workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadParams {
+    /// Number of dimension relations.
+    pub dims: usize,
+    /// Join keys are drawn from `[0, key_domain)`.
+    pub key_domain: i64,
+    /// Selectivity columns are drawn from `[0, sel_domain)`; queries
+    /// predicate on the low half `[0, sel_domain/2)`.
+    pub sel_domain: i64,
+    /// Hub tuples arriving per epoch.
+    pub hub_rows_per_epoch: usize,
+    /// Baseline dimension tuples arriving per epoch.
+    pub dim_rows_per_epoch: usize,
+    /// Arrival-volume multiplier applied to the current hot dimension.
+    pub hot_factor: usize,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            dims: 3,
+            key_domain: 64,
+            sel_domain: 1000,
+            hub_rows_per_epoch: 96,
+            dim_rows_per_epoch: 8,
+            hot_factor: 4,
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// Name of the hub relation.
+    pub fn hub(&self) -> &'static str {
+        "s_fact"
+    }
+
+    /// Name of dimension `d`.
+    pub fn dim(&self, d: usize) -> String {
+        format!("s_dim{d}")
+    }
+
+    /// Upper bound (inclusive) of the low selectivity band queries
+    /// predicate on.
+    pub fn low_band_hi(&self) -> i64 {
+        (self.sel_domain / 2).saturating_sub(1).max(0)
+    }
+}
+
+/// Seeded generator of tuple arrivals and continuous queries, with the
+/// drift injectors' mutable distribution state.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    params: WorkloadParams,
+    rng: StdRng,
+    /// Hub `sel` draws favour the high band when set (selectivity flip).
+    sel_high: bool,
+    /// The key currently receiving the skew mass (join-skew flip moves
+    /// it).
+    hot_key: i64,
+    /// Dimension currently receiving `hot_factor ×` arrival volume.
+    hot_dim: usize,
+}
+
+impl ArrivalGen {
+    /// A generator with the given shape, seeded deterministically.
+    pub fn new(params: WorkloadParams, seed: u64) -> Self {
+        let params = WorkloadParams { dims: params.dims.max(1), ..params };
+        ArrivalGen {
+            params,
+            rng: StdRng::seed_from_u64(seed ^ 0x57A4_11FE_ED00_0001),
+            sel_high: false,
+            hot_key: 0,
+            hot_dim: 0,
+        }
+    }
+
+    /// The workload shape.
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Builds the empty windowed store for this shape: the hub, every
+    /// dimension, and one FK edge per dimension.
+    pub fn store(&self) -> Result<WindowedStore> {
+        let mut store = WindowedStore::new();
+        let fk_names: Vec<String> =
+            (0..self.params.dims).map(|d| format!("fk{d}")).collect();
+        let mut hub_cols: Vec<&str> = fk_names.iter().map(String::as_str).collect();
+        hub_cols.push("sel");
+        store.add(WindowedRelation::new(self.params.hub(), &hub_cols))?;
+        for d in 0..self.params.dims {
+            store.add(WindowedRelation::new(self.params.dim(d), &["key", "sel"]))?;
+        }
+        for (d, fk) in fk_names.iter().enumerate() {
+            store.add_fk(
+                (self.params.hub(), fk.as_str()),
+                (self.params.dim(d).as_str(), "key"),
+            )?;
+        }
+        Ok(store)
+    }
+
+    /// Applies one drift injector to the arrival distribution.
+    pub fn apply(&mut self, kind: DriftKind) {
+        match kind {
+            DriftKind::SelectivityFlip => self.sel_high = !self.sel_high,
+            DriftKind::JoinSkewFlip => {
+                // Jump to the far side of the domain so the old and new
+                // hot keys never collide, then wrap.
+                let half = (self.params.key_domain / 2).max(1);
+                self.hot_key = (self.hot_key + half) % self.params.key_domain.max(1);
+            }
+            DriftKind::HotRelationSwap => {
+                self.hot_dim = (self.hot_dim + 1) % self.params.dims;
+            }
+        }
+    }
+
+    /// Current injector state, for traces: `(sel_high, hot_key, hot_dim)`.
+    pub fn drift_state(&self) -> (bool, i64, usize) {
+        (self.sel_high, self.hot_key, self.hot_dim)
+    }
+
+    /// Appends one epoch of arrivals stamped `now` to `store`. Returns the
+    /// number of tuples appended.
+    pub fn generate(&mut self, store: &mut WindowedStore, now: Tick) -> Result<u64> {
+        let mut appended = 0u64;
+        let hub_rows: Vec<Vec<i64>> = (0..self.params.hub_rows_per_epoch)
+            .map(|_| {
+                let mut row: Vec<i64> =
+                    (0..self.params.dims).map(|_| self.draw_key()).collect();
+                row.push(self.draw_sel());
+                row
+            })
+            .collect();
+        appended += hub_rows.len() as u64;
+        store.append(self.params.hub(), now, &hub_rows)?;
+        for d in 0..self.params.dims {
+            let volume = if d == self.hot_dim {
+                self.params.dim_rows_per_epoch * self.params.hot_factor.max(1)
+            } else {
+                self.params.dim_rows_per_epoch
+            };
+            let rows: Vec<Vec<i64>> = (0..volume)
+                .map(|_| vec![self.draw_key(), self.draw_uniform_sel()])
+                .collect();
+            appended += rows.len() as u64;
+            store.append(&self.params.dim(d), now, &rows)?;
+        }
+        Ok(appended)
+    }
+
+    /// Generates one continuous query against `catalog` (a snapshot of
+    /// this shape's store): the hub joined to a random non-empty subset of
+    /// dimensions, with the fixed low-band predicate on `s_fact.sel`.
+    pub fn query(&mut self, catalog: &Catalog) -> Result<SpjQuery> {
+        let mut dims: Vec<usize> = (0..self.params.dims).collect();
+        dims.shuffle(&mut self.rng);
+        let take = self.rng.gen_range(1..=self.params.dims);
+        dims.truncate(take);
+        let hub = self.params.hub();
+        let mut b = SpjQuery::builder(catalog)
+            .relation(hub)
+            .range(hub, "sel", 0, self.params.low_band_hi())
+            .project(hub, "sel");
+        for d in dims {
+            let dim = self.params.dim(d);
+            let fk = format!("fk{d}");
+            b = b
+                .relation(&dim)
+                .join((hub, fk.as_str()), (dim.as_str(), "key"))
+                .project(dim.as_str(), "sel");
+        }
+        b.build()
+    }
+
+    /// Generates `count` continuous queries.
+    pub fn queries(&mut self, catalog: &Catalog, count: usize) -> Result<Vec<SpjQuery>> {
+        (0..count).map(|_| self.query(catalog)).collect()
+    }
+
+    fn draw_key(&mut self) -> i64 {
+        if self.rng.gen_bool(0.2) {
+            self.hot_key
+        } else {
+            self.rng.gen_range(0..self.params.key_domain.max(1))
+        }
+    }
+
+    fn draw_sel(&mut self) -> i64 {
+        let half = (self.params.sel_domain / 2).max(1);
+        let low_band = self.rng.gen_bool(if self.sel_high { 0.1 } else { 0.9 });
+        if low_band {
+            self.rng.gen_range(0..half)
+        } else {
+            self.rng.gen_range(half..self.params.sel_domain.max(half + 1))
+        }
+    }
+
+    fn draw_uniform_sel(&mut self) -> i64 {
+        self.rng.gen_range(0..self.params.sel_domain.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_has_hub_dims_and_edges() {
+        let gen = ArrivalGen::new(WorkloadParams::default(), 7);
+        let store = gen.store().unwrap();
+        assert_eq!(store.len(), 4);
+        let catalog = store.snapshot().unwrap();
+        assert!(catalog.relation_id("s_fact").is_ok());
+        assert!(catalog.relation_id("s_dim2").is_ok());
+        assert_eq!(catalog.edges().len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = WorkloadParams::default();
+        let mut a = ArrivalGen::new(params.clone(), 11);
+        let mut b = ArrivalGen::new(params, 11);
+        let mut sa = a.store().unwrap();
+        let mut sb = b.store().unwrap();
+        a.generate(&mut sa, 1).unwrap();
+        b.generate(&mut sb, 1).unwrap();
+        let ca = sa.snapshot().unwrap();
+        let cb = sb.snapshot().unwrap();
+        let fact = ca.relation_id("s_fact").unwrap();
+        assert_eq!(ca.relation(fact).rows(), cb.relation(fact).rows());
+        let col = ca.relation(fact).column_id("sel").unwrap();
+        for i in 0..ca.relation(fact).rows() {
+            assert_eq!(
+                ca.relation(fact).column(col).value(i),
+                cb.relation(fact).column(col).value(i)
+            );
+        }
+    }
+
+    #[test]
+    fn selectivity_flip_moves_the_band_mass() {
+        let params = WorkloadParams { hub_rows_per_epoch: 2000, ..WorkloadParams::default() };
+        let low_band_hi = params.low_band_hi();
+        let mut gen = ArrivalGen::new(params, 3);
+        let count_low = |store: &WindowedStore| {
+            let c = store.snapshot().unwrap();
+            let f = c.relation_id("s_fact").unwrap();
+            let sel = c.relation(f).column_id("sel").unwrap();
+            (0..c.relation(f).rows())
+                .filter(|&i| c.relation(f).column(sel).value(i) <= low_band_hi)
+                .count() as f64
+                / c.relation(f).rows() as f64
+        };
+        let mut s1 = gen.store().unwrap();
+        gen.generate(&mut s1, 1).unwrap();
+        let before = count_low(&s1);
+        gen.apply(DriftKind::SelectivityFlip);
+        let mut s2 = gen.store().unwrap();
+        gen.generate(&mut s2, 1).unwrap();
+        let after = count_low(&s2);
+        assert!(before > 0.8, "{before}");
+        assert!(after < 0.2, "{after}");
+    }
+
+    #[test]
+    fn skew_flip_moves_hot_key_and_swap_rotates_volume() {
+        let params =
+            WorkloadParams { dim_rows_per_epoch: 500, ..WorkloadParams::default() };
+        let mut gen = ArrivalGen::new(params, 5);
+        assert_eq!(gen.drift_state(), (false, 0, 0));
+        gen.apply(DriftKind::JoinSkewFlip);
+        gen.apply(DriftKind::HotRelationSwap);
+        // The hot key jumps half the 64-key domain; the hot dim rotates.
+        assert_eq!(gen.drift_state(), (false, 32, 1));
+        let mut store = gen.store().unwrap();
+        gen.generate(&mut store, 1).unwrap();
+        let c = store.snapshot().unwrap();
+        let d1 = c.relation_id("s_dim1").unwrap();
+        let d2 = c.relation_id("s_dim2").unwrap();
+        // Hot dim 1 gets hot_factor × the volume of a cold dim.
+        assert_eq!(c.relation(d1).rows(), 4 * c.relation(d2).rows());
+        // Skew mass sits on the post-flip hot key, not the original one.
+        let key = c.relation(d2).column_id("key").unwrap();
+        let count_at = |k: i64| {
+            (0..c.relation(d2).rows())
+                .filter(|&i| c.relation(d2).column(key).value(i) == k)
+                .count() as f64
+                / c.relation(d2).rows() as f64
+        };
+        // ~20% skew mass vs. ~1.6% under a uniform draw over 64 keys.
+        assert!(count_at(32) > 0.12, "{}", count_at(32));
+        assert!(count_at(0) < 0.08, "{}", count_at(0));
+    }
+
+    #[test]
+    fn queries_build_and_validate_against_snapshots() {
+        let mut gen = ArrivalGen::new(WorkloadParams::default(), 13);
+        let mut store = gen.store().unwrap();
+        gen.generate(&mut store, 1).unwrap();
+        let catalog = store.snapshot().unwrap();
+        let qs = gen.queries(&catalog, 16).unwrap();
+        assert_eq!(qs.len(), 16);
+        assert!(qs.iter().any(|q| q.n_joins() > 1));
+        assert!(qs.iter().all(|q| q.n_joins() >= 1));
+    }
+}

@@ -59,6 +59,24 @@ pub enum EventKind {
         /// New level.
         to: u8,
     },
+    /// A windowed relation expired tuples that aged past the stream window.
+    WindowExpiry {
+        /// Relation slot whose window advanced.
+        relation: u16,
+        /// Tuples reclaimed by this expiry sweep.
+        expired: u64,
+    },
+    /// A scripted drift injector mutated the arrival distribution.
+    DriftInjected {
+        /// Stable kebab-case drift kind (e.g. `selectivity-flip`).
+        kind: String,
+    },
+    /// The drift-recovery heuristic reset/boosted policy exploration.
+    PolicyReset {
+        /// Human-readable rendering of the trigger (e.g. the TD-error
+        /// spike that tripped the heuristic).
+        reason: String,
+    },
 }
 
 impl EventKind {
@@ -72,6 +90,9 @@ impl EventKind {
             EventKind::WatchdogTrip { .. } => "watchdog-trip",
             EventKind::FallbackReplan { .. } => "fallback-replan",
             EventKind::MemoryPressure { .. } => "memory-pressure",
+            EventKind::WindowExpiry { .. } => "window-expiry",
+            EventKind::DriftInjected { .. } => "drift-injected",
+            EventKind::PolicyReset { .. } => "policy-reset",
         }
     }
 }
@@ -195,6 +216,15 @@ mod tests {
             EventKind::DeadlineExceeded { query: 1, reason: "x".into() }.name(),
             "deadline-exceeded"
         );
+        assert_eq!(
+            EventKind::WindowExpiry { relation: 0, expired: 8 }.name(),
+            "window-expiry"
+        );
+        assert_eq!(
+            EventKind::DriftInjected { kind: "selectivity-flip".into() }.name(),
+            "drift-injected"
+        );
+        assert_eq!(EventKind::PolicyReset { reason: "spike".into() }.name(), "policy-reset");
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct Telemetry {
     deadline_exceeded: Arc<ShardedCounter>,
     watchdog_trips: Arc<ShardedCounter>,
     fallback_replans: Arc<ShardedCounter>,
+    window_expired_tuples: Arc<ShardedCounter>,
+    drift_injected: Arc<ShardedCounter>,
+    policy_resets: Arc<ShardedCounter>,
     memory_pressure: Arc<Gauge>,
     events_dropped: Arc<Gauge>,
 
@@ -115,6 +118,18 @@ impl Telemetry {
             "roulette_fallback_replans_total",
             "Greedy-fallback replans after watchdog trips",
         );
+        let window_expired_tuples = registry.counter(
+            "roulette_window_expired_tuples_total",
+            "Tuples reclaimed by stream-window expiry sweeps",
+        );
+        let drift_injected = registry.counter(
+            "roulette_drift_injected_total",
+            "Scripted drift events injected into the arrival stream",
+        );
+        let policy_resets = registry.counter(
+            "roulette_policy_resets_total",
+            "Exploration boosts/resets triggered by the drift-recovery heuristic",
+        );
         let memory_pressure = registry.gauge(
             "roulette_memory_pressure_level",
             "Memory-pressure ladder level (0 nominal, 1 forced pruning, 2 admissions paused, 3 evicting)",
@@ -164,6 +179,9 @@ impl Telemetry {
             deadline_exceeded,
             watchdog_trips,
             fallback_replans,
+            window_expired_tuples,
+            drift_injected,
+            policy_resets,
             memory_pressure,
             events_dropped,
             policy_q_entries,
@@ -227,6 +245,15 @@ impl Telemetry {
                 EventKind::MemoryPressure { from, to } => {
                     o.u64("from", u64::from(*from)).u64("to", u64::from(*to));
                 }
+                EventKind::WindowExpiry { relation, expired } => {
+                    o.u64("relation", u64::from(*relation)).u64("expired", *expired);
+                }
+                EventKind::DriftInjected { kind } => {
+                    o.string("drift", kind);
+                }
+                EventKind::PolicyReset { reason } => {
+                    o.string("reason", reason);
+                }
             }
             writeln!(w, "{}", o.finish())?;
         }
@@ -279,6 +306,11 @@ impl Recorder for Telemetry {
             EventKind::WatchdogTrip { .. } => self.watchdog_trips.inc(),
             EventKind::FallbackReplan { .. } => self.fallback_replans.inc(),
             EventKind::MemoryPressure { to, .. } => self.memory_pressure.set(u64::from(*to)),
+            EventKind::WindowExpiry { expired, .. } => {
+                self.window_expired_tuples.add(*expired);
+            }
+            EventKind::DriftInjected { .. } => self.drift_injected.inc(),
+            EventKind::PolicyReset { .. } => self.policy_resets.inc(),
         }
         self.events.push(episode, kind);
     }
@@ -400,6 +432,23 @@ mod tests {
         assert!(text.contains("roulette_memory_pressure_level 2"));
         assert!(text.contains("roulette_watchdog_trips_total 1"));
         assert!(text.contains("roulette_fallback_replans_total 1"));
+    }
+
+    #[test]
+    fn stream_events_update_counters_and_jsonl() {
+        let t = Telemetry::default();
+        t.record_event(10, EventKind::WindowExpiry { relation: 3, expired: 40 });
+        t.record_event(11, EventKind::WindowExpiry { relation: 3, expired: 2 });
+        t.record_event(12, EventKind::DriftInjected { kind: "join-skew-flip".into() });
+        t.record_event(13, EventKind::PolicyReset { reason: "td spike 4.2x".into() });
+        let text = prom(&t);
+        assert!(text.contains("roulette_window_expired_tuples_total 42"));
+        assert!(text.contains("roulette_drift_injected_total 1"));
+        assert!(text.contains("roulette_policy_resets_total 1"));
+        let log = jsonl(&t);
+        assert!(log.contains("\"kind\":\"window-expiry\",\"relation\":3,\"expired\":40"));
+        assert!(log.contains("\"kind\":\"drift-injected\",\"drift\":\"join-skew-flip\""));
+        assert!(log.contains("\"kind\":\"policy-reset\",\"reason\":\"td spike 4.2x\""));
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * [`telemetry`] — low-overhead observability: metrics registry, event
 //!   stream, policy introspection, Prometheus/JSONL exporters;
 //! * [`baselines`] — comparator engines (query-at-a-time, operator-at-a-
-//!   time, Stitch&Share, Match&Share, mini-SWO).
+//!   time, Stitch&Share, Match&Share, mini-SWO);
+//! * [`stream`] — windowed continuous queries over churning data: logical-
+//!   clock windowed relations, a drift-injecting stream driver, and
+//!   drift-aware policy recovery metering.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@ pub use roulette_exec as exec;
 pub use roulette_policy as policy;
 pub use roulette_query as query;
 pub use roulette_storage as storage;
+pub use roulette_stream as stream;
 pub use roulette_telemetry as telemetry;
 
 /// Convenient glob-import surface for applications.

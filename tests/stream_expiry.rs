@@ -1,0 +1,135 @@
+//! Differential correctness of the streaming layer.
+//!
+//! Two pillars:
+//!
+//! * **Expiry differential** — a windowed run whose window is at least as
+//!   long as the whole stream must be byte-identical (per-query rows and
+//!   checksums) to the batch engine executing the same queries over the
+//!   same accumulated data, at one AND four workers, with the vectorized
+//!   query-at-a-time engine as an independent reference. This pins the
+//!   windowing machinery (tick stamping, snapshotting, policy carry-over,
+//!   epoch re-execution) as a zero-cost semantic wrapper when nothing
+//!   expires.
+//! * **Churn accounting** — under seeded query churn (Poisson arrivals,
+//!   mid-flight departures through the quarantine path) and drift, every
+//!   admitted query run reaches exactly one terminal outcome: completed
+//!   or quarantined, never leaked.
+
+use roulette::baselines::{ExecMode, QatEngine};
+use roulette::exec::RouletteEngine;
+use roulette::query::SpjQuery;
+use roulette::storage::Catalog;
+use roulette::stream::{ArrivalGen, StreamConfig, StreamDriver, WorkloadParams};
+
+const SEED: u64 = 0xD1FF_5EED;
+const EPOCHS: u64 = 5;
+const QUERIES: usize = 6;
+
+/// A stream config with a window longer than the whole run and all churn
+/// and drift disabled: the final epoch sees every tuple ever streamed.
+fn no_churn_config(workers: usize) -> StreamConfig {
+    let mut cfg = StreamConfig::default().with_seed(SEED).with_epochs(EPOCHS);
+    cfg.window = 1_000; // ≥ stream length: nothing ever expires
+    cfg.warmup = EPOCHS;
+    cfg.drift_events = 0;
+    cfg.arrival_rate = 0.0;
+    cfg.departure_rate = 0.0;
+    cfg.target_queries = QUERIES;
+    cfg.engine = cfg.engine.with_workers(workers).expect("workers");
+    cfg
+}
+
+/// Replays the driver's deterministic arrival/query stream outside the
+/// driver: same params, same seed, same call order (epoch-1 queries are
+/// drawn right after the epoch-1 arrivals). Returns the full accumulated
+/// catalog and the continuous-query set.
+fn replay_workload() -> (Catalog, Vec<SpjQuery>) {
+    let mut gen = ArrivalGen::new(WorkloadParams::default(), SEED);
+    let mut store = gen.store().expect("store");
+    let mut queries = Vec::new();
+    for epoch in 1..=EPOCHS {
+        gen.generate(&mut store, epoch).expect("arrivals");
+        if epoch == 1 {
+            let catalog = store.snapshot().expect("snapshot");
+            queries = gen.queries(&catalog, QUERIES).expect("queries");
+        }
+    }
+    (store.snapshot().expect("snapshot"), queries)
+}
+
+#[test]
+fn full_window_stream_matches_batch_engine_byte_for_byte() {
+    let (catalog, queries) = replay_workload();
+    assert_eq!(queries.len(), QUERIES);
+
+    // Independent reference: vectorized query-at-a-time.
+    let expected = QatEngine::new(&catalog, ExecMode::Vectorized, 7).execute_serial(&queries);
+
+    for workers in [1usize, 4] {
+        // Batch RouLette over the accumulated data.
+        let cfg = no_churn_config(workers);
+        let batch = RouletteEngine::new(&catalog, cfg.engine.clone())
+            .execute_batch(&queries)
+            .expect("batch run");
+        assert_eq!(batch.per_query, expected, "batch vs qat at {workers} workers");
+
+        // Streamed: same queries re-run each epoch over the growing
+        // window; the final epoch holds the full stream, so its results
+        // must be byte-identical to the batch engine's.
+        let mut driver = StreamDriver::new(no_churn_config(workers)).expect("driver");
+        let report = driver.run().expect("stream run");
+        assert_eq!(report.expired_total, 0, "window ≥ stream length must expire nothing");
+        assert_eq!(report.leaked, 0);
+        let last = report.epochs.last().expect("epochs");
+        assert_eq!(last.admitted, QUERIES);
+        assert_eq!(
+            last.results, expected,
+            "stream (window ≥ stream) vs batch at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn windowed_run_expires_and_stays_terminal() {
+    // Same stream, but with a short window: expiry must fire, and every
+    // epoch's results still account terminally.
+    let mut cfg = no_churn_config(1);
+    cfg.window = 2;
+    let mut driver = StreamDriver::new(cfg).expect("driver");
+    let report = driver.run().expect("stream run");
+    assert!(report.expired_total > 0, "short window must expire tuples");
+    assert_eq!(report.leaked, 0);
+    assert_eq!(report.completed_total + report.quarantined_total, report.admitted_total);
+    // The live window shrank, so the final epoch cannot see more rows
+    // than the full-window run's final epoch.
+    let full = StreamDriver::new(no_churn_config(1))
+        .expect("driver")
+        .run()
+        .expect("full run");
+    let short_rows: u64 = report.epochs.last().map(|e| e.live_rows).unwrap_or(0);
+    let full_rows: u64 = full.epochs.last().map(|e| e.live_rows).unwrap_or(0);
+    assert!(short_rows < full_rows, "{short_rows} vs {full_rows}");
+}
+
+#[test]
+fn seeded_churn_reaches_exactly_one_terminal_outcome_per_query() {
+    for workers in [1usize, 2] {
+        let mut cfg = StreamConfig::default().with_seed(0xC0FF_EE00).with_epochs(8);
+        cfg.window = 3;
+        cfg.warmup = 2;
+        cfg.drift_events = 1;
+        cfg.target_queries = 4;
+        cfg.arrival_rate = 2.0;
+        cfg.departure_rate = 0.4;
+        cfg.engine = cfg.engine.with_workers(workers).expect("workers");
+        let mut driver = StreamDriver::new(cfg).expect("driver");
+        let report = driver.run().expect("churn run");
+        assert!(report.departed_total > 0, "churn must produce departures ({workers}w)");
+        assert_eq!(report.leaked, 0, "no query may leak ({workers}w)");
+        assert_eq!(
+            report.completed_total + report.quarantined_total,
+            report.admitted_total,
+            "every admitted run reaches exactly one terminal outcome ({workers}w)"
+        );
+    }
+}
