@@ -211,12 +211,109 @@ fn bench_router(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_kernels(c: &mut Criterion) {
+    // Scalar reference vs wide kernels for the four hot loops (DESIGN.md
+    // §14), at a one-word (≤64 queries) and a multi-word (300 queries)
+    // query-set width.
+    use roulette_core::RowMask;
+    use roulette_exec::{KernelMode, Kernels, Partition};
+    let mut group = c.benchmark_group("kernels");
+    tune(&mut group);
+    let n = 4096usize;
+    let mut rng = StdRng::seed_from_u64(5);
+    let values: Vec<i64> = (0..n).map(|_| rng.gen_range(-200..1000)).collect();
+    let modes = [
+        ("scalar", Kernels::with_mode(KernelMode::Scalar)),
+        ("wide", Kernels::with_mode(KernelMode::Wide)),
+    ];
+    for &capacity in &[64usize, 300] {
+        let words = QuerySet::full(capacity).width();
+        let preds: Vec<(QueryId, i64, i64)> = (0..capacity)
+            .map(|q| {
+                let lo = rng.gen_range(0..900i64);
+                (QueryId(q as u32), lo, lo + 50)
+            })
+            .collect();
+        let filter = GroupedFilter::build(&preds, capacity);
+        let mut template = QuerySetColumn::new(words);
+        let mut row_masks: Vec<u64> = Vec::with_capacity(n * words);
+        for _ in 0..n {
+            let row: Vec<u64> = (0..words).map(|_| rng.gen::<u64>() | 1).collect();
+            template.push(&row);
+            row_masks.extend((0..words).map(|_| rng.gen::<u64>()));
+        }
+        let mut keep_pat = RowMask::new();
+        keep_pat.clear_resize(n);
+        for i in 0..n {
+            if rng.gen_range(0..100) < 55 {
+                keep_pat.set(i);
+            }
+        }
+        let routed = QuerySet::full(capacity);
+        group.throughput(Throughput::Elements(n as u64));
+        for (label, k) in &modes {
+            group.bench_with_input(
+                BenchmarkId::new(format!("filter_mask/{label}"), capacity),
+                &values,
+                |b, values| {
+                    let mut qsets = template.clone();
+                    let mut keep = RowMask::new();
+                    b.iter(|| {
+                        qsets.clear();
+                        qsets.push_rows(template.raw());
+                        k.filter_grouped(&filter, values, &mut qsets, &mut keep);
+                        black_box(keep.count())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("qset_and/{label}"), capacity),
+                &row_masks,
+                |b, masks| {
+                    let mut qsets = template.clone();
+                    let mut keep = RowMask::new();
+                    b.iter(|| {
+                        qsets.clear();
+                        qsets.push_rows(template.raw());
+                        k.qset_and(&mut qsets, masks, &mut keep);
+                        black_box(keep.count())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("compaction/{label}"), capacity),
+                &keep_pat,
+                |b, keep| {
+                    let vals: Vec<u32> = (0..n as u32).collect();
+                    b.iter(|| {
+                        let mut qsets = template.clone();
+                        let mut col = vals.clone();
+                        k.compact_u32(&mut col, keep);
+                        k.compact_qsets(&mut qsets, keep);
+                        black_box(qsets.len())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("routing/{label}"), capacity),
+                &routed,
+                |b, routed| {
+                    let mut part = Partition::new();
+                    b.iter(|| black_box(k.partition(&template, routed, &mut part)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_filters,
     bench_stem,
     bench_queryset,
     bench_planning,
-    bench_router
+    bench_router,
+    bench_kernels
 );
 criterion_main!(benches);

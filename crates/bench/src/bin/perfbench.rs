@@ -3,24 +3,27 @@
 //! Dependency-free, fixed-seed, median-of-k wall-clock benchmarks over the
 //! engine's hot loops: end-to-end episode throughput on the synthetic chain
 //! workload, STeM insert and probe, windowed-relation expiry (the
-//! streaming layer's reclamation path), grouped-filter masking, and output
-//! routing. Emits `BENCH_perf.json` so successive PRs accumulate a
-//! performance trajectory (no thresholds here — CI only checks the file is
-//! well-formed).
+//! streaming layer's reclamation path), and the four data-parallel kernels
+//! (filter masking, bulk query-set intersection, survivor compaction,
+//! routing partition — DESIGN.md §14). Emits `BENCH_perf.json` so
+//! successive PRs accumulate a performance trajectory.
 //!
 //! Usage:
 //!
 //! ```text
-//! perfbench [--quick] [--out <path>] [--baseline <path>]
+//! perfbench [--quick] [--out <path>] [--baseline <path>] [--gate] [--gate-floor <f>]
 //! ```
 //!
 //! `--quick` shrinks workload sizes and the repetition count for CI smoke
 //! runs. `--baseline` points at a `BENCH_perf.json` produced by an earlier
-//! build; its episode-throughput number is embedded in the output next to
-//! the current one so regressions (or wins) are recorded in one artifact.
+//! build: its episode-throughput anchor is carried forward, and every
+//! bench whose name and work count match gets a `ratio` (current/baseline)
+//! in the output. `--gate` turns those ratios into a pass/fail check —
+//! the process exits nonzero if any ratio drops below the floor
+//! (`--gate-floor`, default 0.85), which is how CI catches regressions.
 
-use roulette_core::{ColId, EngineConfig, QueryId, QuerySet, QuerySetColumn, RelId};
-use roulette_exec::{GroupedFilter, RouletteEngine, Stem, VERSION_ALL};
+use roulette_core::{ColId, EngineConfig, QueryId, QuerySet, QuerySetColumn, RelId, RowMask};
+use roulette_exec::{GroupedFilter, Kernels, Partition, RouletteEngine, Stem, VERSION_ALL};
 use roulette_query::generator::chains_queries;
 use roulette_storage::datagen::chains::{self, ChainsParams};
 use std::sync::atomic::AtomicU32;
@@ -35,11 +38,18 @@ struct BenchResult {
     work: u64,
     runs: usize,
     median: Duration,
+    /// Matched baseline throughput (same name, same work count).
+    baseline_per_sec: Option<f64>,
 }
 
 impl BenchResult {
     fn per_sec(&self) -> f64 {
         self.work as f64 / self.median.as_secs_f64().max(1e-12)
+    }
+
+    /// current/baseline throughput, when a comparable baseline matched.
+    fn ratio(&self) -> Option<f64> {
+        self.baseline_per_sec.filter(|&b| b > 0.0).map(|b| self.per_sec() / b)
     }
 }
 
@@ -61,7 +71,7 @@ fn bench(
     }
     times.sort_unstable();
     let median = times[times.len() / 2];
-    let r = BenchResult { name, unit, work, runs, median };
+    let r = BenchResult { name, unit, work, runs, median, baseline_per_sec: None };
     println!(
         "{:<28} {:>12.0} {}/s   (median of {} over {} items, {:.1} ms)",
         r.name,
@@ -72,6 +82,13 @@ fn bench(
         r.median.as_secs_f64() * 1e3
     );
     r
+}
+
+/// The fixed-seed value stream shared by the kernel benches.
+#[inline]
+fn lcg(v: &mut i64) -> i64 {
+    *v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *v >> 33
 }
 
 /// End-to-end episode throughput on the Fig. 15 chain workload: the number
@@ -181,7 +198,9 @@ fn bench_stem_expiry(quick: bool, runs: usize) -> BenchResult {
     })
 }
 
-/// Grouped-filter masking: range lookups over a 64-query group.
+/// Filter-mask kernel: whole-column grouped-filter evaluation (four-lane
+/// segment lookup + qset AND + packed keep mask) over 1024-row chunks of a
+/// pre-gathered value column, the shape the selection phase feeds it.
 fn bench_filter_mask(quick: bool, runs: usize) -> BenchResult {
     let n: usize = if quick { 1 << 18 } else { 1 << 21 };
     let capacity = 64;
@@ -192,56 +211,185 @@ fn bench_filter_mask(quick: bool, runs: usize) -> BenchResult {
         })
         .collect();
     let filter = GroupedFilter::build(&preds, capacity);
+    let full = QuerySet::full(capacity);
+    let kernels = Kernels::from_config(&EngineConfig::default());
+    let mut v = 1i64;
+    let values: Vec<i64> = (0..n).map(|_| lcg(&mut v) % 1200).collect();
     bench("filter_mask", "values", runs, || {
+        let mut qsets = QuerySetColumn::new(full.width());
+        let mut keep = RowMask::new();
         let mut acc = 0u64;
-        let mut v = 1i64;
-        for _ in 0..n {
-            v = (v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33)
-                % 1200;
-            let mask = filter.mask_for(v);
-            acc = acc.wrapping_add(mask.iter().copied().fold(0, u64::wrapping_add));
+        for chunk in values.chunks(1024) {
+            qsets.clear();
+            qsets.push_repeat(full.words(), chunk.len());
+            kernels.filter_grouped(&filter, chunk, &mut qsets, &mut keep);
+            acc += keep.count() as u64;
         }
         std::hint::black_box(acc);
         n as u64
     })
 }
 
-/// Output routing: a scan-only multi-query batch with projections, where
-/// episode time is dominated by the locality-conscious router.
-fn bench_routing(quick: bool, runs: usize) -> BenchResult {
-    let rows: usize = if quick { 1 << 15 } else { 1 << 18 };
-    let mut c = roulette_storage::Catalog::new();
-    let mut b = roulette_storage::RelationBuilder::new("t");
-    b.int64("k", (0..rows as i64).collect());
-    b.int64("v", (0..rows as i64).map(|i| i % 1024).collect());
-    c.add(b.build()).expect("catalog");
-    let queries: Vec<_> = (0..8)
-        .map(|i| {
-            roulette_query::SpjQuery::builder(&c)
-                .relation("t")
-                .range("t", "v", 0, 512 + i * 32)
-                .project("t", "k")
-                .build()
-                .expect("query")
-        })
-        .collect();
-    bench("routing", "rows", runs, || {
-        let engine = RouletteEngine::new(&c, EngineConfig::default());
-        let out = engine.execute_batch(&queries).expect("routing batch");
-        out.per_query.iter().map(|r| r.rows).sum()
+/// Bulk query-set intersection kernel: per-row masks ANDed into 4-word
+/// (256-query) sets, 1024 rows per chunk — the semi-join prune shape.
+fn bench_qset_and(quick: bool, runs: usize) -> BenchResult {
+    let n: usize = if quick { 1 << 17 } else { 1 << 20 };
+    let wps = 4;
+    let mut v = 99i64;
+    // Row template and per-row masks: dense-ish sets, ~half bits survive.
+    let template: Vec<u64> = (0..1024 * wps).map(|_| lcg(&mut v) as u64 | 1).collect();
+    let masks: Vec<u64> = (0..1024 * wps).map(|_| lcg(&mut v) as u64).collect();
+    let kernels = Kernels::from_config(&EngineConfig::default());
+    bench("qset_and", "rows", runs, || {
+        let mut qsets = QuerySetColumn::new(wps);
+        let mut keep = RowMask::new();
+        let mut acc = 0u64;
+        for _ in 0..n / 1024 {
+            qsets.clear();
+            qsets.push_rows(&template);
+            kernels.qset_and(&mut qsets, &masks, &mut keep);
+            acc += keep.count() as u64;
+        }
+        std::hint::black_box(acc);
+        n as u64
     })
 }
 
-/// Pulls `"episode_chains"`'s throughput back out of a previously written
-/// `BENCH_perf.json` (own format — a targeted scan beats a JSON parser).
-fn read_baseline_eps(path: &str) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let bench_pos = text.find("\"name\": \"episode_chains\"")?;
-    let tail = &text[bench_pos..];
-    let field = "\"per_sec\": ";
-    let v = &tail[tail.find(field)? + field.len()..];
+/// Survivor-compaction kernel: mask-driven gather of two vID columns plus
+/// the query-set column at ~55% selectivity, 1024 rows per chunk — the
+/// `retain_mask` shape after a filter or prune pass.
+fn bench_compaction(quick: bool, runs: usize) -> BenchResult {
+    let n: usize = if quick { 1 << 17 } else { 1 << 20 };
+    let mut v = 7i64;
+    let tv0: Vec<u32> = (0..1024u32).collect();
+    let tv1: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let tq: Vec<u64> = (0..1024).map(|_| lcg(&mut v) as u64 | 1).collect();
+    let mut keep = RowMask::new();
+    keep.clear_resize(1024);
+    for i in 0..1024 {
+        // ~55% survivors with run structure (runs are what the wide
+        // kernel's `copy_within` path exploits).
+        if (lcg(&mut v) & 0b1101) != 0 {
+            keep.set(i);
+        }
+    }
+    let kernels = Kernels::from_config(&EngineConfig::default());
+    bench("compaction", "rows", runs, || {
+        let mut v0 = Vec::new();
+        let mut v1 = Vec::new();
+        let mut qsets = QuerySetColumn::new(1);
+        let mut acc = 0u64;
+        for _ in 0..n / 1024 {
+            v0.clear();
+            v0.extend_from_slice(&tv0);
+            v1.clear();
+            v1.extend_from_slice(&tv1);
+            qsets.clear();
+            qsets.push_rows(&tq);
+            kernels.compact_u32(&mut v0, &keep);
+            kernels.compact_u32(&mut v1, &keep);
+            kernels.compact_qsets(&mut qsets, &keep);
+            acc += v0.len() as u64;
+        }
+        std::hint::black_box(acc);
+        n as u64
+    })
+}
+
+/// Routing-partition kernel: CSR partition over the qset words plus the
+/// per-query gather the router does with it. Work items are emitted
+/// `(query, row)` pairs, matching the router's output accounting.
+fn bench_routing(quick: bool, runs: usize) -> BenchResult {
+    let n: usize = if quick { 1 << 15 } else { 1 << 18 };
+    let queries = QuerySet::full(8);
+    let mut v = 42i64;
+    // ~4.5 queries per row on average, never empty.
+    let template: Vec<u64> = (0..1024).map(|_| (lcg(&mut v) as u64 & 0xff) | 1).collect();
+    let emitted_per_chunk: u64 = template.iter().map(|w| w.count_ones() as u64).sum();
+    let vals: Vec<i64> = (0..1024).map(|_| lcg(&mut v)).collect();
+    let kernels = Kernels::from_config(&EngineConfig::default());
+    bench("routing", "rows", runs, || {
+        let mut qsets = QuerySetColumn::new(queries.width());
+        let mut part = Partition::new();
+        let mut emitted = 0u64;
+        let mut acc = 0i64;
+        for _ in 0..n / 1024 {
+            qsets.clear();
+            qsets.push_rows(&template);
+            emitted += kernels.partition(&qsets, &queries, &mut part);
+            for q in queries.iter() {
+                for &ri in part.rows_of(q.index()) {
+                    // Stand-in for the projection gather: one column read
+                    // per emitted row.
+                    acc = acc.wrapping_add(vals[ri as usize]);
+                }
+            }
+        }
+        std::hint::black_box(acc);
+        assert_eq!(emitted, emitted_per_chunk * (n / 1024) as u64);
+        emitted
+    })
+}
+
+/// A bench row parsed back out of a previous `BENCH_perf.json`.
+struct BaselineBench {
+    name: String,
+    work: u64,
+    per_sec: f64,
+}
+
+/// Parsed baseline artifact: the episode-throughput anchor plus every
+/// bench's `(name, work_items, per_sec)` (own format — a targeted scan
+/// beats a JSON parser).
+struct BaselineFile {
+    /// The original anchor, carried forward so episode-throughput drift is
+    /// always measured against the same fixed point, not a ratchet of
+    /// rebaselines. Falls back to the file's own `episode_chains` rate.
+    anchor_eps: Option<f64>,
+    benches: Vec<BaselineBench>,
+}
+
+fn parse_f64_after(text: &str, key: &str) -> Option<f64> {
+    let v = &text[text.find(key)? + key.len()..];
     let end = v.find([',', '\n', '}'])?;
     v[..end].trim().parse().ok()
+}
+
+fn read_baseline(path: &str) -> Option<BaselineFile> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut benches = Vec::new();
+    let mut rest = text.as_str();
+    let name_key = "\"name\": \"";
+    while let Some(at) = rest.find(name_key) {
+        let tail = &rest[at + name_key.len()..];
+        let Some(name_end) = tail.find('"') else { break };
+        let name = tail[..name_end].to_string();
+        let work = parse_f64_after(tail, "\"work_items\": ");
+        let per_sec = parse_f64_after(tail, "\"per_sec\": ");
+        if let (Some(w), Some(p)) = (work, per_sec) {
+            benches.push(BaselineBench { name, work: w as u64, per_sec: p });
+        }
+        rest = tail;
+    }
+    let anchor_eps = parse_f64_after(&text, "\"baseline_eps\": ")
+        .or_else(|| benches.iter().find(|b| b.name == "episode_chains").map(|b| b.per_sec));
+    Some(BaselineFile { anchor_eps, benches })
+}
+
+/// Attaches a matched baseline throughput to each result: same bench name
+/// AND same work count (a changed work count means the bench itself was
+/// reshaped, so the rates are not comparable — skipped with a warning).
+fn attach_baselines(results: &mut [BenchResult], baseline: &BaselineFile) {
+    for r in results.iter_mut() {
+        match baseline.benches.iter().find(|b| b.name == r.name) {
+            Some(b) if b.work == r.work => r.baseline_per_sec = Some(b.per_sec),
+            Some(b) => println!(
+                "note: {} baseline has work_items {} vs current {}; skipping ratio",
+                r.name, b.work, r.work
+            ),
+            None => println!("note: {} not in baseline; skipping ratio", r.name),
+        }
+    }
 }
 
 fn json_f64(v: f64) -> String {
@@ -291,7 +439,15 @@ fn write_json(
             "      \"median_ms\": {},\n",
             json_f64(r.median.as_secs_f64() * 1e3)
         ));
-        s.push_str(&format!("      \"per_sec\": {}\n", json_f64(r.per_sec())));
+        s.push_str(&format!("      \"per_sec\": {},\n", json_f64(r.per_sec())));
+        s.push_str(&format!(
+            "      \"baseline_per_sec\": {},\n",
+            r.baseline_per_sec.map_or("null".to_string(), json_f64)
+        ));
+        s.push_str(&format!(
+            "      \"ratio\": {}\n",
+            r.ratio().map_or("null".to_string(), json_f64)
+        ));
         s.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
     }
     s.push_str("  ]\n}\n");
@@ -301,6 +457,7 @@ fn write_json(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let gate = args.iter().any(|a| a == "--gate");
     let flag = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -308,22 +465,67 @@ fn main() {
             .cloned()
     };
     let out = flag("--out").unwrap_or_else(|| "BENCH_perf.json".to_string());
-    let baseline_eps = flag("--baseline").and_then(|p| read_baseline_eps(&p));
+    let gate_floor: f64 = flag("--gate-floor").and_then(|s| s.parse().ok()).unwrap_or(0.85);
+    let baseline = flag("--baseline").and_then(|p| read_baseline(&p));
     let runs = if quick { 3 } else { 5 };
 
-    println!("perfbench (quick={quick}, median of {runs})");
-    let results = vec![
+    println!(
+        "perfbench (quick={quick}, median of {runs}, kernels={})",
+        Kernels::from_config(&EngineConfig::default()).mode_name()
+    );
+    let mut results = vec![
         bench_episode_chains(quick, runs),
         bench_stem_insert(quick, runs),
         bench_stem_probe(quick, runs),
         bench_stem_expiry(quick, runs),
         bench_filter_mask(quick, runs),
+        bench_qset_and(quick, runs),
+        bench_compaction(quick, runs),
         bench_routing(quick, runs),
     ];
-    if let Some(b) = baseline_eps {
-        let cur = results[0].per_sec();
-        println!("episode_chains: baseline {:.1}/s -> current {:.1}/s ({:.2}x)", b, cur, cur / b);
+
+    let mut baseline_eps = None;
+    if let Some(b) = &baseline {
+        attach_baselines(&mut results, b);
+        baseline_eps = b.anchor_eps;
+        if let Some(anchor) = baseline_eps {
+            let cur = results[0].per_sec();
+            println!(
+                "episode_chains: anchor {:.1}/s -> current {:.1}/s ({:.2}x)",
+                anchor,
+                cur,
+                cur / anchor
+            );
+        }
     }
     write_json(&out, quick, &results, baseline_eps).expect("write BENCH_perf.json");
     println!("wrote {out}");
+
+    if gate {
+        let mut failures = Vec::new();
+        for r in &results {
+            if let Some(ratio) = r.ratio() {
+                if ratio < gate_floor {
+                    failures.push(format!("{}: ratio {ratio:.3} < floor {gate_floor}", r.name));
+                }
+            }
+        }
+        if let (Some(anchor), Some(cur)) =
+            (baseline_eps, results.iter().find(|r| r.name == "episode_chains"))
+        {
+            let ratio = cur.per_sec() / anchor;
+            if anchor > 0.0 && ratio < gate_floor {
+                failures
+                    .push(format!("episode_throughput: ratio {ratio:.3} < floor {gate_floor}"));
+            }
+        }
+        if failures.is_empty() {
+            println!("gate: ok (floor {gate_floor})");
+        } else {
+            for f in &failures {
+                eprintln!("gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

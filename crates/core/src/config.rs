@@ -81,6 +81,13 @@ pub struct EngineConfig {
     /// allocate fresh working buffers — the seed behaviour, kept as a
     /// differential-testing reference and allocator-pressure ablation.
     pub scratch_reuse: bool,
+    /// Run the vector hot loops (filter masking, bulk query-set
+    /// intersection, survivor compaction, routing partition) through the
+    /// unrolled data-parallel kernel layer (DESIGN.md §14). Disabling it
+    /// pins the scalar row-at-a-time reference path, which produces
+    /// byte-identical results — used by the kernel differential tests and
+    /// as an optimization ablation.
+    pub wide_kernels: bool,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +108,7 @@ impl Default for EngineConfig {
             episode_time_budget_ms: None,
             telemetry: TelemetryConfig::default(),
             scratch_reuse: true,
+            wide_kernels: true,
         }
     }
 }
@@ -182,6 +190,14 @@ impl EngineConfig {
     /// [`EngineConfig::scratch_reuse`]).
     pub fn with_scratch_reuse(mut self, reuse: bool) -> Self {
         self.scratch_reuse = reuse;
+        self
+    }
+
+    /// Builder-style override of the data-parallel kernel layer (see
+    /// [`EngineConfig::wide_kernels`]). `false` pins the scalar reference
+    /// path used by the `kernel_equiv` differential suite.
+    pub fn with_wide_kernels(mut self, wide: bool) -> Self {
+        self.wide_kernels = wide;
         self
     }
 

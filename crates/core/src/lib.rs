@@ -31,5 +31,5 @@ pub use config::{EngineConfig, TelemetryConfig};
 pub use cost::{CostModel, OpKind};
 pub use error::{Error, Result, WIRE_CODES};
 pub use ids::{ColId, QueryId, RelId};
-pub use queryset::{QuerySet, QuerySetColumn};
+pub use queryset::{QuerySet, QuerySetColumn, RowMask};
 pub use relset::RelSet;

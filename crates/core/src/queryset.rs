@@ -68,6 +68,108 @@ pub fn count_ones(words: &[u64]) -> usize {
     words.iter().map(|w| w.count_ones() as usize).sum()
 }
 
+/// A packed per-row survivor bitmap: bit `i` set ⇔ row `i` survives.
+///
+/// This is the selection vector of the kernel layer (DESIGN.md §14).
+/// Filter, prune, and scrub kernels emit one *bit* per row instead of one
+/// `bool` byte, so survivor tests, population counts, and compaction all
+/// run word-at-a-time. Invariant: bits at positions `>= len` are always
+/// zero — kernels rely on this to process whole tail words unmasked.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RowMask {
+    /// Creates an empty mask over zero rows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the mask to cover `len` rows, all cleared.
+    pub fn clear_resize(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Resets the mask to cover `len` rows, all set (tail bits beyond
+    /// `len` stay zero, preserving the invariant).
+    pub fn fill_ones(&mut self, len: usize) {
+        self.clear_resize(len);
+        let full = len / 64;
+        for w in self.words.iter_mut().take(full) {
+            *w = u64::MAX;
+        }
+        let tail = len % 64;
+        if tail > 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w = (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of rows covered (not the number of survivors).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks row `i` as surviving.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w |= 1u64 << (i % 64);
+        }
+    }
+
+    /// Whether row `i` survives.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words.get(i / 64).is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Number of surviving rows.
+    #[inline]
+    pub fn count(&self) -> usize {
+        count_ones(&self.words)
+    }
+
+    /// The packed words (row `i` lives at word `i / 64`, bit `i % 64`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable packed words, for kernels that assemble 64 survivor bits at
+    /// a time. Callers must keep tail bits beyond [`len`](Self::len) zero.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Calls `f(i)` for every surviving row index, in ascending order.
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f(wi * 64 + b);
+            }
+        }
+    }
+}
+
 /// An owned query-set bitset.
 ///
 /// The width (number of words) is fixed at construction from the batch's
@@ -320,6 +422,12 @@ impl QuerySetColumn {
     /// path for scan vectors where every tuple starts with the same set.
     pub fn push_repeat(&mut self, words: &[u64], n: usize) {
         debug_assert_eq!(words.len(), self.words_per_set);
+        // Single-word rows (≤64 queries) fill at memset speed; wider rows
+        // pay one bounded `extend_from_slice` per row.
+        if let &[w] = words {
+            self.data.resize(self.data.len() + n, w);
+            return;
+        }
         self.data.reserve(words.len() * n);
         for _ in 0..n {
             self.data.extend_from_slice(words);
@@ -428,6 +536,100 @@ impl QuerySetColumn {
     /// metric used by the Data-Query-model bottleneck analysis in §6.1.
     pub fn total_members(&self) -> usize {
         count_ones(&self.data)
+    }
+
+    /// Mutable raw word storage (rows concatenated), for the kernel layer's
+    /// wide paths. Row boundaries every [`words_per_set`](Self::words_per_set)
+    /// words; callers must not change the total length.
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Bulk `row_i &= mask_i` over every row, with the per-row masks
+    /// concatenated in `masks` (`len() * words_per_set()` words). Survivors
+    /// (rows left non-empty) are recorded in `keep`. Scalar reference for
+    /// the kernel layer's `qset_and`.
+    pub fn and_rows(&mut self, masks: &[u64], keep: &mut RowMask) {
+        let wps = self.words_per_set;
+        debug_assert_eq!(masks.len(), self.data.len());
+        keep.clear_resize(self.data.len() / wps);
+        for (i, (row, mask)) in
+            self.data.chunks_exact_mut(wps).zip(masks.chunks_exact(wps)).enumerate()
+        {
+            let mut any = 0u64;
+            for (d, &m) in row.iter_mut().zip(mask) {
+                *d &= m;
+                any |= *d;
+            }
+            if any != 0 {
+                keep.set(i);
+            }
+        }
+    }
+
+    /// Bulk `row &= mask` with one shared mask over every row; survivors
+    /// are recorded in `keep`.
+    pub fn and_rows_broadcast(&mut self, mask: &[u64], keep: &mut RowMask) {
+        let wps = self.words_per_set;
+        debug_assert_eq!(mask.len(), wps);
+        keep.clear_resize(self.data.len() / wps);
+        for (i, row) in self.data.chunks_exact_mut(wps).enumerate() {
+            let mut any = 0u64;
+            for (d, &m) in row.iter_mut().zip(mask) {
+                *d &= m;
+                any |= *d;
+            }
+            if any != 0 {
+                keep.set(i);
+            }
+        }
+    }
+
+    /// Bulk `row_i |= mask_i` with per-row masks concatenated in `masks`.
+    /// Union never empties a row, so no survivor mask is produced.
+    pub fn or_rows(&mut self, masks: &[u64]) {
+        let wps = self.words_per_set;
+        debug_assert_eq!(masks.len(), self.data.len());
+        for (row, mask) in self.data.chunks_exact_mut(wps).zip(masks.chunks_exact(wps)) {
+            for (d, &m) in row.iter_mut().zip(mask) {
+                *d |= m;
+            }
+        }
+    }
+
+    /// Bulk `row &= !mask` with one shared mask (query scrub); survivors
+    /// are recorded in `keep`.
+    pub fn subtract_rows_broadcast(&mut self, mask: &[u64], keep: &mut RowMask) {
+        let wps = self.words_per_set;
+        debug_assert_eq!(mask.len(), wps);
+        keep.clear_resize(self.data.len() / wps);
+        for (i, row) in self.data.chunks_exact_mut(wps).enumerate() {
+            let mut any = 0u64;
+            for (d, &m) in row.iter_mut().zip(mask) {
+                *d &= !m;
+                any |= *d;
+            }
+            if any != 0 {
+                keep.set(i);
+            }
+        }
+    }
+
+    /// Applies a packed survivor mask, compacting rows in place. Scalar
+    /// reference for the kernel layer's `compact_qsets`.
+    pub fn retain_mask(&mut self, keep: &RowMask) {
+        debug_assert_eq!(keep.len(), self.len());
+        let wps = self.words_per_set;
+        let mut out = 0usize;
+        let data = &mut self.data;
+        keep.for_each_set(|i| {
+            if out != i {
+                data.copy_within(i * wps..(i + 1) * wps, out * wps);
+            }
+            out += 1;
+        });
+        data.truncate(out * wps);
     }
 
     /// Applies `keep[i]` selection, compacting rows in place.
@@ -555,6 +757,107 @@ mod tests {
         assert_eq!(c.row(0), &[1]);
         assert_eq!(c.row(1), &[4]);
         assert_eq!(c.row(2), &[16]);
+    }
+
+    #[test]
+    fn row_mask_basics() {
+        let mut m = RowMask::new();
+        m.clear_resize(70);
+        assert_eq!(m.len(), 70);
+        assert_eq!(m.count(), 0);
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(69);
+        assert_eq!(m.count(), 4);
+        assert!(m.get(63) && m.get(64));
+        assert!(!m.get(1));
+        let mut seen = Vec::new();
+        m.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, vec![0, 63, 64, 69]);
+    }
+
+    #[test]
+    fn row_mask_fill_ones_keeps_tail_zero() {
+        let mut m = RowMask::new();
+        for len in [0usize, 1, 63, 64, 65, 128, 130] {
+            m.fill_ones(len);
+            assert_eq!(m.count(), len, "len={len}");
+            // Tail bits beyond len must stay zero.
+            let total_bits: usize = m.words().iter().map(|w| w.count_ones() as usize).sum();
+            assert_eq!(total_bits, len);
+        }
+    }
+
+    #[test]
+    fn and_rows_matches_per_row_and() {
+        let mut a = QuerySetColumn::new(2);
+        let mut b = QuerySetColumn::new(2);
+        let rows: &[[u64; 2]] = &[[0b111, 0], [0b100, 0b1], [0, 0], [0b1, 0b1]];
+        let masks: &[[u64; 2]] = &[[0b011, 0], [0b011, 0], [u64::MAX, u64::MAX], [0, 0b1]];
+        for r in rows {
+            a.push(r);
+            b.push(r);
+        }
+        let flat: Vec<u64> = masks.iter().flatten().copied().collect();
+        let mut keep = RowMask::new();
+        a.and_rows(&flat, &mut keep);
+        let mut expect = Vec::new();
+        for (i, m) in masks.iter().enumerate() {
+            expect.push(b.and_row(i, m));
+        }
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(keep.get(i), e, "row {i}");
+            assert_eq!(a.row(i), b.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn broadcast_and_subtract_record_survivors() {
+        let mut c = QuerySetColumn::new(1);
+        c.push(&[0b101]);
+        c.push(&[0b010]);
+        c.push(&[0b100]);
+        let mut keep = RowMask::new();
+        c.and_rows_broadcast(&[0b110], &mut keep);
+        assert_eq!(c.raw(), &[0b100, 0b010, 0b100]);
+        assert_eq!(keep.count(), 3);
+        c.subtract_rows_broadcast(&[0b100], &mut keep);
+        assert_eq!(c.raw(), &[0, 0b010, 0]);
+        assert!(!keep.get(0) && keep.get(1) && !keep.get(2));
+    }
+
+    #[test]
+    fn or_rows_unions_per_row() {
+        let mut c = QuerySetColumn::new(1);
+        c.push(&[0b001]);
+        c.push(&[0b100]);
+        c.or_rows(&[0b010, 0b001]);
+        assert_eq!(c.raw(), &[0b011, 0b101]);
+    }
+
+    #[test]
+    fn retain_mask_matches_retain_rows() {
+        for n in [0usize, 1, 5, 64, 65, 130] {
+            let mut a = QuerySetColumn::new(2);
+            let mut b = QuerySetColumn::new(2);
+            let mut bools = Vec::new();
+            let mut mask = RowMask::new();
+            mask.clear_resize(n);
+            for i in 0..n {
+                let row = [(i as u64).wrapping_mul(0x9e37) | 1, i as u64 % 3];
+                a.push(&row);
+                b.push(&row);
+                let k = i % 3 != 1;
+                bools.push(k);
+                if k {
+                    mask.set(i);
+                }
+            }
+            a.retain_mask(&mask);
+            b.retain_rows(&bools);
+            assert_eq!(a.raw(), b.raw(), "n={n}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::episode::{run_episode, EngineShared, FilterPair, SharedStats, TraceEntry};
 use crate::fault::{FaultInjector, LiveSet};
 use crate::filter::{group_queries, GroupedFilter, PlainFilter};
+use crate::kernels::Kernels;
 use crate::output::{Outputs, QueryResult};
 use crate::profile::Profile;
 use crate::pruning::rank_relations;
@@ -488,6 +489,7 @@ impl<'a> Session<'a> {
             quarantine,
             pressure: &self.pressure,
             recorder: self.recorder.as_deref(),
+            kernels: Kernels::from_config(&self.config),
         }
     }
 

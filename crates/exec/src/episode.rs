@@ -11,6 +11,7 @@
 //! to the learned policy.
 
 use crate::fault::{FaultInjector, FaultSite, LiveSet};
+use crate::kernels::Kernels;
 use crate::output::{row_hash, Outputs};
 use crate::planner::{
     assign_projections, plan_join_phase, plan_selection_phase, JoinNode, ProbeNode,
@@ -119,6 +120,9 @@ pub struct EngineShared<'a> {
     /// Telemetry sink; `None` keeps every instrumentation site a single
     /// branch.
     pub recorder: Option<&'a dyn Recorder>,
+    /// Data-parallel kernel dispatcher for the vector hot loops
+    /// (DESIGN.md §14); mode resolved once from the config.
+    pub kernels: Kernels,
 }
 
 /// One query's staged output: row count, checksum, and (when collecting)
@@ -270,17 +274,19 @@ impl JoinGuard {
 
 /// Clears `q`'s bit from every tuple of `vec`, dropping tuples whose
 /// query-set empties. Query-bit independence makes this result-safe for the
-/// surviving queries.
-fn scrub_query(vec: &mut DataVector, q: QueryId, keep: &mut Vec<bool>) {
-    let (w, b) = (q.index() / 64, q.index() % 64);
-    keep.clear();
-    keep.resize(vec.len(), false);
-    for (i, k) in keep.iter_mut().enumerate() {
-        let row = vec.qsets.row_mut(i);
-        row[w] &= !(1u64 << b);
-        *k = row.iter().any(|&x| x != 0);
+/// surviving queries. One broadcast-subtract kernel call plus a mask-driven
+/// compaction.
+// lint: hot-loop
+fn scrub_query(vec: &mut DataVector, q: QueryId, scratch: &mut EpisodeScratch, kernels: Kernels) {
+    let width = vec.qsets.words_per_set();
+    let EpisodeScratch { mask, keep, .. } = scratch;
+    mask.clear();
+    mask.resize(width, 0);
+    if let Some(w) = mask.get_mut(q.index() / 64) {
+        *w = 1u64 << (q.index() % 64);
     }
-    vec.retain(keep);
+    kernels.qset_subtract_broadcast(&mut vec.qsets, mask, keep);
+    vec.retain_mask(keep, kernels);
 }
 
 /// The memory governor's eviction choice: the candidate with the largest
@@ -400,7 +406,7 @@ pub fn run_episode(
         if let Some((q, e)) = inj.check(FaultSite::Filter, &queries) {
             (shared.quarantine)(q, e);
             queries.remove(q);
-            scrub_query(&mut vec, q, &mut scratch.keep);
+            scrub_query(&mut vec, q, scratch, shared.kernels);
         }
     }
     let mut lineage = 0u64;
@@ -416,21 +422,25 @@ pub fn run_episode(
         let vids = vec.vids_of(rel).expect("scan column present");
         relation.column(group.col).gather(vids, &mut scratch.values);
         let n_in = vec.len();
-        scratch.keep.clear();
-        scratch.keep.resize(n_in, false);
+        // Whole-column kernel evaluation: segment lookup + qset AND + packed
+        // survivor mask in one pass, then mask-driven compaction.
         if shared.config.grouped_filters {
-            for i in 0..n_in {
-                scratch.keep[i] = vec.qsets.and_row(i, filter.grouped.mask_for(scratch.values[i]));
-            }
+            shared.kernels.filter_grouped(
+                &filter.grouped,
+                &scratch.values,
+                &mut vec.qsets,
+                &mut scratch.keep,
+            );
         } else {
-            scratch.mask.clear();
-            scratch.mask.resize(iv.queries.width(), 0);
-            for i in 0..n_in {
-                filter.plain.mask_into(scratch.values[i], &mut scratch.mask);
-                scratch.keep[i] = vec.qsets.and_row(i, &scratch.mask);
-            }
+            shared.kernels.filter_plain(
+                &filter.plain,
+                &scratch.values,
+                &mut scratch.mask,
+                &mut vec.qsets,
+                &mut scratch.keep,
+            );
         }
-        vec.retain(&scratch.keep);
+        vec.retain_mask(&scratch.keep, shared.kernels);
         log.push_reused(
             Scope::selection(rel),
             lineage,
@@ -465,7 +475,7 @@ pub fn run_episode(
         if let Some((q, e)) = inj.check(FaultSite::StemInsert, &queries) {
             (shared.quarantine)(q, e);
             queries.remove(q);
-            scrub_query(&mut vec, q, &mut scratch.keep);
+            scrub_query(&mut vec, q, scratch, shared.kernels);
         }
     }
 
@@ -494,7 +504,7 @@ pub fn run_episode(
                     },
                 );
                 queries.remove(victim);
-                scrub_query(&mut vec, victim, &mut scratch.keep);
+                scrub_query(&mut vec, victim, scratch, shared.kernels);
             }
         }
     }
@@ -669,8 +679,6 @@ fn prune_vector(
         relation.column(this_side.1).gather(vids, &mut scratch.values);
         let reader = stem.read();
         let n_in = vec.len();
-        scratch.keep.clear();
-        scratch.keep.resize(n_in, false);
         // allowed(i) = (∪ matching entry query-sets) ∪ ¬Q_edge — queries
         // without this edge are unaffected by the semi-join. Seed every
         // row's mask with ¬Q_edge, then let the batched two-phase
@@ -679,22 +687,21 @@ fn prune_vector(
         for _ in 0..n_in {
             scratch.row_masks.extend(edge_q.words().iter().map(|&w| !w));
         }
-        let EpisodeScratch { values, probe, row_masks, keep, .. } = scratch;
-        reader.semijoin_batch(index_id, values, probe, |i, entry_q| {
-            let row = &mut row_masks[i * width..(i + 1) * width];
-            for (a, &w) in row.iter_mut().zip(entry_q) {
-                *a |= w;
-            }
-        });
-        let mut dropped = 0u64;
-        for (i, k) in keep.iter_mut().enumerate() {
-            *k = vec.qsets.and_row(i, &row_masks[i * width..(i + 1) * width]);
-            if !*k {
-                dropped += 1;
-            }
+        {
+            let EpisodeScratch { values, probe, row_masks, .. } = scratch;
+            reader.semijoin_batch(index_id, values, probe, |i, entry_q| {
+                let row = &mut row_masks[i * width..(i + 1) * width];
+                for (a, &w) in row.iter_mut().zip(entry_q) {
+                    *a |= w;
+                }
+            });
         }
+        // One bulk AND over the whole row range replaces the per-row
+        // `and_row` loop; the survivor count falls out of the keep mask.
+        shared.kernels.qset_and(&mut vec.qsets, &scratch.row_masks, &mut scratch.keep);
+        let dropped = (n_in - scratch.keep.count()) as u64;
         shared.stats.pruned_tuples.fetch_add(dropped, Ordering::Relaxed);
-        vec.retain(keep);
+        vec.retain_mask(&scratch.keep, shared.kernels);
     }
 }
 
@@ -940,28 +947,41 @@ fn route(
     }
     let collecting = sink.collecting;
     if shared.config.locality_router {
-        // Pass 1: per-query counts.
-        scratch.counts.clear();
+        // One CSR partition pass over the qset words replaces the old
+        // count-then-test sweeps per query.
+        let EpisodeScratch { part, route_vals, row, .. } = scratch;
+        shared.kernels.partition(&vec.qsets, queries, part);
         for q in queries.iter() {
-            let (w, b) = (q.index() / 64, q.index() % 64);
-            let mut n = 0u64;
-            for i in 0..vec.len() {
-                n += (vec.qsets.row(i)[w] >> b) & 1;
+            let rows = part.rows_of(q.index());
+            if rows.is_empty() {
+                continue;
             }
-            if n > 0 {
-                scratch.counts.push((q, n));
-            }
-        }
-        // Pass 2: per-query gather, the entry resolved once per query.
-        for k in 0..scratch.counts.len() {
-            let (q, _) = scratch.counts[k];
-            let (w, b) = (q.index() / 64, q.index() % 64);
-            let e = sink.entry(q);
-            for i in 0..vec.len() {
-                if (vec.qsets.row(i)[w] >> b) & 1 == 1 {
-                    project_row(shared, vec, q, i, &mut scratch.row);
-                    e.add_row(&scratch.row, collecting);
+            // Projection lookups (vID column find, catalog column) are
+            // hoisted out of the row loop: gather each projected column
+            // for all of this query's rows, column-major into route_vals.
+            let projs =
+                shared.projections.get(q.index()).map(|p| p.as_slice()).unwrap_or(&[]);
+            route_vals.clear();
+            for &(rel, col) in projs {
+                let vids = vec
+                    .vids_of(rel)
+                    .expect("projection column survived adaptive projections");
+                let column = shared.catalog.relation(rel).column(col);
+                for &ri in rows {
+                    let vid = vids.get(ri as usize).copied().unwrap_or(0);
+                    route_vals.push(column.value(vid as usize));
                 }
+            }
+            // Reassemble row-major into the query's sink entry, resolved
+            // once per query. Emission order (queries ascending, rows
+            // ascending) matches the old per-query scan exactly.
+            let e = sink.entry(q);
+            for k in 0..rows.len() {
+                row.clear();
+                for cvals in route_vals.chunks_exact(rows.len()) {
+                    row.push(cvals.get(k).copied().unwrap_or(0));
+                }
+                e.add_row(row, collecting);
             }
         }
     } else {

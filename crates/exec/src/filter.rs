@@ -23,6 +23,44 @@ pub struct GroupedFilter {
     /// Per-segment masks, `words` words each.
     masks: Vec<u64>,
     words: usize,
+    /// Bucket jump table accelerating the segment search (DESIGN.md §14):
+    /// `jump[k]` is the number of boundaries mapping to buckets `< k`, so
+    /// a value in bucket `k` has its segment in `jump[k] ..= jump[k + 1]`.
+    /// Empty when there are fewer than two boundaries (nothing to search).
+    jump: Vec<u32>,
+    /// `boundaries` plus pad entries, so the fixed-shape refinement reads
+    /// in [`seg_of`](Self::seg_of) are always in bounds — the
+    /// loads stay branch-free instead of mispredicting near the table end.
+    /// Pad values are never counted (masked by the real-length compare).
+    jump_bounds: Vec<i64>,
+    /// `boundaries[0]` in the order-preserving unsigned domain
+    /// ([`sign_flip`]).
+    jump_umin: u64,
+    /// `sign_flip(boundaries[last]) - jump_umin`: the value span the
+    /// buckets divide.
+    jump_span: u64,
+    /// Fixed-point bucket width reciprocal:
+    /// `bucket(v) = mulhi(clamp(sign_flip(v) - jump_umin), jump_scale)`.
+    jump_scale: u64,
+}
+
+/// Maps an `i64` to a `u64` preserving order (`a < b ⇔ sign_flip(a) <
+/// sign_flip(b)`), so bucket arithmetic runs branch-free in unsigned math.
+#[inline]
+fn sign_flip(v: i64) -> u64 {
+    (v as u64) ^ (1u64 << 63)
+}
+
+/// Bucket count for a boundary table: ~4 boundaries' worth of slack per
+/// bucket keeps the refinement scan at 0–2 comparisons, capped so the
+/// table stays a few hundred KiB even for enormous batches. Also capped
+/// at half the span so the fixed-point reciprocal fits in 64 bits.
+fn jump_buckets(n_boundaries: usize, span: u64) -> usize {
+    let by_len = (n_boundaries * 4).next_power_of_two().min(1 << 16);
+    // Largest power of two at most `span / 2`; the caller guarantees
+    // `span >= 4`, so `span / 2 >= 2` and the shift is in range.
+    let by_span = 1u64 << (63 - (span / 2).leading_zeros());
+    by_len.min(by_span.min(1 << 16) as usize)
 }
 
 impl GroupedFilter {
@@ -57,7 +95,99 @@ impl GroupedFilter {
                 }
             }
         }
-        GroupedFilter { boundaries, masks, words }
+        let (jump, jump_umin, jump_span, jump_scale) = Self::build_jump(&boundaries);
+        let jump_bounds = if jump.is_empty() {
+            Vec::new()
+        } else {
+            let mut jb = boundaries.clone();
+            jb.extend([0i64; 4]);
+            jb
+        };
+        GroupedFilter { boundaries, masks, words, jump, jump_bounds, jump_umin, jump_span, jump_scale }
+    }
+
+    /// Builds the bucket jump table: a histogram of boundary bucket
+    /// indices, prefix-summed so `jump[k]` counts boundaries in buckets
+    /// `< k`. The bucket map is monotone in the value, so those boundaries
+    /// are exactly a prefix of the sorted array.
+    fn build_jump(boundaries: &[i64]) -> (Vec<u32>, u64, u64, u64) {
+        let (Some(&min), Some(&max)) = (boundaries.first(), boundaries.last()) else {
+            return (Vec::new(), 0, 0, 0);
+        };
+        let umin = sign_flip(min);
+        let span = sign_flip(max) - umin;
+        if span < 4 {
+            // At most a handful of adjacent boundaries; plain search wins.
+            return (Vec::new(), 0, 0, 0);
+        }
+        let nb = jump_buckets(boundaries.len(), span);
+        // `nb <= span / 2`, so `scale` fits in 64 bits; it rounds down, so
+        // `bucket(max) <= nb` and every in-range value (`min <= v < max`)
+        // lands strictly below `nb`.
+        let scale = (((nb as u128) << 64) / span as u128) as u64;
+        let mut hist = vec![0u32; nb + 1];
+        for &b in boundaries {
+            let k = (((sign_flip(b) - umin) as u128 * scale as u128) >> 64) as usize;
+            hist[k.min(nb)] += 1;
+        }
+        // `jump[k]` = #boundaries in buckets `< k`, for `k` in `0..=nb+1`
+        // (the final entry is the total, so `jump[k + 1]` is valid for
+        // every reachable bucket including `nb`).
+        let mut jump = Vec::with_capacity(nb + 2);
+        let mut acc = 0u32;
+        for &h in hist.iter().take(nb + 1) {
+            jump.push(acc);
+            acc += h;
+        }
+        jump.push(acc);
+        (jump, umin, span, scale)
+    }
+
+    /// The segment index for value `v` — identical to
+    /// `boundaries.partition_point(|b| b <= v)`, computed through the
+    /// bucket jump table: one fixed-point multiply finds the bucket, whose
+    /// boundary range is almost always 0–2 entries, scanned branchlessly.
+    /// Long ranges (adversarially clustered boundaries) fall back to a
+    /// binary search over just that range.
+    #[inline]
+    pub(crate) fn seg_of(&self, v: i64) -> usize {
+        if self.jump.is_empty() {
+            // Few/trivially-spanned boundaries: the plain search is cheap.
+            return self.boundaries.partition_point(|&b| b <= v);
+        }
+        // Out-of-range values clamp into the edge buckets instead of
+        // branching: for `v < min` every scanned boundary fails `b <= v`
+        // (segment 0); for `v >= max` the clamped bucket is the last
+        // boundary's own, whose scan range runs to the end of the table.
+        // All in order-preserving unsigned math ([`sign_flip`]) — the
+        // saturating-sub and `min` lower to conditional moves.
+        let d = sign_flip(v).saturating_sub(self.jump_umin).min(self.jump_span);
+        let k = ((d as u128 * self.jump_scale as u128) >> 64) as usize;
+        // `k <= nb` and `jump.len() == nb + 2`, so both reads are in
+        // bounds (the checks fold away or never-taken-predict).
+        let lo = self.jump[k] as usize;
+        let hi = self.jump[k + 1] as usize;
+        if hi - lo <= 2 {
+            // Fixed-shape refinement: two reads from the padded boundary
+            // copy (always in bounds, so no data-dependent branch),
+            // counted branchlessly with pad/past-`hi` entries masked off
+            // arithmetically — a sentinel would miscount `v == i64::MAX`,
+            // and a real boundary past `hi` sits in a later bucket, so it
+            // is strictly greater than `v` and adds 0 anyway. With ~4
+            // buckets per boundary this tier covers all but adversarially
+            // clustered tables.
+            let n = self.boundaries.len();
+            let mut seg = lo;
+            for j in 0..2 {
+                let b = self.jump_bounds[lo + j];
+                seg += usize::from(b <= v) & usize::from(lo + j < n);
+            }
+            seg
+        } else {
+            // Adversarially clustered boundaries: binary-search the range.
+            let range = self.boundaries.get(lo..hi).unwrap_or(&[]);
+            lo + range.partition_point(|&b| b <= v)
+        }
     }
 
     /// The predicate-result bitset for value `v`: bit `q` is set iff query
@@ -65,13 +195,22 @@ impl GroupedFilter {
     /// satisfied by `v`.
     #[inline]
     pub fn mask_for(&self, v: i64) -> &[u64] {
-        let seg = self.boundaries.partition_point(|&b| b <= v);
+        let seg = self.seg_of(v);
         &self.masks[seg * self.words..(seg + 1) * self.words]
     }
 
     /// Number of range segments (diagnostics).
     pub fn segments(&self) -> usize {
         self.boundaries.len() + 1
+    }
+
+    /// The raw lookup table for the kernel layer's batched evaluation:
+    /// `(boundaries, per-segment masks concatenated, words per mask)`.
+    /// Segment for value `v` is `boundaries.partition_point(|b| b <= v)`,
+    /// exactly what [`mask_for`](Self::mask_for) computes.
+    #[inline]
+    pub(crate) fn table(&self) -> (&[i64], &[u64], usize) {
+        (&self.boundaries, &self.masks, self.words)
     }
 }
 
@@ -103,6 +242,12 @@ impl PlainFilter {
                 mask[q.index() / 64] &= !(1u64 << (q.index() % 64));
             }
         }
+    }
+
+    /// Width of the masks this filter produces, in words.
+    #[inline]
+    pub(crate) fn words(&self) -> usize {
+        self.words
     }
 }
 
@@ -196,6 +341,52 @@ mod tests {
         assert_eq!(f.mask_for(i64::MIN)[0] & 1, 1);
         assert_eq!(f.mask_for(i64::MAX)[0] & 1, 1);
         assert_eq!(f.mask_for(0)[0] & 1, 1);
+    }
+
+    #[test]
+    fn seg_of_matches_partition_point() {
+        let cases: Vec<Vec<(QueryId, i64, i64)>> = vec![
+            vec![],
+            vec![(QueryId(0), 5, 5)],
+            vec![(QueryId(0), i64::MIN, i64::MAX)],
+            vec![(QueryId(0), i64::MIN, -1), (QueryId(1), 0, i64::MAX)],
+            fig8_preds(),
+            (0..64)
+                .map(|i| {
+                    let lo = (i as i64 * 13) % 1000;
+                    (QueryId(i), lo, lo + 150)
+                })
+                .collect(),
+            // Adversarial clustering: a dense clump of boundaries plus one
+            // far outlier, so one bucket holds nearly everything and the
+            // long-range binary-search fallback is exercised.
+            (0..40)
+                .map(|i| (QueryId(i), 1000 + i as i64, 1000 + i as i64))
+                .chain([(QueryId(40), i64::MAX - 2, i64::MAX - 2)])
+                .collect(),
+        ];
+        for preds in &cases {
+            let f = GroupedFilter::build(preds, 64);
+            let mut probes: Vec<i64> =
+                vec![i64::MIN, i64::MIN + 1, -1, 0, 1, i64::MAX - 1, i64::MAX];
+            for &b in &f.boundaries {
+                probes.extend([b.saturating_sub(1), b, b.saturating_add(1)]);
+            }
+            let mut v = 0x2545_F491_4F6C_DD1Di64;
+            for _ in 0..4096 {
+                v = v.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                probes.push(v >> 16);
+                probes.push((v >> 16) % 1200);
+            }
+            for &p in &probes {
+                assert_eq!(
+                    f.seg_of(p),
+                    f.boundaries.partition_point(|&b| b <= p),
+                    "seg divergence at v={p} ({} preds)",
+                    preds.len()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Scalar reference kernels: row-at-a-time bodies that mirror the
+//! pre-kernel engine loops. The wide and simd paths are pinned
+//! byte-identical to these by `tests/kernel_equiv.rs`.
+
+use roulette_core::{QuerySet, QuerySetColumn, RowMask};
+
+use super::Partition;
+use crate::filter::{GroupedFilter, PlainFilter};
+
+/// Per-row grouped-filter evaluation: one binary search + one `and_row`
+/// per tuple, exactly the old selection-phase loop.
+// lint: hot-loop
+pub(super) fn filter_grouped(
+    filter: &GroupedFilter,
+    values: &[i64],
+    qsets: &mut QuerySetColumn,
+    keep: &mut RowMask,
+) {
+    keep.clear_resize(qsets.len());
+    for (i, &v) in values.iter().enumerate() {
+        if qsets.and_row(i, filter.mask_for(v)) {
+            keep.set(i);
+        }
+    }
+}
+
+/// Per-row plain-filter evaluation (per-query ablation): every predicate
+/// is tested for every tuple. Shared by all kernel modes.
+// lint: hot-loop
+pub(super) fn filter_plain(
+    filter: &PlainFilter,
+    values: &[i64],
+    mask_buf: &mut Vec<u64>,
+    qsets: &mut QuerySetColumn,
+    keep: &mut RowMask,
+) {
+    keep.clear_resize(qsets.len());
+    mask_buf.clear();
+    mask_buf.resize(filter.words(), 0);
+    for (i, &v) in values.iter().enumerate() {
+        filter.mask_into(v, mask_buf);
+        if qsets.and_row(i, mask_buf) {
+            keep.set(i);
+        }
+    }
+}
+
+/// Element-at-a-time survivor compaction over a `u32` column.
+// lint: hot-loop
+pub(super) fn compact_u32(col: &mut Vec<u32>, keep: &RowMask) {
+    debug_assert_eq!(col.len(), keep.len());
+    let mut out = 0usize;
+    let data = col.as_mut_slice();
+    keep.for_each_set(|i| {
+        if out != i {
+            data.copy_within(i..i + 1, out);
+        }
+        out += 1;
+    });
+    col.truncate(out);
+}
+
+/// Two-pass per-query routing partition: for each routed query, one count
+/// sweep and one extraction sweep over the qset column — the shape of the
+/// old locality-router loop.
+// lint: hot-loop
+pub(super) fn partition(
+    qsets: &QuerySetColumn,
+    queries: &QuerySet,
+    part: &mut Partition,
+) -> u64 {
+    let wps = qsets.words_per_set();
+    part.reset_counts(wps * 64);
+    let raw = qsets.raw();
+    for q in queries.iter() {
+        let (wi, b) = (q.index() / 64, q.index() % 64);
+        let mut cnt: u32 = 0;
+        for row in raw.chunks_exact(wps) {
+            cnt += row.get(wi).map_or(0, |&w| (w >> b) & 1) as u32;
+        }
+        if let Some(c) = part.counts_mut().get_mut(q.index()) {
+            *c = cnt;
+        }
+    }
+    let total = part.build_offsets();
+    let (cursors, rows) = part.scatter_mut();
+    for q in queries.iter() {
+        let (wi, b) = (q.index() / 64, q.index() % 64);
+        let Some(cur) = cursors.get_mut(q.index()) else { continue };
+        for (i, row) in raw.chunks_exact(wps).enumerate() {
+            if row.get(wi).is_some_and(|&w| (w >> b) & 1 == 1) {
+                if let Some(slot) = rows.get_mut(*cur as usize) {
+                    *slot = i as u32;
+                }
+                *cur += 1;
+            }
+        }
+    }
+    total
+}

@@ -1,0 +1,128 @@
+//! `std::arch` AVX2 kernels (`--features simd`).
+//!
+//! Only compiled behind the `simd` feature — enabling it drops the exec
+//! crate's `#![forbid(unsafe_code)]` to a `cfg_attr` (DESIGN.md §14); the
+//! `unsafe` surface is confined to this module and every block carries a
+//! SAFETY justification. The dispatcher only selects this mode after
+//! `is_x86_feature_detected!("avx2")` at [`Kernels::best`] time, so the
+//! `#[target_feature(enable = "avx2")]` functions are always called on a
+//! host that supports them.
+//!
+//! The bodies process four `u64` words per 256-bit op; tails (row counts
+//! not a multiple of the register width) fall through to the wide path's
+//! scalar epilogue, computing the same function — results stay
+//! byte-identical (`tests/kernel_equiv.rs` sweeps this mode too).
+//!
+//! [`Kernels::best`]: super::Kernels::best
+
+#![allow(unsafe_code)]
+
+use roulette_core::{QuerySetColumn, RowMask};
+
+use super::wide;
+
+/// Bulk per-row AND, AVX2 body for the hot widths (1 and 4 words per
+/// row); other widths use the portable wide path.
+// lint: hot-loop
+pub(super) fn qset_and(qsets: &mut QuerySetColumn, masks: &[u64], keep: &mut RowMask) {
+    let wps = qsets.words_per_set();
+    let n = qsets.len();
+    debug_assert_eq!(masks.len(), n * wps);
+    match wps {
+        1 => {
+            keep.clear_resize(n);
+            // SAFETY: the dispatcher only routes here after
+            // `is_x86_feature_detected!("avx2")` returned true (see
+            // `Kernels::best`), so the target-feature contract holds.
+            unsafe { and_w1_avx2(qsets.raw_mut(), masks, keep.words_mut()) }
+        }
+        4 => {
+            keep.clear_resize(n);
+            // SAFETY: as above — AVX2 presence was verified at dispatcher
+            // construction time.
+            unsafe { and_w4_avx2(qsets.raw_mut(), masks, keep) }
+        }
+        _ => wide::qset_and(qsets, masks, keep),
+    }
+}
+
+/// Width-1 AND: four rows per 256-bit op, survivor bits extracted with a
+/// compare-to-zero + movemask and or-ed into the packed keep words. Rows
+/// beyond the last full quad take the scalar epilogue.
+///
+/// # Safety
+/// Callers must ensure the host supports AVX2.
+// lint: hot-loop
+// SAFETY: declared unsafe for `target_feature`; callers verify AVX2 first.
+#[target_feature(enable = "avx2")]
+unsafe fn and_w1_avx2(data: &mut [u64], masks: &[u64], kws: &mut [u64]) {
+    use std::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_castsi256_pd, _mm256_cmpeq_epi64,
+        _mm256_loadu_si256, _mm256_movemask_pd, _mm256_setzero_si256, _mm256_storeu_si256,
+    };
+    let n = data.len().min(masks.len());
+    let quads = n / 4;
+    let dp = data.as_mut_ptr();
+    let mp = masks.as_ptr();
+    for blk in 0..quads {
+        let at = blk * 4;
+        // SAFETY: `at + 3 < quads * 4 <= n`, and `n` is bounded by both
+        // slice lengths, so the 32-byte unaligned loads/stores stay in
+        // bounds of `data` and `masks`.
+        unsafe {
+            let d = _mm256_loadu_si256(dp.add(at) as *const __m256i);
+            let m = _mm256_loadu_si256(mp.add(at) as *const __m256i);
+            let r = _mm256_and_si256(d, m);
+            _mm256_storeu_si256(dp.add(at) as *mut __m256i, r);
+            let z = _mm256_cmpeq_epi64(r, _mm256_setzero_si256());
+            // 4 lane bits, 1 = lane became zero; invert for "survives".
+            let zero_lanes = _mm256_movemask_pd(_mm256_castsi256_pd(z)) as u64;
+            let bits4 = !zero_lanes & 0xF;
+            // `at % 4 == 0`, so the quad never straddles a keep word.
+            if let Some(kw) = kws.get_mut(at / 64) {
+                *kw |= bits4 << (at % 64);
+            }
+        }
+    }
+    // Scalar epilogue over the tail rows — same function, bit-identical.
+    let tail = quads * 4;
+    for (i, (d, &m)) in (tail..).zip(data.iter_mut().zip(masks).skip(tail)) {
+        *d &= m;
+        if *d != 0 {
+            if let Some(kw) = kws.get_mut(i / 64) {
+                *kw |= 1u64 << (i % 64);
+            }
+        }
+    }
+}
+
+/// Width-4 AND: one row per 256-bit op, survivor test via `vptest`.
+///
+/// # Safety
+/// Callers must ensure the host supports AVX2.
+// lint: hot-loop
+// SAFETY: declared unsafe for `target_feature`; callers verify AVX2 first.
+#[target_feature(enable = "avx2")]
+unsafe fn and_w4_avx2(data: &mut [u64], masks: &[u64], keep: &mut RowMask) {
+    use std::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_storeu_si256,
+        _mm256_testz_si256,
+    };
+    let rows = data.len().min(masks.len()) / 4;
+    let dp = data.as_mut_ptr();
+    let mp = masks.as_ptr();
+    for i in 0..rows {
+        let at = i * 4;
+        // SAFETY: `at + 3 < rows * 4`, which is bounded by both slice
+        // lengths, so the 32-byte unaligned accesses stay in bounds.
+        unsafe {
+            let d = _mm256_loadu_si256(dp.add(at) as *const __m256i);
+            let m = _mm256_loadu_si256(mp.add(at) as *const __m256i);
+            let r = _mm256_and_si256(d, m);
+            _mm256_storeu_si256(dp.add(at) as *mut __m256i, r);
+            if _mm256_testz_si256(r, r) == 0 {
+                keep.set(i);
+            }
+        }
+    }
+}

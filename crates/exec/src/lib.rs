@@ -8,7 +8,12 @@
 //! locality-conscious routing, and the episode-based engine with dynamic
 //! query admission and a multi-core worker pool.
 
-#![forbid(unsafe_code)]
+// The `simd` feature introduces one audited `unsafe` surface — the
+// `std::arch` AVX2 bodies in `kernels::simd`, every block SAFETY-commented
+// and gated on runtime feature detection (DESIGN.md §14). Default builds
+// keep the crate-wide forbid.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod engine;
@@ -16,6 +21,7 @@ pub mod episode;
 pub mod fault;
 pub mod filter;
 pub mod host;
+pub mod kernels;
 pub mod output;
 pub mod planner;
 pub mod profile;
@@ -31,6 +37,7 @@ pub use engine::{
 pub use episode::{EngineShared, FilterPair, SharedStats, TraceEntry};
 pub use fault::{FaultInjector, FaultKind, FaultSite, LiveSet};
 pub use filter::{GroupedFilter, PlainFilter};
+pub use kernels::{KernelMode, Kernels, Partition};
 pub use output::{row_hash, CompletionStatus, Outputs, QueryResult};
 pub use planner::{JoinNode, ProbeNode};
 pub use profile::{Category, Profile};

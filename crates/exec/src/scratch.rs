@@ -16,9 +16,10 @@
 //! reads. See DESIGN.md §10.
 
 use crate::episode::EpisodeSink;
+use crate::kernels::Partition;
 use crate::stem::ProbeScratch;
 use crate::vector::DataVector;
-use roulette_core::QueryId;
+use roulette_core::RowMask;
 
 /// Reusable per-episode working state (see module docs). Acquire one per
 /// worker and pass it to every episode; `reset` only on the panic path.
@@ -26,8 +27,9 @@ use roulette_core::QueryId;
 pub struct EpisodeScratch {
     /// Gathered attribute values (selection, pruning, probe keys).
     pub(crate) values: Vec<i64>,
-    /// Row-survival bitmap for `DataVector::retain`.
-    pub(crate) keep: Vec<bool>,
+    /// Packed row-survival bitmap produced by the filter/prune/scrub
+    /// kernels and consumed by `DataVector::retain_mask`.
+    pub(crate) keep: RowMask,
     /// Query-set word mask (plain-filter masks, pruning `allowed` sets,
     /// per-row main-branch intersections).
     pub(crate) mask: Vec<u64>,
@@ -55,8 +57,11 @@ pub struct EpisodeScratch {
     pub(crate) div_bufs: Vec<Vec<u32>>,
     /// Projected row staging for routing.
     pub(crate) row: Vec<i64>,
-    /// Locality-router pass-1 per-query counts.
-    pub(crate) counts: Vec<(QueryId, u64)>,
+    /// CSR routing partition (per-query survivor rows) from the
+    /// `partition` kernel.
+    pub(crate) part: Partition,
+    /// Projection values gathered column-major for routing emission.
+    pub(crate) route_vals: Vec<i64>,
     /// The episode-local staged-output sink (taken for the episode's
     /// duration, restored at commit).
     pub(crate) sink: EpisodeSink,

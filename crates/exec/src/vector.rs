@@ -6,7 +6,9 @@
 //! mini-columns from base storage on demand. Adaptive projections (§5.2)
 //! drop vID columns that no downstream operator needs.
 
-use roulette_core::{QuerySet, QuerySetColumn, RelId};
+use roulette_core::{QuerySet, QuerySetColumn, RelId, RowMask};
+
+use crate::kernels::Kernels;
 
 /// A batch of Data-Query-model tuples in vID form.
 #[derive(Debug, Clone)]
@@ -87,6 +89,19 @@ impl DataVector {
             vids.truncate(out);
         }
         self.qsets.retain_rows(keep);
+    }
+
+    /// Keeps only tuples whose bit is set in `keep`, compacting every vID
+    /// column and the query-set column through the selected compaction
+    /// kernel — the mask-driven replacement for [`retain`](Self::retain)
+    /// on the episode hot path.
+    // lint: hot-loop
+    pub fn retain_mask(&mut self, keep: &RowMask, kernels: Kernels) {
+        debug_assert_eq!(keep.len(), self.len());
+        for (_, vids) in &mut self.cols {
+            kernels.compact_u32(vids, keep);
+        }
+        kernels.compact_qsets(&mut self.qsets, keep);
     }
 
     /// Clears tuples but keeps column structure and allocations.

@@ -130,6 +130,12 @@ pub const HOT_PATHS: &[&str] = &[
     // loop: every buffer they hand out is on the per-vector path.
     "crates/exec/src/scratch.rs",
     "crates/exec/src/vector.rs",
+    // The kernel layer is the innermost loop of all: every episode's
+    // filter, prune, compaction, and routing work funnels through it.
+    "crates/exec/src/kernels/mod.rs",
+    "crates/exec/src/kernels/scalar.rs",
+    "crates/exec/src/kernels/wide.rs",
+    "crates/exec/src/kernels/simd.rs",
     "crates/policy/src/qlearning.rs",
     "crates/core/src/relset.rs",
     "crates/core/src/queryset.rs",
