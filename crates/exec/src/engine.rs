@@ -24,9 +24,17 @@ use roulette_policy::{ExecutionLog, GreedyPolicy, Policy, QLearningPolicy};
 use roulette_query::{QueryBatch, SpjQuery};
 use roulette_storage::{Catalog, IngestVector, Ingestion};
 use roulette_telemetry::{EventKind, Recorder};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+
+/// Vectors a worker prefetches from the shared ingestion state per refill
+/// of its morsel queue. Batching amortizes the ingestion latch (one
+/// acquisition per `MORSEL` episodes instead of one per episode) while
+/// keeping queues shallow enough that work stealing has something to take
+/// and completion information stays fresh.
+const MORSEL: usize = 4;
 
 /// Aggregate execution statistics of one batch/session.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -198,6 +206,11 @@ impl<'a> RouletteEngine<'a> {
                 capacity,
             )),
             stems: (0..self.catalog.len()).map(|_| None).collect(),
+            work: (0..self.config.workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            scan_done: (0..self.catalog.len()).map(|_| AtomicBool::new(false)).collect(),
+            scan_epoch: AtomicU64::new(0),
             filters: Vec::new(),
             filter_pred_counts: Vec::new(),
             sel_owners: Vec::new(),
@@ -232,6 +245,27 @@ pub struct Session<'a> {
     batch: QueryBatch,
     ingestion: Mutex<Ingestion>,
     stems: Vec<Option<Stem>>,
+    /// Per-worker morsel queues. A worker pops its own queue from the
+    /// front (preserving ingestion order), refills it with up to [`MORSEL`]
+    /// vectors under one ingestion latch when empty, and steals from the
+    /// back of a sibling's queue when ingestion is drained — so a straggler
+    /// stuck in a long episode no longer idles the pool behind it.
+    /// Lock class `Session.work`, ordered after `Session.ingestion` (a
+    /// refill pushes under both); never nested with another worker's queue.
+    work: Vec<Mutex<VecDeque<IngestVector>>>,
+    /// Lock-free mirror of `Ingestion::scan_complete`, synced under the
+    /// ingestion latch wherever the schedule changes (refill, admission,
+    /// quarantine). Lets [`complete_now`](Self::complete_now) derive the
+    /// completeness set per episode without touching the ingestion latch.
+    scan_done: Vec<AtomicBool>,
+    /// Seqlock epoch over `scan_done`: odd while an admission is mutating
+    /// the scan schedule. Readers retry when the epoch is odd or moved, so
+    /// they never observe a half-applied admission. Quarantine's
+    /// `unschedule` needs no bump: it can only retire readers, and a flag
+    /// flipping false→true remains truthful at any read point (no reader
+    /// of that scan remains, so no insert carrying an executing vector's
+    /// query bits can still arrive).
+    scan_epoch: AtomicU64,
     filters: Vec<FilterPair>,
     filter_pred_counts: Vec<usize>,
     sel_owners: Vec<QuerySet>,
@@ -342,7 +376,13 @@ impl<'a> Session<'a> {
             }
         }
         self.outputs.quarantine(q, err);
-        self.ingestion.lock().unschedule(q);
+        {
+            let mut ing = self.ingestion.lock();
+            ing.unschedule(q);
+            // Descheduling the query may have retired a scan's last
+            // remaining reader; republish the completion flags.
+            self.sync_scan_flags(&ing);
+        }
         self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -414,7 +454,15 @@ impl<'a> Session<'a> {
                 None => rows,
             };
             match &mut self.stems[rel.index()] {
-                slot @ None => *slot = Some(Stem::with_capacity_hint(rel, key_cols, wps, hint)),
+                slot @ None => {
+                    *slot = Some(Stem::with_shards(
+                        rel,
+                        key_cols,
+                        wps,
+                        hint,
+                        self.config.stem_shards,
+                    ))
+                }
                 Some(stem) => {
                     for col in key_cols {
                         stem.ensure_index(col, self.catalog.relation(rel).column(col));
@@ -456,10 +504,18 @@ impl<'a> Session<'a> {
         // Schedule scans; refresh the pruning-driven initiation ranks.
         {
             let mut ing = self.ingestion.lock();
+            // ordering: SeqCst seqlock write — the odd epoch marks the
+            // schedule mutation in flight so complete_now's readers retry
+            // instead of observing a half-applied admission.
+            self.scan_epoch.fetch_add(1, Ordering::SeqCst);
             ing.schedule(id, query.relations);
             if self.config.pruning {
                 ing.set_ranks(&rank_relations(&self.batch, self.catalog));
             }
+            self.sync_scan_flags(&ing);
+            // ordering: SeqCst seqlock write — even epoch republishes the
+            // flags; pairs with the epoch re-check in complete_now.
+            self.scan_epoch.fetch_add(1, Ordering::SeqCst);
         }
         Ok(id)
     }
@@ -518,33 +574,110 @@ impl<'a> Session<'a> {
         }
     }
 
-    fn next_work(&self) -> Option<(roulette_storage::IngestVector, RelSet)> {
-        let mut ing = self.ingestion.lock();
-        let next = ing.next();
-        self.flush_completions(&ing);
-        let iv = next?;
-        // Hand-out is counted under the ingestion latch so the pending
-        // counters order consistently with scan completion.
-        // ordering: Release pairs with the Acquire load below — a worker
-        // that sees pending == 0 also sees every prior hand-out.
-        self.pending_episodes[iv.rel.index()].fetch_add(1, Ordering::Release);
-        let mut complete = RelSet::EMPTY;
-        for i in 0..self.catalog.len() {
-            let r = RelId(i as u16);
-            if ing.scan_complete(r)
-                // ordering: Acquire pairs with the Release fetch_add/sub —
-                // pending == 0 proves every episode on `r` fully finished.
-                && self.pending_episodes[i].load(Ordering::Acquire) == 0
-            {
-                complete.insert(r);
+    /// Mirrors `Ingestion::scan_complete` into the lock-free `scan_done`
+    /// flags. Must be called under the ingestion latch so the flags never
+    /// run ahead of the schedule they summarize.
+    fn sync_scan_flags(&self, ing: &Ingestion) {
+        for (i, flag) in self.scan_done.iter().enumerate() {
+            // ordering: SeqCst — complete_now reads the flag before the
+            // pending counter; the seqlock's correctness argument needs
+            // those reads to happen in that order across threads.
+            flag.store(ing.scan_complete(RelId(i as u16)), Ordering::SeqCst);
+        }
+    }
+
+    /// Hands `worker` its next episode vector: own queue first (front —
+    /// ingestion order), then a [`MORSEL`]-sized refill from the shared
+    /// ingestion state, then a steal from the back of a sibling's queue.
+    /// `None` means ingestion is drained and every queue was observed
+    /// empty — the run is out of work for this worker.
+    fn next_task(&self, worker: usize) -> Option<IngestVector> {
+        let own = self.work.get(worker)?;
+        if let Some(iv) = own.lock().pop_front() {
+            return Some(iv);
+        }
+        // Refill: batch up to MORSEL hand-outs under one ingestion latch.
+        // The pending counters are bumped at grab time, under the latch,
+        // so they order consistently with scan completion; completeness is
+        // derived per episode by complete_now, not here.
+        {
+            let mut ing = self.ingestion.lock();
+            let mut q = own.lock();
+            while q.len() < MORSEL {
+                let Some(iv) = ing.next() else { break };
+                if let Some(pending) = self.pending_episodes.get(iv.rel.index()) {
+                    // ordering: Release pairs with complete_now's load — a
+                    // reader that sees pending == 0 also sees every hand-out.
+                    pending.fetch_add(1, Ordering::Release);
+                }
+                q.push_back(iv);
+            }
+            drop(q);
+            self.flush_completions(&ing);
+            self.sync_scan_flags(&ing);
+        }
+        if let Some(iv) = own.lock().pop_front() {
+            return Some(iv);
+        }
+        // Steal: ingestion is drained; take the newest vector off the back
+        // of a sibling's queue so stragglers don't idle the pool. One
+        // victim latch at a time, never nested with our own.
+        let n = self.work.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            let stolen = self.work.get(victim).and_then(|q| q.lock().pop_back());
+            if let Some(iv) = stolen {
+                if let Some(rec) = &self.recorder {
+                    rec.record_steal(1);
+                }
+                return Some(iv);
             }
         }
-        Some((iv, complete))
+        None
+    }
+
+    /// Derives the completeness set — relations whose scan is done AND
+    /// whose handed-out episodes have all finished — fresh at episode
+    /// start, without the ingestion latch. Pruning may treat such a STeM
+    /// as final: no insert carrying any currently-executing vector's query
+    /// bits can still arrive (later admissions introduce only new bits).
+    ///
+    /// Freshness matters under morsel batching: a vector's grab-time
+    /// snapshot would still count its queue-mates as pending and miss
+    /// pruning opportunities the single-vector loop used to see.
+    fn complete_now(&self) -> RelSet {
+        loop {
+            // ordering: SeqCst seqlock read — pairs with admit's epoch
+            // bumps; an odd epoch means a schedule mutation is in flight.
+            let e1 = self.scan_epoch.load(Ordering::SeqCst);
+            if e1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut complete = RelSet::EMPTY;
+            let flags = self.scan_done.iter().zip(self.pending_episodes.iter());
+            for (i, (done, pending)) in flags.enumerate() {
+                // ordering: SeqCst — the done flag must be observed before
+                // the pending counter: done(t1) ∧ pending==0(t2>t1) proves
+                // every insert for the scanned-out relation has finished
+                // and is visible (pending's Release sub pairs with this
+                // load).
+                if done.load(Ordering::SeqCst) && pending.load(Ordering::SeqCst) == 0 {
+                    complete.insert(RelId(i as u16));
+                }
+            }
+            // ordering: SeqCst seqlock re-check — an epoch moved by an
+            // admission invalidates the scan; retry.
+            let e2 = self.scan_epoch.load(Ordering::SeqCst);
+            if e1 == e2 {
+                return complete;
+            }
+        }
     }
 
     fn finish_episode(&self, rel: RelId) {
         // ordering: Release publishes the episode's STeM/output writes to
-        // the Acquire load in next_work's completion check.
+        // the load in complete_now's completeness check.
         self.pending_episodes[rel.index()].fetch_sub(1, Ordering::Release);
     }
 
@@ -590,12 +723,13 @@ impl<'a> Session<'a> {
         }
     }
 
-    fn worker_loop(&self) {
+    fn worker_loop(&self, worker: usize) {
         let mut log = ExecutionLog::new();
         let mut scratch = EpisodeScratch::new();
         let quarantine = |q: QueryId, e: Error| self.quarantine(q, e);
         let shared = self.shared_view(&quarantine);
-        while let Some((iv, complete)) = self.next_work() {
+        while let Some(iv) = self.next_task(worker) {
+            let complete = self.complete_now();
             let trace =
                 self.run_episode_guarded(&shared, &iv, complete, &mut log, &mut scratch);
             self.finish_episode(iv.rel);
@@ -607,7 +741,8 @@ impl<'a> Session<'a> {
 
     /// Executes one episode; returns `false` when no input is pending.
     pub fn step(&mut self) -> bool {
-        let Some((iv, complete)) = self.next_work() else { return false };
+        let Some(iv) = self.next_task(0) else { return false };
+        let complete = self.complete_now();
         let mut log = ExecutionLog::new();
         let quarantine = |q: QueryId, e: Error| self.quarantine(q, e);
         let shared = self.shared_view(&quarantine);
@@ -632,13 +767,13 @@ impl<'a> Session<'a> {
     /// [`quarantine`](Self::quarantine) from another thread.
     pub fn run_workers(&self) {
         if self.config.workers <= 1 {
-            self.worker_loop();
+            self.worker_loop(0);
             return;
         }
-        let workers = self.config.workers;
+        let workers = self.config.workers.min(self.work.len());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| self.worker_loop());
+            for w in 0..workers {
+                scope.spawn(move || self.worker_loop(w));
             }
         });
     }

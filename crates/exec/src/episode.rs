@@ -489,7 +489,26 @@ pub fn run_episode(
             // queries until the projected footprint fits the budget; an
             // emptied vector skips insert and join entirely, so resident
             // STeM bytes never overshoot by more than one vector's growth.
-            while !vec.is_empty() && used + stem.projected_insert_bytes(vec.len()) > budget {
+            // On routed (sharded) STeMs the projection follows the actual
+            // routing keys and sums per-shard growth, so a skewed vector
+            // that lands whole in one shard is fully charged and still
+            // trips the ladder; the keys are re-gathered after every
+            // eviction because scrubbing shrinks the vector.
+            loop {
+                if vec.is_empty() {
+                    break;
+                }
+                let routing = stem.key_cols().first().copied().zip(vec.vids_of(rel));
+                let projected = match routing {
+                    Some((c0, vids)) if stem.is_routed() => {
+                        relation.column(c0).gather(vids, &mut scratch.values);
+                        stem.projected_insert_bytes_routed(vec.len(), &scratch.values)
+                    }
+                    _ => stem.projected_insert_bytes(vec.len()),
+                };
+                if used + projected <= budget {
+                    break;
+                }
                 let Some(victim) = heaviest_query(shared, &queries) else { break };
                 // Eviction is its own (transient) ladder level; the next
                 // episode re-derives the level from post-eviction usage.
@@ -528,12 +547,78 @@ pub fn run_episode(
             for (k, &c) in scratch.insert_keys.iter_mut().zip(stem.key_cols()) {
                 relation.column(c).gather(vids, k);
             }
-            let version = stem.insert_vector(
-                vids,
-                &vec.qsets,
-                &scratch.insert_keys[..nkeys],
-                shared.global_version,
-            );
+            // Routed (sharded) STeMs get one insert critical section — and
+            // one fresh global version — per shard the vector touches, and
+            // each sub-chunk is probed with *its own* version; stem.rs's
+            // module docs prove exactly-once under that pairing. Unrouted
+            // STeMs keep the legacy single insert + single join, so S=1
+            // runs are byte-identical to the pre-sharding engine.
+            let mut chunks: Vec<(DataVector, u32)> = Vec::new();
+            let mut version = 0u32;
+            if stem.is_routed() {
+                let insert_keys = std::mem::take(&mut scratch.insert_keys);
+                let mut shard_ids = std::mem::take(&mut scratch.shard_ids);
+                let mut sub_keys = std::mem::take(&mut scratch.shard_keys);
+                let mut shard_rows = [0u32; crate::stem::MAX_STEM_SHARDS];
+                shard_ids.clear();
+                for &k in insert_keys.first().map(Vec::as_slice).unwrap_or(&[]) {
+                    let s = stem.shard_of_key(k);
+                    if let Some(rows) = shard_rows.get_mut(s) {
+                        *rows += 1;
+                    }
+                    shard_ids.push(s as u8);
+                }
+                if sub_keys.len() < nkeys {
+                    sub_keys.resize_with(nkeys, Vec::new);
+                }
+                for (s, &rows) in shard_rows.iter().enumerate().take(stem.n_shards()) {
+                    if rows == 0 {
+                        continue;
+                    }
+                    let mut chunk = scratch.take_vector(vec.qsets.words_per_set());
+                    let mut col = scratch.take_col();
+                    for sk in sub_keys.iter_mut() {
+                        sk.clear();
+                    }
+                    for (i, (&sid, &vid)) in shard_ids.iter().zip(vids.iter()).enumerate() {
+                        if sid as usize != s {
+                            continue;
+                        }
+                        col.push(vid);
+                        chunk.qsets.push_row_from(&vec.qsets, i);
+                        for (sk, keys) in sub_keys.iter_mut().zip(insert_keys.iter()) {
+                            sk.extend(keys.get(i).copied());
+                        }
+                    }
+                    let v = stem.insert_shard(
+                        s,
+                        &col,
+                        &chunk.qsets,
+                        sub_keys.get(..nkeys).unwrap_or(&[]),
+                        shared.global_version,
+                    );
+                    if let Some(rec) = shared.recorder {
+                        rec.record_shard_insert(s, col.len() as u64);
+                    }
+                    chunk.push_column(rel, col);
+                    chunks.push((chunk, v));
+                }
+                scratch.insert_keys = insert_keys;
+                scratch.shard_ids = shard_ids;
+                scratch.shard_keys = sub_keys;
+            } else {
+                version = stem.insert_vector(
+                    vids,
+                    &vec.qsets,
+                    scratch.insert_keys.get(..nkeys).unwrap_or(&[]),
+                    shared.global_version,
+                );
+                if stem.n_shards() > 1 {
+                    if let Some(rec) = shared.recorder {
+                        rec.record_shard_insert(0, vec.len() as u64);
+                    }
+                }
+            }
             shared.profile.add(Category::Build, t_build.elapsed().as_nanos() as u64);
             shared.stats.inserted_tuples.fetch_add(vec.len() as u64, Ordering::Relaxed);
             measured_insert = vec.len() as u64;
@@ -541,12 +626,21 @@ pub fn run_episode(
             // --- Join phase ------------------------------------------------
             let log_mark = log.len();
             let mut guard = JoinGuard::from_config(shared.config);
-            exec_join(shared, &join_plan, &vec, version, log, &mut sink, &mut guard, scratch);
+            if chunks.is_empty() {
+                exec_join(shared, &join_plan, &vec, version, log, &mut sink, &mut guard, scratch);
+            } else {
+                for (chunk, v) in &chunks {
+                    exec_join(shared, &join_plan, chunk, *v, log, &mut sink, &mut guard, scratch);
+                    if guard.tripped {
+                        break;
+                    }
+                }
+            }
             if guard.tripped {
                 // Watchdog: the learned plan blew its budget. Discard the
                 // phase's staged outputs and log, replan with the greedy
-                // fallback, and re-run unbudgeted. The insert kept its
-                // version, so the re-run sees the exact same STeM state
+                // fallback, and re-run unbudgeted. The inserts kept their
+                // versions, so the re-run sees the exact same STeM state
                 // and produces the same result set.
                 shared.stats.watchdog_trips.fetch_add(1, Ordering::Relaxed);
                 if let Some(rec) = shared.recorder {
@@ -566,9 +660,20 @@ pub fn run_episode(
                     shared.config.adaptive_projections,
                 );
                 let mut unbounded = JoinGuard::unbounded();
-                exec_join(
-                    shared, &fb_plan, &vec, version, log, &mut sink, &mut unbounded, scratch,
-                );
+                if chunks.is_empty() {
+                    exec_join(
+                        shared, &fb_plan, &vec, version, log, &mut sink, &mut unbounded, scratch,
+                    );
+                } else {
+                    for (chunk, v) in &chunks {
+                        exec_join(
+                            shared, &fb_plan, chunk, *v, log, &mut sink, &mut unbounded, scratch,
+                        );
+                    }
+                }
+            }
+            for (chunk, _) in chunks {
+                scratch.release_vector(chunk);
             }
         }
     }
@@ -677,7 +782,6 @@ fn prune_vector(
         let edge_q = batch.edge_queries(eid);
         let vids = vec.vids_of(rel).expect("scan column");
         relation.column(this_side.1).gather(vids, &mut scratch.values);
-        let reader = stem.read();
         let n_in = vec.len();
         // allowed(i) = (∪ matching entry query-sets) ∪ ¬Q_edge — queries
         // without this edge are unaffected by the semi-join. Seed every
@@ -689,7 +793,7 @@ fn prune_vector(
         }
         {
             let EpisodeScratch { values, probe, row_masks, .. } = scratch;
-            reader.semijoin_batch(index_id, values, probe, |i, entry_q| {
+            stem.semijoin_batch(index_id, values, probe, |i, entry_q| {
                 let row = &mut row_masks[i * width..(i + 1) * width];
                 for (a, &w) in row.iter_mut().zip(entry_q) {
                     *a |= w;
@@ -764,11 +868,13 @@ fn exec_join(
 /// One probe step, batch-oriented: the probe rows intersecting the main
 /// branch are compacted first (saving their intersected query-sets), their
 /// keys gathered in one pass, and the STeM probed through the two-phase
-/// [`probe_batch`](crate::stem::StemReader::probe_batch) — hash and
+/// [`probe_batch`](crate::stem::Stem::probe_batch) — hash and
 /// bucket-head lookups run over the whole batch before any chain is
 /// walked, so the head fetches are independent loads the hardware can
-/// overlap instead of per-row dependent misses. Match visit order is
-/// identical to per-key probing, so outputs are byte-identical.
+/// overlap instead of per-row dependent misses. On unsharded STeMs the
+/// match visit order is identical to per-key probing, so outputs are
+/// byte-identical; sharded probes visit shard-grouped (a result-safe
+/// permutation, since the sink accumulates order-insensitively).
 // lint: hot-loop
 fn exec_probe(
     shared: &EngineShared<'_>,
@@ -854,12 +960,12 @@ fn exec_probe(
         .column(p.probe_col)
         .gather(&scratch.active_vids, &mut scratch.probe_keys);
 
-    // Phase 3: batched two-phase probe over the compacted keys.
-    let reader = stem.read();
+    // Phase 3: batched two-phase probe over the compacted keys, one shard
+    // read latch at a time (single latch on unsharded STeMs).
     {
         let EpisodeScratch { probe, probe_keys, row_masks, active_rows, main_bufs, carry_main, .. } =
             scratch;
-        reader.probe_batch(index_id, probe_keys, version, probe, |j, entry_q, entry_vid| {
+        stem.probe_batch(index_id, probe_keys, version, probe, |j, entry_q, entry_vid| {
             if main_out.qsets.push_and(&row_masks[j * width..(j + 1) * width], entry_q) {
                 let i = active_rows[j] as usize;
                 for (buf, &src) in main_bufs.iter_mut().zip(carry_main.iter()) {
@@ -910,6 +1016,13 @@ fn exec_probe(
 
     if let Some(rec) = shared.recorder {
         rec.record_probe_batch(vec.len() as u64);
+        if stem.n_shards() > 1 {
+            for (s, &keys) in scratch.probe.shard_key_counts().iter().enumerate() {
+                if keys > 0 {
+                    rec.record_shard_probe(s, keys as u64);
+                }
+            }
+        }
     }
 
     log.push_reused(

@@ -43,5 +43,5 @@ pub use planner::{JoinNode, ProbeNode};
 pub use profile::{Category, Profile};
 pub use scratch::EpisodeScratch;
 pub use spaces::{JoinSpace, SelectionSpace};
-pub use stem::{ProbeScratch, Stem, StemReader, VERSION_ALL};
+pub use stem::{shard_for_key, ProbeScratch, Stem, StemReader, MAX_STEM_SHARDS, VERSION_ALL};
 pub use vector::DataVector;

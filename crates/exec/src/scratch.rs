@@ -36,8 +36,12 @@ pub struct EpisodeScratch {
     /// Per-index insert key columns (outer Vec tracks the widest STeM
     /// seen; inner buffers are reused by `Column::gather`).
     pub(crate) insert_keys: Vec<Vec<i64>>,
-    /// Two-phase probe staging (hashes + bucket heads).
+    /// Two-phase probe staging (hashes + bucket heads + shard partition).
     pub(crate) probe: ProbeScratch,
+    /// Owning shard of each insert row (sharded-STeM build phase).
+    pub(crate) shard_ids: Vec<u8>,
+    /// Per-index key columns of the sub-chunk being built for one shard.
+    pub(crate) shard_keys: Vec<Vec<i64>>,
     /// Concatenated main-branch query-set masks of the active probe rows.
     pub(crate) row_masks: Vec<u64>,
     /// Probe-vector row index of each active probe row.

@@ -20,6 +20,24 @@
 //! it probes. Latches are taken once per *vector*, so synchronization cost
 //! is two atomic acquisitions per episode per STeM — the same granularity
 //! the paper's wait-free scheme achieves.
+//!
+//! ## Sharding (DESIGN.md §15)
+//!
+//! A STeM may be split into `S` shards by join-key hash
+//! ([`EngineConfig::stem_shards`](roulette_core::EngineConfig::stem_shards)),
+//! each an independent `(entries, versions, query-sets, indices)` block
+//! behind its own latch. The *routing index* is index 0 — the first key
+//! column the STeM was constructed with; [`shard_for_key`] decides the
+//! owning shard. Inserts touch only the shards their rows route to, each
+//! insert critical section drawing its own version from the **global**
+//! counter, so the strictly-older-version argument above holds pairwise
+//! per shard: a probe's read latch on shard `t` still orders against every
+//! insert critical section on shard `t`, and version comparisons remain
+//! globally meaningful because the counter is shared. Probes on the
+//! routing index visit exactly one shard per key; probes on secondary
+//! indices and semi-joins visit all shards, one latch at a time. A STeM
+//! constructed without key columns has no routing index: everything lives
+//! in shard 0 and probes scan all shards (only shard 0 is nonempty).
 
 use parking_lot::{RwLock, RwLockReadGuard};
 use roulette_core::{ColId, QuerySetColumn, RelId};
@@ -34,6 +52,11 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// can hold. Sessions are per-batch, so the counter resets naturally.
 pub const VERSION_ALL: u32 = u32::MAX;
 
+/// Hard cap on shards per STeM; mirrors
+/// `EngineConfig::with_stem_shards`'s validation and bounds the fixed-size
+/// per-probe partition buffers.
+pub const MAX_STEM_SHARDS: usize = 64;
+
 #[inline]
 fn hash_key(key: i64) -> u64 {
     // SplitMix64 finalizer — cheap and well-distributed for integer keys.
@@ -41,6 +64,15 @@ fn hash_key(key: i64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// The shard owning `key` in a STeM routed across `n_shards` shards: a
+/// pure, total function of the key and the shard count. Every key maps to
+/// exactly one shard, and re-sharding a relation only ever *moves* keys
+/// between shards — the union over shards is invariant.
+#[inline]
+pub fn shard_for_key(key: i64, n_shards: usize) -> usize {
+    if n_shards <= 1 { 0 } else { (hash_key(key) % n_shards as u64) as usize }
 }
 
 /// One hash index of a STeM (per join-key column).
@@ -85,8 +117,10 @@ impl StemIndex {
         let idx = self.keys.len() as u32;
         self.keys.push(key);
         let b = (hash_key(key) as usize) & self.mask;
-        self.next.push(self.buckets[b]);
-        self.buckets[b] = idx + 1;
+        if let Some(slot) = self.buckets.get_mut(b) {
+            self.next.push(*slot);
+            *slot = idx + 1;
+        }
     }
 
     fn grow(&mut self) {
@@ -94,26 +128,46 @@ impl StemIndex {
         self.buckets.clear();
         self.buckets.resize(new_size, 0);
         self.mask = new_size - 1;
-        for (i, &k) in self.keys.iter().enumerate() {
+        for (i, (nx, &k)) in self.next.iter_mut().zip(self.keys.iter()).enumerate() {
             let b = (hash_key(k) as usize) & self.mask;
-            self.next[i] = self.buckets[b];
-            self.buckets[b] = i as u32 + 1;
+            if let Some(slot) = self.buckets.get_mut(b) {
+                *nx = *slot;
+                *slot = i as u32 + 1;
+            }
+        }
+    }
+
+    /// Bucket-chain head for a precomputed `hash` (0 = empty chain).
+    // lint: hot-loop
+    #[inline]
+    fn head_of_hash(&self, hash: u64) -> u32 {
+        self.buckets.get(hash as usize & self.mask).copied().unwrap_or(0)
+    }
+
+    /// Walks the chain starting at `head`, calling `f(entry_index)` for
+    /// every entry whose key equals `key`. A corrupt link ends the walk
+    /// instead of panicking mid-episode.
+    // lint: hot-loop
+    #[inline]
+    fn walk_chain(&self, head: u32, key: i64, mut f: impl FnMut(usize)) {
+        let mut cur = head;
+        while cur != 0 {
+            let e = (cur - 1) as usize;
+            let (Some(&k), Some(&nx)) = (self.keys.get(e), self.next.get(e)) else {
+                break;
+            };
+            if k == key {
+                f(e);
+            }
+            cur = nx;
         }
     }
 
     /// Calls `f(entry_index)` for every entry with this key.
     // lint: hot-loop
     #[inline]
-    fn for_each_match(&self, key: i64, mut f: impl FnMut(usize)) {
-        let b = (hash_key(key) as usize) & self.mask;
-        let mut cur = self.buckets[b];
-        while cur != 0 {
-            let e = (cur - 1) as usize;
-            if self.keys[e] == key {
-                f(e);
-            }
-            cur = self.next[e];
-        }
+    fn for_each_match(&self, key: i64, f: impl FnMut(usize)) {
+        self.walk_chain(self.head_of_hash(hash_key(key)), key, f);
     }
 }
 
@@ -125,20 +179,71 @@ struct StemInner {
     indices: Vec<StemIndex>,
 }
 
-/// A shared, versioned, multi-index state module for one relation.
+/// Resident bytes of one shard's entry block + indices.
+fn inner_memory_bytes(inner: &StemInner) -> usize {
+    let entries = inner.vids.capacity() * std::mem::size_of::<u32>()
+        + inner.versions.capacity() * std::mem::size_of::<u32>()
+        + inner.qsets.capacity_words() * std::mem::size_of::<u64>();
+    let indices: usize = inner
+        .indices
+        .iter()
+        .map(|i| {
+            i.keys.capacity() * std::mem::size_of::<i64>()
+                + (i.buckets.capacity() + i.next.capacity()) * std::mem::size_of::<u32>()
+        })
+        .sum();
+    entries + indices
+}
+
+/// Upper bound on one shard's growth if `n` more tuples landed in it.
+///
+/// Models `Vec`'s amortized doubling (`reserve` grows to
+/// `max(2·cap, len + n)`) for the entry block and index columns, and
+/// bucket-table doubling past the 3/4 load factor.
+fn inner_projected_insert_bytes(inner: &StemInner, n: usize) -> usize {
+    fn vec_growth(len: usize, cap: usize, n: usize, elem: usize) -> usize {
+        if len + n <= cap { 0 } else { ((cap * 2).max(len + n) - cap) * elem }
+    }
+    let len = inner.vids.len();
+    let wps = inner.qsets.words_per_set();
+    let mut bytes = vec_growth(len, inner.vids.capacity(), n, 4)
+        + vec_growth(len, inner.versions.capacity(), n, 4)
+        // The qset block is reserved once per insert (see
+        // `insert_shard`), so single-step growth models it exactly —
+        // in words, since that is the column's allocation unit.
+        + vec_growth(len * wps, inner.qsets.capacity_words(), n * wps, 8);
+    for idx in &inner.indices {
+        bytes += vec_growth(idx.keys.len(), idx.keys.capacity(), n, 8)
+            + vec_growth(idx.next.len(), idx.next.capacity(), n, 4);
+        let mut buckets = idx.buckets.len();
+        while idx.keys.len() + n > buckets - buckets / 4 {
+            buckets *= 2;
+        }
+        bytes += buckets.saturating_sub(idx.buckets.capacity()) * 4;
+    }
+    bytes
+}
+
+/// A shared, versioned, multi-index state module for one relation,
+/// optionally hash-partitioned into shards (module docs).
 #[derive(Debug)]
 pub struct Stem {
     rel: RelId,
     key_cols: Vec<ColId>,
-    inner: RwLock<StemInner>,
+    /// Whether index 0 routes: fixed at construction. A STeM born without
+    /// key columns keeps all entries in shard 0 forever, even if
+    /// `ensure_index` later adds indices — routing by a late index would
+    /// strand already-stored entries in the wrong shard.
+    routed: bool,
+    shards: Box<[RwLock<StemInner>]>,
 }
 
 impl Stem {
-    /// Creates a STeM for `rel` with one hash index per key column.
-    /// `words_per_set` fixes the query-set width. Indices start at the
-    /// minimum bucket-table size; pass the relation's expected cardinality
-    /// via [`with_capacity_hint`](Self::with_capacity_hint) to avoid
-    /// build-time rehashing.
+    /// Creates an unsharded STeM for `rel` with one hash index per key
+    /// column. `words_per_set` fixes the query-set width. Indices start at
+    /// the minimum bucket-table size; pass the relation's expected
+    /// cardinality via [`with_capacity_hint`](Self::with_capacity_hint) to
+    /// avoid build-time rehashing.
     pub fn new(rel: RelId, key_cols: Vec<ColId>, words_per_set: usize) -> Self {
         Self::with_capacity_hint(rel, key_cols, words_per_set, 0)
     }
@@ -151,17 +256,33 @@ impl Stem {
         words_per_set: usize,
         hint: usize,
     ) -> Self {
-        let indices = key_cols.iter().map(|_| StemIndex::with_capacity(hint)).collect();
-        Stem {
-            rel,
-            key_cols,
-            inner: RwLock::new(StemInner {
-                vids: Vec::new(),
-                versions: Vec::new(),
-                qsets: QuerySetColumn::new(words_per_set),
-                indices,
-            }),
-        }
+        Self::with_shards(rel, key_cols, words_per_set, hint, 1)
+    }
+
+    /// Like [`with_capacity_hint`](Self::with_capacity_hint), but splits
+    /// the STeM into `n_shards` hash shards (clamped to
+    /// `1..=`[`MAX_STEM_SHARDS`]); `hint` is the *total* expected
+    /// cardinality, divided evenly across shards.
+    pub fn with_shards(
+        rel: RelId,
+        key_cols: Vec<ColId>,
+        words_per_set: usize,
+        hint: usize,
+        n_shards: usize,
+    ) -> Self {
+        let n_shards = n_shards.clamp(1, MAX_STEM_SHARDS);
+        let shard_hint = if n_shards > 1 { hint / n_shards } else { hint };
+        let shards: Box<[RwLock<StemInner>]> = (0..n_shards)
+            .map(|_| {
+                RwLock::new(StemInner {
+                    vids: Vec::new(),
+                    versions: Vec::new(),
+                    qsets: QuerySetColumn::new(words_per_set),
+                    indices: key_cols.iter().map(|_| StemIndex::with_capacity(shard_hint)).collect(),
+                })
+            })
+            .collect();
+        Stem { rel, routed: n_shards > 1 && !key_cols.is_empty(), key_cols, shards }
     }
 
     /// The STeM's relation.
@@ -181,11 +302,37 @@ impl Stem {
         self.key_cols.iter().position(|&c| c == col)
     }
 
-    /// Inserts a vector of tuples, assigning it a fresh global version
-    /// under the write latch (see module docs). `keys[k][i]` is tuple `i`'s
-    /// key for index `k`. Returns the assigned version.
-    pub fn insert_vector(
+    /// Number of hash shards.
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether index 0 routes keys to shards (false for unsharded STeMs
+    /// and STeMs constructed without key columns).
+    #[inline]
+    pub fn is_routed(&self) -> bool {
+        self.routed
+    }
+
+    /// The shard that tuples with routing key `key` (index 0) belong to.
+    #[inline]
+    pub fn shard_of_key(&self, key: i64) -> usize {
+        if self.routed { shard_for_key(key, self.shards.len()) } else { 0 }
+    }
+
+    /// Inserts a sub-vector of tuples that all route to `shard`, assigning
+    /// it a fresh global version under that shard's write latch (module
+    /// docs). `keys[k][i]` is tuple `i`'s key for index `k`. Returns the
+    /// assigned version.
+    ///
+    /// This is the sharded hot path: concurrent workers inserting into
+    /// different shards never contend. The caller partitions rows with
+    /// [`shard_of_key`](Self::shard_of_key) and must probe each sub-vector
+    /// with *its own* returned version for the exactly-once guarantee.
+    pub fn insert_shard(
         &self,
+        shard: usize,
         vids: &[u32],
         qsets: &QuerySetColumn,
         keys: &[Vec<i64>],
@@ -193,7 +340,21 @@ impl Stem {
     ) -> u32 {
         debug_assert_eq!(keys.len(), self.key_cols.len());
         debug_assert_eq!(qsets.len(), vids.len());
-        let mut inner = self.inner.write();
+        #[cfg(debug_assertions)]
+        if self.routed {
+            for &k in keys.first().map(Vec::as_slice).unwrap_or(&[]) {
+                debug_assert_eq!(self.shard_of_key(k), shard, "misrouted key {k}");
+            }
+        } else {
+            debug_assert_eq!(shard, 0, "unrouted STeM stores everything in shard 0");
+        }
+        let Some(lock) = self.shards.get(shard) else {
+            // A shard id out of range is a caller bug (`shard_of_key` is a
+            // modulus); drop the insert rather than panic mid-episode.
+            debug_assert!(false, "shard {shard} out of range");
+            return 0;
+        };
+        let mut inner = lock.write();
         let version = global_version.fetch_add(1, Ordering::Relaxed);
         inner.vids.extend_from_slice(vids);
         let new_len = inner.versions.len() + vids.len();
@@ -206,12 +367,66 @@ impl Stem {
         for i in 0..vids.len() {
             inner.qsets.push_row_from(qsets, i);
         }
-        for (k, index_keys) in keys.iter().enumerate() {
+        for (idx, index_keys) in inner.indices.iter_mut().zip(keys.iter()) {
             debug_assert_eq!(index_keys.len(), vids.len());
-            let idx = &mut inner.indices[k];
             for &key in index_keys {
                 idx.insert(key);
             }
+        }
+        version
+    }
+
+    /// Inserts a vector of tuples, assigning versions under the write
+    /// latch (see module docs). `keys[k][i]` is tuple `i`'s key for index
+    /// `k`.
+    ///
+    /// On an unsharded STeM this is one critical section with one version,
+    /// which it returns. On a sharded STeM the rows are partitioned by
+    /// routing key and inserted per shard via
+    /// [`insert_shard`](Self::insert_shard) — each sub-vector gets its own
+    /// version and the *last* one is returned, which is only safe to probe
+    /// with when no concurrent inserter exists (single-threaded loaders,
+    /// benchmarks). The engine's episode path calls `insert_shard`
+    /// directly and keeps the per-shard versions.
+    pub fn insert_vector(
+        &self,
+        vids: &[u32],
+        qsets: &QuerySetColumn,
+        keys: &[Vec<i64>],
+        global_version: &AtomicU32,
+    ) -> u32 {
+        if !self.routed {
+            return self.insert_shard(0, vids, qsets, keys, global_version);
+        }
+        let n_shards = self.shards.len();
+        let mut version = 0;
+        let Some(keys0) = keys.first() else {
+            return version;
+        };
+        // Cold-path partition (bench/test convenience): per-shard gather
+        // of vids, key columns, and query-set rows.
+        let mut sub_vids: Vec<u32> = Vec::new();
+        let mut sub_keys: Vec<Vec<i64>> = vec![Vec::new(); keys.len()];
+        for shard in 0..n_shards {
+            sub_vids.clear();
+            for sk in &mut sub_keys {
+                sk.clear();
+            }
+            let mut sub_qsets = QuerySetColumn::new(qsets.words_per_set());
+            for (i, &k0) in keys0.iter().enumerate() {
+                if shard_for_key(k0, n_shards) != shard {
+                    continue;
+                }
+                sub_vids.extend(vids.get(i).copied());
+                for (sk, kc) in sub_keys.iter_mut().zip(keys.iter()) {
+                    sk.extend(kc.get(i).copied());
+                }
+                sub_qsets.push_row_from(qsets, i);
+            }
+            if sub_vids.is_empty() {
+                continue;
+            }
+            version = self.insert_shard(shard, &sub_vids, &sub_qsets, &sub_keys, global_version);
         }
         version
     }
@@ -223,128 +438,78 @@ impl Stem {
         if let Some(i) = self.index_of(col) {
             return i;
         }
-        let inner = self.inner.get_mut();
-        let mut idx = StemIndex::with_capacity(inner.vids.len());
-        for &vid in &inner.vids {
-            idx.insert(column.value(vid as usize));
+        for shard in self.shards.iter_mut() {
+            let inner = shard.get_mut();
+            let mut idx = StemIndex::with_capacity(inner.vids.len());
+            for &vid in &inner.vids {
+                idx.insert(column.value(vid as usize));
+            }
+            inner.indices.push(idx);
         }
-        inner.indices.push(idx);
         self.key_cols.push(col);
         self.key_cols.len() - 1
     }
 
-    /// Acquires the probe-side read latch once per vector.
+    /// Acquires the probe-side read latch on every shard (ascending shard
+    /// order) for the duration of one probe vector. The engine's episode
+    /// path uses the shard-at-a-time [`probe_batch`](Self::probe_batch)
+    /// instead; a reader pins a consistent snapshot across shards for
+    /// loaders, benchmarks, and tests.
     pub fn read(&self) -> StemReader<'_> {
-        StemReader { guard: self.inner.read() }
-    }
-
-    /// Number of stored entries.
-    pub fn len(&self) -> usize {
-        self.inner.read().vids.len()
-    }
-
-    /// Approximate resident bytes (entry block + indices). STeM footprint
-    /// bounds the dataset size RouLette can process (§3), so the engine
-    /// surfaces it in its statistics.
-    pub fn memory_bytes(&self) -> usize {
-        let inner = self.inner.read();
-        let entries = inner.vids.capacity() * std::mem::size_of::<u32>()
-            + inner.versions.capacity() * std::mem::size_of::<u32>()
-            + inner.qsets.capacity_words() * std::mem::size_of::<u64>();
-        let indices: usize = inner
-            .indices
-            .iter()
-            .map(|i| {
-                i.keys.capacity() * std::mem::size_of::<i64>()
-                    + (i.buckets.capacity() + i.next.capacity()) * std::mem::size_of::<u32>()
-            })
-            .sum();
-        entries + indices
-    }
-
-    /// Whether no entries are stored.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Upper bound on how much [`memory_bytes`](Self::memory_bytes) would
-    /// grow if `n` more tuples were inserted now. Used by the memory
-    /// governor to gate inserts *before* they overshoot the budget.
-    ///
-    /// Models `Vec`'s amortized doubling (`reserve` grows to
-    /// `max(2·cap, len + n)`) for the entry block and index columns, and
-    /// bucket-table doubling past the 3/4 load factor.
-    pub fn projected_insert_bytes(&self, n: usize) -> usize {
-        fn vec_growth(len: usize, cap: usize, n: usize, elem: usize) -> usize {
-            if len + n <= cap { 0 } else { ((cap * 2).max(len + n) - cap) * elem }
+        let mut guards = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            guards.push(shard.read()); // lint:allow(lock-order) — same-class shard latches are always acquired in ascending shard order
         }
-        let inner = self.inner.read();
-        let len = inner.vids.len();
-        let wps = inner.qsets.words_per_set();
-        let mut bytes = vec_growth(len, inner.vids.capacity(), n, 4)
-            + vec_growth(len, inner.versions.capacity(), n, 4)
-            // The qset block is reserved once per insert (see
-            // `insert_vector`), so single-step growth models it exactly —
-            // in words, since that is the column's allocation unit.
-            + vec_growth(len * wps, inner.qsets.capacity_words(), n * wps, 8);
-        for idx in &inner.indices {
-            bytes += vec_growth(idx.keys.len(), idx.keys.capacity(), n, 8)
-                + vec_growth(idx.next.len(), idx.next.capacity(), n, 4);
-            let mut buckets = idx.buckets.len();
-            while idx.keys.len() + n > buckets - buckets / 4 {
-                buckets *= 2;
-            }
-            bytes += buckets.saturating_sub(idx.buckets.capacity()) * 4;
-        }
-        bytes
+        StemReader { guards }
     }
-}
 
-/// Reusable working state for [`StemReader::probe_batch`]: the batched
-/// hash and bucket-head slices of the two-phase probe. Owned by the episode
-/// scratch arena so steady-state probing never allocates.
-#[derive(Debug, Default)]
-pub struct ProbeScratch {
-    hashes: Vec<u64>,
-    heads: Vec<u32>,
-}
-
-impl ProbeScratch {
-    /// An empty scratch; buffers grow on first use and are then reused.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-/// Read access to a STeM for the duration of one probe vector.
-pub struct StemReader<'a> {
-    guard: RwLockReadGuard<'a, StemInner>,
-}
-
-impl StemReader<'_> {
-    /// Calls `f(entry, entry_qset_words, entry_vid)` for every match of
-    /// `key` in index `index_id` with version strictly older than
-    /// `version` (pass [`VERSION_ALL`] to see everything).
+    /// Calls `f(entry_qset_words, entry_vid)` for every match of `key` in
+    /// index `index_id` with version strictly older than `version` (pass
+    /// [`VERSION_ALL`] to see everything), taking one shard read latch at
+    /// a time. The routing index visits only the key's shard.
     #[inline]
     pub fn probe(&self, index_id: usize, key: i64, version: u32, mut f: impl FnMut(&[u64], u32)) {
-        let inner = &*self.guard;
-        inner.indices[index_id].for_each_match(key, |e| {
-            if inner.versions[e] < version {
-                f(inner.qsets.row(e), inner.vids[e]);
+        let visit = |inner: &StemInner, f: &mut dyn FnMut(&[u64], u32)| {
+            let Some(index) = inner.indices.get(index_id) else {
+                return;
+            };
+            index.for_each_match(key, |e| {
+                if let (Some(&v), Some(&vid)) = (inner.versions.get(e), inner.vids.get(e)) {
+                    if v < version {
+                        f(inner.qsets.row(e), vid);
+                    }
+                }
+            });
+        };
+        if self.routed && index_id == 0 {
+            if let Some(shard) = self.shards.get(self.shard_of_key(key)) {
+                visit(&shard.read(), &mut f);
             }
-        });
+        } else {
+            for shard in self.shards.iter() {
+                visit(&shard.read(), &mut f);
+            }
+        }
     }
 
     /// Batched two-phase probe: for every key in `keys` (one per probe
     /// row), calls `f(probe_row, entry_qset_words, entry_vid)` for each
-    /// match with version strictly older than `version`, in probe-row
-    /// order then chain order — the same visit order as calling
-    /// [`probe`](Self::probe) per key.
+    /// match with version strictly older than `version`.
+    ///
+    /// Unsharded, the visit order is probe-row order then chain order —
+    /// the same order as calling [`probe`](Self::probe) per key, and
+    /// byte-identical to the pre-sharding reader path. Sharded, rows are
+    /// counting-sorted by owning shard (routing index) or re-probed per
+    /// shard (secondary indices), so the visit order is shard-grouped —
+    /// a permutation of the unsharded matches. Only one shard's read
+    /// latch is held at a time.
     ///
     /// Phase one hashes the whole batch and fetches every bucket head in a
     /// tight loop over the bucket table (independent loads the hardware
     /// can overlap and prefetch); only phase two walks the dependent chain
-    /// links. `scratch` holds the per-batch hash/head slices.
+    /// links. `scratch` holds the per-batch hash/head/partition slices;
+    /// after the call, [`ProbeScratch::shard_key_counts`] exposes how many
+    /// keys each visited shard saw.
     // lint: hot-loop
     pub fn probe_batch(
         &self,
@@ -354,42 +519,93 @@ impl StemReader<'_> {
         scratch: &mut ProbeScratch,
         mut f: impl FnMut(usize, &[u64], u32),
     ) {
-        let inner = &*self.guard;
-        let index = &inner.indices[index_id];
-        let ProbeScratch { hashes, heads } = scratch;
+        let n_shards = self.shards.len();
+        let ProbeScratch { hashes, heads, shard_of, order, counts } = scratch;
         hashes.clear();
         hashes.extend(keys.iter().map(|&k| hash_key(k)));
-        heads.clear();
-        heads.extend(hashes.iter().map(|&h| index.buckets[h as usize & index.mask]));
-        for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
-            let mut cur = head;
-            while cur != 0 {
-                let e = (cur - 1) as usize;
-                if index.keys[e] == key && inner.versions[e] < version {
-                    f(i, inner.qsets.row(e), inner.vids[e]);
+        if self.routed && index_id == 0 {
+            let offs = partition_probe_rows(n_shards, hashes, shard_of, order, counts);
+            for (s, shard) in self.shards.iter().enumerate() {
+                let (Some(&start), Some(&end)) = (offs.get(s), offs.get(s + 1)) else {
+                    break;
+                };
+                let rows = order.get(start as usize..end as usize).unwrap_or(&[]);
+                if rows.is_empty() {
+                    continue;
                 }
-                cur = index.next[e];
+                let inner = shard.read();
+                let Some(index) = inner.indices.get(index_id) else {
+                    continue;
+                };
+                for &oi in rows {
+                    let i = oi as usize;
+                    let (Some(&key), Some(&h)) = (keys.get(i), hashes.get(i)) else {
+                        continue;
+                    };
+                    index.walk_chain(index.head_of_hash(h), key, |e| {
+                        if let (Some(&v), Some(&vid)) = (inner.versions.get(e), inner.vids.get(e))
+                        {
+                            if v < version {
+                                f(i, inner.qsets.row(e), vid);
+                            }
+                        }
+                    });
+                }
+            }
+        } else {
+            counts.clear();
+            for shard in self.shards.iter() {
+                let inner = shard.read();
+                let Some(index) = inner.indices.get(index_id) else {
+                    continue;
+                };
+                heads.clear();
+                heads.extend(hashes.iter().map(|&h| index.head_of_hash(h)));
+                for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
+                    index.walk_chain(head, key, |e| {
+                        if let (Some(&v), Some(&vid)) = (inner.versions.get(e), inner.vids.get(e))
+                        {
+                            if v < version {
+                                f(i, inner.qsets.row(e), vid);
+                            }
+                        }
+                    });
+                }
+                counts.push(keys.len() as u32);
             }
         }
     }
 
     /// Semi-join support for symmetric join pruning (§5.2): ORs into
-    /// `acc` the query-sets of all matches of `key` (any version).
+    /// `acc` the query-sets of all matches of `key` (any version), one
+    /// shard latch at a time.
     #[inline]
     pub fn semijoin_mask(&self, index_id: usize, key: i64, acc: &mut [u64]) {
-        let inner = &*self.guard;
-        inner.indices[index_id].for_each_match(key, |e| {
-            for (a, w) in acc.iter_mut().zip(inner.qsets.row(e)) {
-                *a |= w;
+        let visit = |inner: &StemInner, acc: &mut [u64]| {
+            let Some(index) = inner.indices.get(index_id) else {
+                return;
+            };
+            index.for_each_match(key, |e| {
+                for (a, w) in acc.iter_mut().zip(inner.qsets.row(e)) {
+                    *a |= w;
+                }
+            });
+        };
+        if self.routed && index_id == 0 {
+            if let Some(shard) = self.shards.get(self.shard_of_key(key)) {
+                visit(&shard.read(), acc);
             }
-        });
+        } else {
+            for shard in self.shards.iter() {
+                visit(&shard.read(), acc);
+            }
+        }
     }
 
     /// Batched two-phase semi-join: for every key in `keys`, calls
     /// `f(probe_row, entry_qset_words)` for each match, any version. Same
-    /// hash-then-heads-then-chains structure as
-    /// [`probe_batch`](Self::probe_batch); since the caller ORs the entry
-    /// sets, visit order is immaterial here.
+    /// shard-at-a-time structure as [`probe_batch`](Self::probe_batch);
+    /// since the caller ORs the entry sets, visit order is immaterial.
     // lint: hot-loop
     pub fn semijoin_batch(
         &self,
@@ -398,33 +614,303 @@ impl StemReader<'_> {
         scratch: &mut ProbeScratch,
         mut f: impl FnMut(usize, &[u64]),
     ) {
-        let inner = &*self.guard;
-        let index = &inner.indices[index_id];
-        let ProbeScratch { hashes, heads } = scratch;
+        let n_shards = self.shards.len();
+        let ProbeScratch { hashes, heads, shard_of, order, counts } = scratch;
         hashes.clear();
         hashes.extend(keys.iter().map(|&k| hash_key(k)));
-        heads.clear();
-        heads.extend(hashes.iter().map(|&h| index.buckets[h as usize & index.mask]));
-        for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
-            let mut cur = head;
-            while cur != 0 {
-                let e = (cur - 1) as usize;
-                if index.keys[e] == key {
-                    f(i, inner.qsets.row(e));
+        if self.routed && index_id == 0 {
+            let offs = partition_probe_rows(n_shards, hashes, shard_of, order, counts);
+            for (s, shard) in self.shards.iter().enumerate() {
+                let (Some(&start), Some(&end)) = (offs.get(s), offs.get(s + 1)) else {
+                    break;
+                };
+                let rows = order.get(start as usize..end as usize).unwrap_or(&[]);
+                if rows.is_empty() {
+                    continue;
                 }
-                cur = index.next[e];
+                let inner = shard.read();
+                let Some(index) = inner.indices.get(index_id) else {
+                    continue;
+                };
+                for &oi in rows {
+                    let i = oi as usize;
+                    let (Some(&key), Some(&h)) = (keys.get(i), hashes.get(i)) else {
+                        continue;
+                    };
+                    index.walk_chain(index.head_of_hash(h), key, |e| {
+                        f(i, inner.qsets.row(e));
+                    });
+                }
+            }
+        } else {
+            counts.clear();
+            for shard in self.shards.iter() {
+                let inner = shard.read();
+                let Some(index) = inner.indices.get(index_id) else {
+                    continue;
+                };
+                heads.clear();
+                heads.extend(hashes.iter().map(|&h| index.head_of_hash(h)));
+                for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
+                    index.walk_chain(head, key, |e| {
+                        f(i, inner.qsets.row(e));
+                    });
+                }
+                counts.push(keys.len() as u32);
+            }
+        }
+    }
+
+    /// Number of stored entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().vids.len()).sum()
+    }
+
+    /// Entries stored per shard, in shard order.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().vids.len()).collect()
+    }
+
+    /// Approximate resident bytes (entry blocks + indices, summed over
+    /// shards). STeM footprint bounds the dataset size RouLette can
+    /// process (§3), so the engine surfaces it in its statistics.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| inner_memory_bytes(&s.read())).sum()
+    }
+
+    /// Per-shard resident bytes, in shard order; sums to
+    /// [`memory_bytes`](Self::memory_bytes).
+    pub fn shard_memory_bytes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| inner_memory_bytes(&s.read())).collect()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Upper bound on how much [`memory_bytes`](Self::memory_bytes) would
+    /// grow if `n` more tuples were inserted now, with no knowledge of
+    /// where they route. Unsharded this is exact to the growth model;
+    /// sharded it charges every shard for the full `n` (any distribution
+    /// of the rows grows each shard by at most its `n`-row projection), so
+    /// callers that know the routing keys should use
+    /// [`projected_insert_bytes_routed`](Self::projected_insert_bytes_routed)
+    /// for a tight per-shard sum.
+    pub fn projected_insert_bytes(&self, n: usize) -> usize {
+        self.shards.iter().map(|s| inner_projected_insert_bytes(&s.read(), n)).sum()
+    }
+
+    /// Projected growth of an `n`-row insert whose routing keys (index 0)
+    /// are `keys0`: counts the rows landing in each shard and sums the
+    /// per-shard growth projections, so the memory governor's eviction
+    /// ladder gates on what the sharded insert will actually allocate —
+    /// a single oversized shard is fully charged. Unrouted STeMs charge
+    /// shard 0 for all `n` rows (and ignore `keys0`).
+    pub fn projected_insert_bytes_routed(&self, n: usize, keys0: &[i64]) -> usize {
+        if !self.routed {
+            return self
+                .shards
+                .first()
+                .map(|s| inner_projected_insert_bytes(&s.read(), n))
+                .unwrap_or(0);
+        }
+        debug_assert_eq!(keys0.len(), n);
+        let n_shards = self.shards.len();
+        let mut per_shard = [0usize; MAX_STEM_SHARDS];
+        for &k in keys0 {
+            if let Some(rows) = per_shard.get_mut(shard_for_key(k, n_shards)) {
+                *rows += 1;
+            }
+        }
+        let mut bytes = 0;
+        for (shard, &rows) in self.shards.iter().zip(per_shard.iter()) {
+            if rows > 0 {
+                bytes += inner_projected_insert_bytes(&shard.read(), rows);
+            }
+        }
+        bytes
+    }
+}
+
+/// Counting-sorts probe rows by owning shard: fills `shard_of` (row →
+/// shard), `order` (row indices grouped by shard), `counts` (keys per
+/// shard), and returns the per-shard offsets into `order`.
+fn partition_probe_rows(
+    n_shards: usize,
+    hashes: &[u64],
+    shard_of: &mut Vec<u8>,
+    order: &mut Vec<u32>,
+    counts: &mut Vec<u32>,
+) -> [u32; MAX_STEM_SHARDS + 1] {
+    shard_of.clear();
+    shard_of.extend(hashes.iter().map(|&h| (h % n_shards as u64) as u8));
+    counts.clear();
+    counts.resize(n_shards, 0);
+    for &s in shard_of.iter() {
+        if let Some(c) = counts.get_mut(s as usize) {
+            *c += 1;
+        }
+    }
+    let mut offs = [0u32; MAX_STEM_SHARDS + 1];
+    let mut acc = 0u32;
+    for (o, &c) in offs.iter_mut().skip(1).zip(counts.iter()) {
+        acc += c;
+        *o = acc;
+    }
+    order.clear();
+    order.resize(hashes.len(), 0);
+    let mut cursor = offs;
+    for (i, &s) in shard_of.iter().enumerate() {
+        if let Some(c) = cursor.get_mut(s as usize) {
+            if let Some(slot) = order.get_mut(*c as usize) {
+                *slot = i as u32;
+            }
+            *c += 1;
+        }
+    }
+    offs
+}
+
+/// Reusable working state for [`Stem::probe_batch`]: the batched hash,
+/// bucket-head, and shard-partition slices of the two-phase probe. Owned
+/// by the episode scratch arena so steady-state probing never allocates.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    hashes: Vec<u64>,
+    heads: Vec<u32>,
+    shard_of: Vec<u8>,
+    order: Vec<u32>,
+    counts: Vec<u32>,
+}
+
+impl ProbeScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keys-per-shard of the most recent batched probe/semi-join through
+    /// this scratch: one entry per visited shard (telemetry hook). Routed
+    /// probes report the partition histogram; full scans report the whole
+    /// batch size once per shard.
+    pub fn shard_key_counts(&self) -> &[u32] {
+        &self.counts
+    }
+}
+
+/// Read access to a STeM — all shards — for the duration of one probe
+/// vector.
+pub struct StemReader<'a> {
+    guards: Vec<RwLockReadGuard<'a, StemInner>>,
+}
+
+impl StemReader<'_> {
+    /// Calls `f(entry_qset_words, entry_vid)` for every match of `key` in
+    /// index `index_id` with version strictly older than `version` (pass
+    /// [`VERSION_ALL`] to see everything), in shard order.
+    #[inline]
+    pub fn probe(&self, index_id: usize, key: i64, version: u32, mut f: impl FnMut(&[u64], u32)) {
+        for inner in &self.guards {
+            let Some(index) = inner.indices.get(index_id) else {
+                continue;
+            };
+            index.for_each_match(key, |e| {
+                if let (Some(&v), Some(&vid)) = (inner.versions.get(e), inner.vids.get(e)) {
+                    if v < version {
+                        f(inner.qsets.row(e), vid);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Batched two-phase probe: for every key in `keys` (one per probe
+    /// row), calls `f(probe_row, entry_qset_words, entry_vid)` for each
+    /// match with version strictly older than `version`, in shard order
+    /// then probe-row order then chain order — unsharded, the same visit
+    /// order as calling [`probe`](Self::probe) per key.
+    // lint: hot-loop
+    pub fn probe_batch(
+        &self,
+        index_id: usize,
+        keys: &[i64],
+        version: u32,
+        scratch: &mut ProbeScratch,
+        mut f: impl FnMut(usize, &[u64], u32),
+    ) {
+        let ProbeScratch { hashes, heads, .. } = scratch;
+        hashes.clear();
+        hashes.extend(keys.iter().map(|&k| hash_key(k)));
+        for inner in &self.guards {
+            let Some(index) = inner.indices.get(index_id) else {
+                continue;
+            };
+            heads.clear();
+            heads.extend(hashes.iter().map(|&h| index.head_of_hash(h)));
+            for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
+                index.walk_chain(head, key, |e| {
+                    if let (Some(&v), Some(&vid)) = (inner.versions.get(e), inner.vids.get(e)) {
+                        if v < version {
+                            f(i, inner.qsets.row(e), vid);
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    /// Semi-join support for symmetric join pruning (§5.2): ORs into
+    /// `acc` the query-sets of all matches of `key` (any version).
+    #[inline]
+    pub fn semijoin_mask(&self, index_id: usize, key: i64, acc: &mut [u64]) {
+        for inner in &self.guards {
+            let Some(index) = inner.indices.get(index_id) else {
+                continue;
+            };
+            index.for_each_match(key, |e| {
+                for (a, w) in acc.iter_mut().zip(inner.qsets.row(e)) {
+                    *a |= w;
+                }
+            });
+        }
+    }
+
+    /// Batched two-phase semi-join: for every key in `keys`, calls
+    /// `f(probe_row, entry_qset_words)` for each match, any version.
+    // lint: hot-loop
+    pub fn semijoin_batch(
+        &self,
+        index_id: usize,
+        keys: &[i64],
+        scratch: &mut ProbeScratch,
+        mut f: impl FnMut(usize, &[u64]),
+    ) {
+        let ProbeScratch { hashes, heads, .. } = scratch;
+        hashes.clear();
+        hashes.extend(keys.iter().map(|&k| hash_key(k)));
+        for inner in &self.guards {
+            let Some(index) = inner.indices.get(index_id) else {
+                continue;
+            };
+            heads.clear();
+            heads.extend(hashes.iter().map(|&h| index.head_of_hash(h)));
+            for (i, (&key, &head)) in keys.iter().zip(heads.iter()).enumerate() {
+                index.walk_chain(head, key, |e| {
+                    f(i, inner.qsets.row(e));
+                });
             }
         }
     }
 
     /// Number of entries visible to this reader.
     pub fn len(&self) -> usize {
-        self.guard.vids.len()
+        self.guards.iter().map(|g| g.vids.len()).sum()
     }
 
     /// Whether the STeM is empty.
     pub fn is_empty(&self) -> bool {
-        self.guard.vids.is_empty()
+        self.len() == 0
     }
 }
 
@@ -589,7 +1075,7 @@ mod tests {
         let vids: Vec<u32> = (0..100).collect();
         let keys: Vec<i64> = (0..100).collect();
         stem.insert_vector(&vids, &qc, &[keys], &global);
-        let inner = stem.inner.read();
+        let inner = stem.shards[0].read();
         let cap_bytes = inner.qsets.capacity_words() * 8;
         let len_bytes = inner.qsets.raw().len() * 8;
         assert!(cap_bytes >= len_bytes);
@@ -610,12 +1096,12 @@ mod tests {
     fn capacity_hint_sizes_buckets_and_shrinks_tiny_indices() {
         // Unhinted (tiny) indices start at the minimum table...
         let tiny = Stem::new(RelId(0), vec![ColId(0), ColId(1)], 1);
-        for idx in &tiny.inner.read().indices {
+        for idx in &tiny.shards[0].read().indices {
             assert_eq!(idx.buckets.len(), StemIndex::MIN_BUCKETS);
         }
         // ...a hinted index is sized to hold the hint at ≤3/4 load...
         let hinted = Stem::with_capacity_hint(RelId(0), vec![ColId(0)], 1, 6000);
-        let buckets = hinted.inner.read().indices[0].buckets.len();
+        let buckets = hinted.shards[0].read().indices[0].buckets.len();
         assert!(buckets.is_power_of_two());
         assert!(6000 <= buckets - buckets / 4, "{buckets} buckets under-sized");
         assert!(buckets <= 16384, "{buckets} buckets over-sized");
@@ -633,7 +1119,7 @@ mod tests {
         let vids: Vec<u32> = (0..n).collect();
         let keys: Vec<i64> = (0..n as i64).collect();
         hinted.insert_vector(&vids, &qc, &[keys], &global);
-        assert_eq!(hinted.inner.read().indices[0].buckets.len(), buckets);
+        assert_eq!(hinted.shards[0].read().indices[0].buckets.len(), buckets);
     }
 
     #[test]
@@ -688,36 +1174,160 @@ mod tests {
     fn concurrent_insert_probe_exactly_once() {
         // Two threads symmetric-join R and S: each inserts its vector then
         // probes the other side. Every (r, s) match must be found exactly
-        // once across both threads.
+        // once across both threads — at every shard count.
         use std::sync::Arc;
-        let stem_r = Arc::new(Stem::new(RelId(0), vec![ColId(0)], 1));
-        let stem_s = Arc::new(Stem::new(RelId(1), vec![ColId(0)], 1));
-        let global = Arc::new(AtomicU32::new(0));
-        let q = QuerySet::full(1);
+        for shards in [1usize, 2, 8] {
+            let stem_r = Arc::new(Stem::with_shards(RelId(0), vec![ColId(0)], 1, 0, shards));
+            let stem_s = Arc::new(Stem::with_shards(RelId(1), vec![ColId(0)], 1, 0, shards));
+            let global = Arc::new(AtomicU32::new(0));
+            let q = QuerySet::full(1);
 
-        for trial in 0..50 {
-            let found = Arc::new(std::sync::Mutex::new(Vec::new()));
-            let mk = |own: Arc<Stem>, other: Arc<Stem>, vid: u32| {
-                let global = Arc::clone(&global);
-                let q = q.clone();
-                let found = Arc::clone(&found);
-                move || {
-                    let key = 1000 + trial;
-                    let mut qc = QuerySetColumn::new(1);
-                    qc.push(q.words());
-                    let v = own.insert_vector(&[vid], &qc, &[vec![key]], &global);
-                    let r = other.read();
-                    r.probe(0, key, v, |_, other_vid| {
-                        found.lock().unwrap().push((vid, other_vid));
-                    });
+            for trial in 0..50 {
+                let found = Arc::new(std::sync::Mutex::new(Vec::new()));
+                let mk = |own: Arc<Stem>, other: Arc<Stem>, vid: u32| {
+                    let global = Arc::clone(&global);
+                    let q = q.clone();
+                    let found = Arc::clone(&found);
+                    move || {
+                        let key = 1000 + trial;
+                        let mut qc = QuerySetColumn::new(1);
+                        qc.push(q.words());
+                        let shard = own.shard_of_key(key);
+                        let v = own.insert_shard(shard, &[vid], &qc, &[vec![key]], &global);
+                        other.probe(0, key, v, |_, other_vid| {
+                            found.lock().unwrap().push((vid, other_vid));
+                        });
+                    }
+                };
+                let t1 =
+                    std::thread::spawn(mk(Arc::clone(&stem_r), Arc::clone(&stem_s), trial as u32));
+                let t2 =
+                    std::thread::spawn(mk(Arc::clone(&stem_s), Arc::clone(&stem_r), trial as u32));
+                t1.join().unwrap();
+                t2.join().unwrap();
+                let matches = found.lock().unwrap();
+                assert_eq!(matches.len(), 1, "shards {shards} trial {trial}: {:?}", *matches);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_insert_routes_and_probes_find_everything() {
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(4);
+        let n = 4000u32;
+        let vids: Vec<u32> = (0..n).collect();
+        let keys0: Vec<i64> = (0..n as i64).map(|i| i * 13 % 509).collect();
+        let keys1: Vec<i64> = (0..n as i64).map(|i| i % 17).collect();
+        let mut qc = QuerySetColumn::new(q.width());
+        for _ in 0..n {
+            qc.push(q.words());
+        }
+        let flat = Stem::new(RelId(0), vec![ColId(0), ColId(1)], q.width());
+        flat.insert_vector(&vids, &qc, &[keys0.clone(), keys1.clone()], &global);
+        for shards in [2usize, 8, 64] {
+            let sharded =
+                Stem::with_shards(RelId(0), vec![ColId(0), ColId(1)], q.width(), n as usize, shards);
+            sharded.insert_vector(&vids, &qc, &[keys0.clone(), keys1.clone()], &global);
+            assert_eq!(sharded.len(), flat.len());
+            assert_eq!(sharded.shard_lens().iter().sum::<usize>(), flat.len());
+            // Every entry landed in the shard its routing key owns.
+            for (s, lock) in sharded.shards.iter().enumerate() {
+                let inner = lock.read();
+                for &k in &inner.indices[0].keys {
+                    assert_eq!(sharded.shard_of_key(k), s);
                 }
-            };
-            let t1 = std::thread::spawn(mk(Arc::clone(&stem_r), Arc::clone(&stem_s), trial as u32));
-            let t2 = std::thread::spawn(mk(Arc::clone(&stem_s), Arc::clone(&stem_r), trial as u32));
-            t1.join().unwrap();
-            t2.join().unwrap();
-            let matches = found.lock().unwrap();
-            assert_eq!(matches.len(), 1, "trial {trial}: {:?}", *matches);
+            }
+            // Routed (index 0) and full-scan (index 1) probes both find
+            // exactly the unsharded match multiset.
+            let mut scratch = ProbeScratch::new();
+            for index_id in [0usize, 1] {
+                let probe_keys: Vec<i64> =
+                    (0..777).map(|i| if index_id == 0 { i * 7 % 520 } else { i % 20 }).collect();
+                let mut expect: Vec<(usize, u32)> = Vec::new();
+                flat.probe_batch(index_id, &probe_keys, VERSION_ALL, &mut scratch, |i, _, vid| {
+                    expect.push((i, vid));
+                });
+                let mut got: Vec<(usize, u32)> = Vec::new();
+                sharded.probe_batch(index_id, &probe_keys, VERSION_ALL, &mut scratch, |i, _, vid| {
+                    got.push((i, vid));
+                });
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, expect, "shards {shards} index {index_id}");
+                if index_id == 0 {
+                    let total: u32 = scratch.shard_key_counts().iter().sum();
+                    assert_eq!(total as usize, probe_keys.len());
+                }
+                // Semi-join agreement too (first word of the OR mask).
+                let mut flat_acc = vec![0u64; 1];
+                let mut shard_acc = vec![0u64; 1];
+                flat.semijoin_batch(index_id, &probe_keys, &mut scratch, |_, qs| {
+                    flat_acc[0] |= qs[0];
+                });
+                sharded.semijoin_batch(index_id, &probe_keys, &mut scratch, |_, qs| {
+                    shard_acc[0] |= qs[0];
+                });
+                assert_eq!(flat_acc, shard_acc, "shards {shards} index {index_id}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_memory_sums_to_total_and_routed_projection_delegates() {
+        let global = AtomicU32::new(0);
+        let q = QuerySet::full(8);
+        let n = 2048u32;
+        let vids: Vec<u32> = (0..n).collect();
+        let keys: Vec<i64> = (0..n as i64).map(|i| i * 31 % 1009).collect();
+        let mut qc = QuerySetColumn::new(q.width());
+        for _ in 0..n {
+            qc.push(q.words());
+        }
+        for shards in [1usize, 2, 8] {
+            let stem = Stem::with_shards(RelId(0), vec![ColId(0)], q.width(), 0, shards);
+            stem.insert_vector(&vids, &qc, &[keys.clone()], &global);
+            let per_shard = stem.shard_memory_bytes();
+            assert_eq!(per_shard.len(), shards);
+            assert_eq!(per_shard.iter().sum::<usize>(), stem.memory_bytes());
+            // The routed projection with real keys never exceeds the
+            // keys-unknown upper bound, and unsharded they coincide.
+            let next: Vec<i64> = (0..512i64).map(|i| i * 77 % 1013).collect();
+            let routed = stem.projected_insert_bytes_routed(next.len(), &next);
+            let blind = stem.projected_insert_bytes(next.len());
+            assert!(routed <= blind, "shards {shards}: routed {routed} > blind {blind}");
+            if shards == 1 {
+                assert_eq!(routed, blind);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_single_shard_is_fully_charged() {
+        // Skew every row onto one key → one shard absorbs the whole
+        // insert. The routed projection must charge that shard for all n
+        // rows, not n/S.
+        let stem = Stem::with_shards(RelId(0), vec![ColId(0)], 2, 0, 8);
+        let n = 4096usize;
+        let hot = vec![77i64; n];
+        let shard = stem.shard_of_key(77);
+        let routed = stem.projected_insert_bytes_routed(n, &hot);
+        let single = inner_projected_insert_bytes(&stem.shards[shard].read(), n);
+        assert_eq!(routed, single);
+        // And that is far more than an even-split estimate.
+        let even: usize =
+            stem.shards.iter().map(|s| inner_projected_insert_bytes(&s.read(), n / 8)).sum();
+        assert!(routed > even, "skewed projection {routed} ≤ even-split {even}");
+    }
+
+    #[test]
+    fn shard_routing_is_total_and_stable() {
+        for &n_shards in &[1usize, 2, 3, 8, 64] {
+            for k in -500i64..500 {
+                let s = shard_for_key(k, n_shards);
+                assert!(s < n_shards);
+                assert_eq!(s, shard_for_key(k, n_shards), "routing must be deterministic");
+            }
         }
     }
 }

@@ -215,8 +215,8 @@ const BLOCKING_ANY_ARG: &[&str] = &[
 /// `.load(…)` to `Workspace::load`) would invent edges.
 const FALLBACK_DENYLIST: &[&str] = &[
     "push", "pop", "insert", "remove", "get", "set", "new", "clone", "drain", "extend", "take",
-    "len", "next", "iter", "contains", "clear", "write", "read", "lock", "reset", "record",
-    "load", "store", "swap", "sum", "get_or_insert",
+    "len", "is_empty", "next", "iter", "contains", "clear", "write", "read", "lock", "reset",
+    "record", "load", "store", "swap", "sum", "get_or_insert",
 ];
 
 /// Methods that pass a guard through unchanged: `lock().unwrap()` still

@@ -74,6 +74,27 @@ pub trait Recorder: Send + Sync {
         let _ = tuples;
     }
 
+    /// Called once per sharded-STeM sub-chunk insert with the owning shard
+    /// and the number of tuples it received (never called on unsharded
+    /// STeMs, keeping the legacy path instrumentation-free).
+    fn record_shard_insert(&self, shard: usize, tuples: u64) {
+        let _ = (shard, tuples);
+    }
+
+    /// Called after a batched probe of a sharded STeM with the number of
+    /// probe keys each visited shard saw (routed probes report the
+    /// partition histogram; secondary-index scans report the full batch
+    /// per shard).
+    fn record_shard_probe(&self, shard: usize, keys: u64) {
+        let _ = (shard, keys);
+    }
+
+    /// Called when a worker steals queued episode tasks from a sibling's
+    /// morsel queue instead of idling.
+    fn record_steal(&self, tasks: u64) {
+        let _ = tasks;
+    }
+
     /// Called once per episode with the scratch arena's buffer-reuse
     /// counters: acquisitions served from a pool (`hits`) vs. freshly
     /// allocated (`misses`). A healthy steady state is all hits.
@@ -114,6 +135,9 @@ mod tests {
             inserted: 512,
         });
         r.record_probe_batch(64);
+        r.record_shard_insert(3, 128);
+        r.record_shard_probe(3, 64);
+        r.record_steal(1);
         r.record_scratch(12, 3);
         r.record_event(1, EventKind::Admission { query: 0 });
         r.record_policy_probe(

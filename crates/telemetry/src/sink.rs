@@ -21,6 +21,11 @@ use crate::registry::MetricsRegistry;
 /// Default capacity of the structured event ring.
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
+/// Per-shard STeM counters are pre-registered for this many shards (so
+/// recording never touches the registry latch); higher shard indices fold
+/// into the last slot.
+pub const TRACKED_SHARDS: usize = 8;
+
 /// A full telemetry pipeline: metrics registry + event ring + exporters.
 #[derive(Debug)]
 pub struct Telemetry {
@@ -34,6 +39,9 @@ pub struct Telemetry {
     query_latency_us: Arc<Histogram>,
     insert_batch: Arc<Histogram>,
     probe_batch: Arc<Histogram>,
+    shard_insert_tuples: Vec<Arc<ShardedCounter>>,
+    shard_probe_keys: Vec<Arc<ShardedCounter>>,
+    steals: Arc<ShardedCounter>,
     vector_fill_permille: Arc<Histogram>,
     selection_survivors_permille: Arc<Histogram>,
     scratch_hits: Arc<ShardedCounter>,
@@ -87,6 +95,26 @@ impl Telemetry {
         let probe_batch = registry.histogram(
             "roulette_stem_probe_batch_tuples",
             "Tuples probing a STeM per probe batch",
+        );
+        let shard_insert_tuples = (0..TRACKED_SHARDS)
+            .map(|s| {
+                registry.counter(
+                    &format!("roulette_stem_shard_insert_tuples_s{s}_total"),
+                    "Tuples inserted into this STeM shard (the last slot aggregates higher shard indices)",
+                )
+            })
+            .collect();
+        let shard_probe_keys = (0..TRACKED_SHARDS)
+            .map(|s| {
+                registry.counter(
+                    &format!("roulette_stem_shard_probe_keys_s{s}_total"),
+                    "Probe keys visiting this STeM shard (the last slot aggregates higher shard indices)",
+                )
+            })
+            .collect();
+        let steals = registry.counter(
+            "roulette_worker_steals_total",
+            "Episode tasks stolen from a sibling worker's morsel queue",
         );
         let vector_fill_permille = registry.histogram(
             "roulette_vector_fill_permille",
@@ -169,6 +197,9 @@ impl Telemetry {
             query_latency_us,
             insert_batch,
             probe_batch,
+            shard_insert_tuples,
+            shard_probe_keys,
+            steals,
             vector_fill_permille,
             selection_survivors_permille,
             scratch_hits,
@@ -278,6 +309,22 @@ impl Recorder for Telemetry {
         self.probe_batch.record(tuples);
     }
 
+    fn record_shard_insert(&self, shard: usize, tuples: u64) {
+        if let Some(counter) = self.shard_insert_tuples.get(shard.min(TRACKED_SHARDS - 1)) {
+            counter.add(tuples);
+        }
+    }
+
+    fn record_shard_probe(&self, shard: usize, keys: u64) {
+        if let Some(counter) = self.shard_probe_keys.get(shard.min(TRACKED_SHARDS - 1)) {
+            counter.add(keys);
+        }
+    }
+
+    fn record_steal(&self, tasks: u64) {
+        self.steals.add(tasks);
+    }
+
     fn record_scratch(&self, hits: u64, misses: u64) {
         self.scratch_hits.add(hits);
         self.scratch_misses.add(misses);
@@ -362,6 +409,24 @@ mod tests {
         // 512/1024 = 500 permille.
         assert!(text.contains("roulette_vector_fill_permille_sum 500"));
         assert!(text.contains("roulette_selection_survivors_permille_sum 500"));
+    }
+
+    #[test]
+    fn shard_and_steal_counters_accumulate() {
+        let t = Telemetry::default();
+        t.record_shard_insert(0, 100);
+        t.record_shard_insert(3, 28);
+        // Shards past the tracked range fold into the last slot.
+        t.record_shard_insert(63, 5);
+        t.record_shard_probe(3, 64);
+        t.record_steal(1);
+        t.record_steal(2);
+        let text = prom(&t);
+        assert!(text.contains("roulette_stem_shard_insert_tuples_s0_total 100"));
+        assert!(text.contains("roulette_stem_shard_insert_tuples_s3_total 28"));
+        assert!(text.contains("roulette_stem_shard_insert_tuples_s7_total 5"));
+        assert!(text.contains("roulette_stem_shard_probe_keys_s3_total 64"));
+        assert!(text.contains("roulette_worker_steals_total 3"));
     }
 
     #[test]
